@@ -1,0 +1,67 @@
+"""Decision-boundary sharpness — the geometric reading of Fig. 2.
+
+The confusion matrix's off-diagonal mass concentrates on geometrically
+adjacent classes; this bench resolves *why*: deterministic placement
+sweeps from each class's interior toward its boundary show accuracy
+staying high in the interior and dropping only as the mask edge
+approaches the landmark that defines the next class. (Class-interior
+placements correspond to the unambiguous samples the paper's dataset
+mostly contains; the boundary end is where MaskedFace-Net's own labels
+get debatable.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.error_analysis import boundary_sweep, render_sweep_table
+from repro.data.mask_model import WearClass
+
+POSITIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+SUBJECTS = 14
+
+
+@pytest.fixture(scope="module")
+def sweeps(cnv):
+    return {
+        wear: boundary_sweep(
+            cnv, wear, positions=POSITIONS, subjects_per_point=SUBJECTS, rng=5
+        )
+        for wear in WearClass
+    }
+
+
+def test_regenerate_boundary_table(sweeps, capsys):
+    with capsys.disabled():
+        print()
+        print(render_sweep_table(list(sweeps.values())))
+
+
+def test_interiors_are_confident(sweeps):
+    """Deep inside every class the classifier is far above chance."""
+    for wear, sweep in sweeps.items():
+        interior = np.mean(sweep.accuracy[:2])
+        assert interior > 0.5, (wear, sweep.accuracy)
+
+
+def test_some_boundary_softness_exists(sweeps):
+    """At least one class loses accuracy toward its boundary — the
+    adjacency structure Fig. 2's off-diagonals summarise."""
+    drops = [s.sharpness() for s in sweeps.values()]
+    assert max(drops) > 0.2
+
+
+def test_mean_interior_beats_mean_boundary(sweeps):
+    interior = np.mean([s.interior_accuracy() for s in sweeps.values()])
+    boundary = np.mean([s.boundary_accuracy() for s in sweeps.values()])
+    assert interior > boundary
+
+
+def test_boundary_sweep_speed(benchmark, n_cnv):
+    sweep = benchmark.pedantic(
+        boundary_sweep,
+        args=(n_cnv, WearClass.CORRECT),
+        kwargs={"positions": (0.0, 1.0), "subjects_per_point": 4, "rng": 0},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(sweep.accuracy) == 2

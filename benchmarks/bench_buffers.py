@@ -1,0 +1,121 @@
+"""On-chip activation buffering — the §III-B memory-transfer claim.
+
+"The pipelined architecture offers several advantages on embedded
+devices, most importantly, the reduction in on-chip to off-chip memory
+transfers of the BNN parameters and intermediate activations. This is
+mainly feasible due to the binary format, which results in highly
+compact neural networks that can fit on the on-chip memory units."
+
+This bench quantifies the claim for all three prototypes: total on-chip
+state (weights + line buffers + FIFOs) against the devices' BRAM budget,
+and against the off-chip traffic a non-streaming design would need.
+"""
+
+import pytest
+
+from repro.hw.buffers import plan_buffers
+from repro.hw.devices import Z7020
+from repro.utils.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def buffer_plans(all_bnn):
+    out = {}
+    for name, clf in all_bnn.items():
+        acc = clf.deploy()
+        out[name] = (acc, plan_buffers(acc))
+    return out
+
+
+def test_regenerate_buffer_table(buffer_plans, capsys):
+    rows = []
+    for name, (acc, plan) in buffer_plans.items():
+        weight_kib = acc.weight_bits() / 8192
+        act_kib = plan.total_bits() / 8192
+        total_kib = weight_kib + act_kib
+        z7020_kib = Z7020.bram36 * 36 * 1024 / 8192
+        rows.append(
+            [
+                name,
+                f"{weight_kib:.1f}",
+                f"{act_kib:.2f}",
+                f"{total_kib:.1f}",
+                f"{total_kib / z7020_kib:.1%}",
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                [
+                    "config",
+                    "weights KiB",
+                    "act buffers KiB",
+                    "total on-chip KiB",
+                    "of Z7020 BRAM",
+                ],
+                rows,
+                title="On-chip state (SS III-B: everything stays on chip)",
+            )
+        )
+        print()
+        for name, (_, plan) in buffer_plans.items():
+            print(f"-- {name} --")
+            print(plan.report())
+            print()
+
+
+def test_everything_fits_on_chip(buffer_plans):
+    """The §III-B feasibility claim: weights + activations fit Z7020 BRAM."""
+    budget_bits = Z7020.bram36 * 36 * 1024
+    for name, (acc, plan) in buffer_plans.items():
+        total = acc.weight_bits() + plan.total_bits()
+        assert total < budget_bits, name
+
+
+def test_activation_state_is_small(buffer_plans):
+    """Streaming needs only line buffers + FIFOs — a tiny fraction of
+    what a store-the-whole-feature-map design would buffer."""
+    for name, (acc, plan) in buffer_plans.items():
+        # Full feature-map of conv1_1's output alone (binary): 30*30*C.
+        conv1 = acc.stages[0]
+        full_map_bits = (
+            conv1.swu.config.out_hw[0]
+            * conv1.swu.config.out_hw[1]
+            * conv1.mvtu.config.rows
+        )
+        line_bits = plan.buffers[1].line_buffer_bits  # conv1_2's line buffer
+        assert line_bits < full_map_bits / 3, name
+
+
+def test_off_chip_traffic_avoided(buffer_plans, capsys):
+    """Off-chip traffic per image if activations spilled: sum of all
+    inter-stage maps — the number the streaming design reduces to zero."""
+    lines = []
+    for name, (acc, plan) in buffer_plans.items():
+        spill_bits = 0
+        for stage in acc.stages[:-1]:
+            if stage.kind == "conv":
+                oh, ow = (
+                    stage.pool.config.out_hw
+                    if stage.pool is not None
+                    else stage.swu.config.out_hw
+                )
+                spill_bits += oh * ow * stage.mvtu.config.rows
+            else:
+                spill_bits += stage.mvtu.config.rows
+        lines.append(
+            f"{name}: {2 * spill_bits / 8192:.1f} KiB/image off-chip traffic "
+            f"avoided (write+read of every intermediate map)"
+        )
+        assert spill_bits > plan.total_bits() / 4  # streaming is the win
+    with capsys.disabled():
+        print()
+        for line in lines:
+            print(line)
+
+
+def test_buffer_planning_speed(benchmark, all_bnn):
+    acc = all_bnn["cnv"].deploy()
+    plan = benchmark(plan_buffers, acc)
+    assert plan.total_bits() > 0

@@ -1,0 +1,110 @@
+"""Design-space exploration — matched-throughput folding and device fit.
+
+Covers §IV-B's DSE narrative beyond the three published points: sweeps
+matched-throughput foldings of n-CNV, prints the resource/throughput
+Pareto frontier, and reproduces the µ-CNV-on-Z7010 feasibility result
+(experiment X1 in DESIGN.md).
+"""
+
+import pytest
+
+from repro.hw.devices import Z7010, Z7020, fit_report
+from repro.hw.dse import balance_folding, explore, pareto_frontier
+from repro.hw.pipeline import analyze_pipeline
+from repro.hw.resources import estimate_resources
+from repro.utils.tables import render_table
+
+TARGET_GRID = (2_000, 8_000, 32_000, 128_000, 512_000)
+
+
+@pytest.fixture(scope="module")
+def ncnv_points(n_cnv):
+    return explore(n_cnv.model, TARGET_GRID, clock_mhz=100.0, device=Z7020)
+
+
+def test_regenerate_dse_frontier(ncnv_points, capsys):
+    frontier = pareto_frontier(ncnv_points)
+    rows = [
+        [
+            f"{p.fps_analytic:,.0f}",
+            f"{p.lut:,.0f}",
+            f"{p.bram36:.1f}",
+            p.bottleneck[0],
+            "yes" if p.fits_device else "no",
+        ]
+        for p in frontier
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["FPS analytic", "LUT", "BRAM", "bottleneck", "fits Z7020"],
+                rows,
+                title="n-CNV matched-throughput Pareto frontier",
+            )
+        )
+
+
+def test_frontier_tradeoff_is_monotone(ncnv_points):
+    """Faster frontier points cost more LUTs — the §IV-B trade-off."""
+    frontier = pareto_frontier(ncnv_points)
+    assert len(frontier) >= 2
+    luts = [p.lut for p in frontier]  # frontier sorted fps-descending
+    assert all(a >= b for a, b in zip(luts, luts[1:]))
+
+
+def test_all_points_functional(n_cnv, ncnv_points):
+    """Every explored folding compiles and classifies identically."""
+    from repro.hw.compiler import compile_model
+    from repro.testing import grid_images
+
+    images = grid_images(4)
+    reference = n_cnv.deploy().predict(images)
+    for point in ncnv_points[:3]:
+        acc = compile_model(n_cnv.model, point.folding)
+        assert (acc.predict(images) == reference).all()
+
+
+def test_ucnv_z7010_feasibility(u_cnv, capsys):
+    """Experiment X1: µ-CNV fits the Z7010 with DSP-offloaded XNOR."""
+    acc = u_cnv.deploy()
+    plain = estimate_resources(acc, dsp_offload=False)
+    offload = estimate_resources(acc, dsp_offload=True)
+    with capsys.disabled():
+        print()
+        print("u-CNV without offload:", plain.report())
+        for line in fit_report(plain.lut, plain.bram36, plain.dsp):
+            print(" ", line)
+        print("u-CNV with OrthrusPE XNOR->DSP offload:", offload.report())
+        for line in fit_report(offload.lut, offload.bram36, offload.dsp):
+            print(" ", line)
+    assert Z7010.fits(offload.lut, offload.bram36, offload.dsp)
+    assert offload.dsp > plain.dsp  # the offload trades DSPs in
+
+
+def test_balanced_folding_beats_naive_uniform(n_cnv):
+    """§III-B: 'a single under-dimensioned MVTU could throttle the
+    entire pipeline' — matched-throughput folding at the same lane
+    budget is strictly faster than uniform folding."""
+    from repro.hw.compiler import FoldingConfig, compile_model
+
+    balanced = balance_folding(n_cnv.model, target_cycles=8_100)
+    acc_balanced = compile_model(n_cnv.model, balanced)
+    lanes = sum(p * s for p, s in zip(balanced.pe, balanced.simd))
+
+    # Naive: spend a comparable lane budget uniformly (PE=2/SIMD wide on
+    # every layer regardless of its workload).
+    naive = FoldingConfig(
+        pe=(2, 2, 2, 2, 2, 2, 1, 1, 1),
+        simd=(3, 16, 16, 32, 32, 32, 4, 8, 1),
+    )
+    acc_naive = compile_model(n_cnv.model, naive)
+    fps_balanced = analyze_pipeline(acc_balanced).fps_analytic
+    fps_naive = analyze_pipeline(acc_naive).fps_analytic
+    assert fps_balanced > fps_naive
+
+
+def test_dse_speed(benchmark, n_cnv):
+    """Timed kernel: one balanced-folding solve."""
+    folding = benchmark(balance_folding, n_cnv.model, 32_000)
+    assert len(folding) == 9

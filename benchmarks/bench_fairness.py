@@ -1,0 +1,71 @@
+"""Demographic parity — §I's "equivalent classification accuracy" claim.
+
+The paper's stated design goal: "maintain equivalent classification
+accuracy for all face structures, skin-tones, hair types, and mask
+types". The Grad-CAM panels argue this qualitatively; this benchmark
+measures it: controlled cohorts per protected factor (identical class
+schedule and nuisance seeds, varying only the factor), accuracy per
+cohort, and the worst-case disparity.
+"""
+
+import pytest
+
+from repro.core.fairness import FACTOR_COHORTS, evaluate_fairness
+
+FACTORS = tuple(FACTOR_COHORTS)
+SAMPLES = 32
+
+
+@pytest.fixture(scope="module")
+def fairness_reports(cnv):
+    return {
+        factor: evaluate_fairness(
+            cnv.model, factor, samples_per_cohort=SAMPLES, rng=11
+        )
+        for factor in FACTORS
+    }
+
+
+def test_regenerate_fairness_tables(fairness_reports, capsys):
+    with capsys.disabled():
+        print()
+        for factor in FACTORS:
+            print(fairness_reports[factor].render())
+            print()
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_every_cohort_far_above_chance(fairness_reports, factor):
+    """No cohort collapses: worst-case accuracy well above 25% chance."""
+    report = fairness_reports[factor]
+    assert report.worst[1] > 0.5, report.worst
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_disparity_bounded(fairness_reports, factor):
+    """Accuracy is 'equivalent' across cohorts: bounded disparity."""
+    report = fairness_reports[factor]
+    assert report.disparity < 0.35, (
+        factor,
+        report.cohort_accuracy,
+    )
+
+
+def test_mean_accuracy_matches_overall(fairness_reports, cnv, splits):
+    """Cohort-mean accuracy is consistent with the test-set accuracy
+    (the controlled cohorts are not systematically easier/harder)."""
+    overall = cnv.evaluate(splits.test)["accuracy"]
+    for factor, report in fairness_reports.items():
+        assert abs(report.mean_accuracy() - overall) < 0.2, factor
+
+
+def test_fairness_speed(benchmark, n_cnv):
+    """Timed kernel: one small age-group parity evaluation."""
+    report = benchmark.pedantic(
+        evaluate_fairness,
+        args=(n_cnv.model, "age_group"),
+        kwargs={"samples_per_cohort": 8, "rng": 0},
+        rounds=2,
+        iterations=1,
+    )
+    assert set(report.cohort_accuracy) == {"infant", "adult", "elderly"}

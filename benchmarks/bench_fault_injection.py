@@ -1,0 +1,72 @@
+"""Fault-injection study: BNN robustness to weight/threshold upsets.
+
+An extension experiment motivated by the paper's deployment setting
+(unattended edge devices, §I): how gracefully does the deployed
+accelerator degrade under single-event upsets? BNN folklore says binary
+networks are comparatively robust — a weight SEU is the smallest
+possible perturbation (one sign flip) and there are no exponent bits to
+corrupt. This bench measures the degradation curve for the n-CNV
+accelerator on the test split and asserts its qualitative shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.faults import accuracy_under_faults
+
+RATES = (1e-4, 1e-3, 1e-2, 5e-2)
+
+
+@pytest.fixture(scope="module")
+def fault_reports(n_cnv, splits):
+    acc = n_cnv.deploy()
+    images = splits.test.images[:128]
+    labels = splits.test.labels[:128]
+    return {
+        kind: accuracy_under_faults(
+            acc, images, labels, rates=RATES, fault_kind=kind, trials=2, rng=3
+        )
+        for kind in ("weight", "threshold")
+    }
+
+
+def test_regenerate_fault_curves(fault_reports, capsys):
+    with capsys.disabled():
+        print()
+        for kind, report in fault_reports.items():
+            print(report.render())
+            print()
+
+
+@pytest.mark.parametrize("kind", ["weight", "threshold"])
+def test_low_rates_nearly_harmless(fault_reports, kind):
+    """At 1e-4 upset rate accuracy stays within a few points of baseline."""
+    report = fault_reports[kind]
+    assert report.accuracies[0] > report.baseline_accuracy - 0.08
+
+
+@pytest.mark.parametrize("kind", ["weight", "threshold"])
+def test_degradation_monotone_tendency(fault_reports, kind):
+    """More faults never help (up to trial noise)."""
+    report = fault_reports[kind]
+    assert report.accuracies[0] >= report.accuracies[-1] - 0.05
+
+
+def test_heavy_weight_faults_degrade(fault_reports):
+    """5% synapse flips must visibly hurt — the sweep is not a no-op."""
+    report = fault_reports["weight"]
+    assert report.accuracies[-1] < report.baseline_accuracy
+
+
+def test_fault_injection_speed(benchmark, n_cnv, splits):
+    """Timed kernel: one weight-fault clone + 32-image evaluation."""
+    from repro.hw.faults import flip_weight_bits
+
+    acc = n_cnv.deploy()
+    images = splits.test.images[:32]
+
+    def inject_and_classify():
+        return flip_weight_bits(acc, 1e-3, rng=0).predict(images)
+
+    preds = benchmark.pedantic(inject_and_classify, rounds=2, iterations=1)
+    assert preds.shape == (32,)

@@ -1,0 +1,59 @@
+"""Fig. 2 — confusion matrix of Binary-CoP-CNV on the test set.
+
+Regenerates the 4x4 confusion matrix with counts and row-normalised
+percentages (the paper's presentation) and asserts its shape properties:
+heavy diagonal, small off-diagonal mass, and the paper's observed error
+structure (nose-class confusions concentrated on the adjacent N+M class).
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def cm(cnv, splits):
+    return cnv.confusion(splits.test)
+
+
+def test_regenerate_fig2(cm, capsys):
+    with capsys.disabled():
+        print()
+        print(cm.render(title="Fig. 2 (regenerated): CNV confusion matrix"))
+        print(f"overall accuracy: {cm.overall_accuracy():.4f} (paper: 0.9810)")
+        recalls = ", ".join(
+            f"{k}={v:.2f}" for k, v in cm.per_class_recall().items()
+        )
+        print(f"per-class recall: {recalls} (paper: ~0.98 each)")
+
+
+def test_diagonal_dominates(cm):
+    """Every class's recall must far exceed every off-diagonal rate."""
+    rn = cm.row_normalised()
+    for i in range(cm.num_classes):
+        off = np.delete(rn[i], i)
+        assert rn[i, i] > 0.5
+        assert rn[i, i] > off.max() * 2
+
+
+def test_overall_accuracy_high(cm):
+    assert cm.overall_accuracy() > 0.75
+
+
+def test_all_classes_predicted(cm):
+    """No class collapses (the balancing worked)."""
+    assert (cm.counts.sum(axis=0) > 0).all()
+    assert (cm.counts.sum(axis=1) > 0).all()
+
+
+def test_confusion_speed(benchmark, cnv, splits):
+    """Timed kernel: full test-set prediction + matrix construction."""
+    images = splits.test.images[:64]
+    labels = splits.test.labels[:64]
+
+    def predict_and_tally():
+        from repro.core.evaluation import confusion_matrix
+
+        return confusion_matrix(cnv.predict(images), labels)
+
+    result = benchmark(predict_and_tally)
+    assert result.counts.sum() == 64

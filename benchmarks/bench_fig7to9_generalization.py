@@ -1,0 +1,87 @@
+"""Figs 7–9 — generalization panels: age, hair/head-gear, manipulation.
+
+Runs the three controlled Grad-CAM panels of the paper on CNV, n-CNV and
+the FP32 baseline and prints per-case accuracy and dominant attention
+band. Shape assertions follow the paper's conclusions: the BNNs keep
+classifying correctly across ages, mask-colored hair/head-gear, and face
+manipulations (double mask, paint, sunglasses).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.generalization import GENERALIZATION_PANELS, run_study
+
+PANELS = tuple(GENERALIZATION_PANELS)
+SAMPLES = 10
+
+
+@pytest.fixture(scope="module")
+def studies(cnv, n_cnv, fp32_cnv):
+    out = {}
+    for mname, clf in (("cnv", cnv), ("n-cnv", n_cnv), ("fp32", fp32_cnv)):
+        for panel in PANELS:
+            out[(mname, panel)] = run_study(
+                clf.model,
+                panel,
+                model_name=mname,
+                samples_per_case=SAMPLES,
+                rng=7,
+            )
+    return out
+
+
+def test_regenerate_fig7_to_fig9(studies, capsys):
+    with capsys.disabled():
+        print()
+        for panel in PANELS:
+            for mname in ("cnv", "n-cnv", "fp32"):
+                print(studies[(mname, panel)].report())
+            print()
+
+
+def test_age_generalization(studies):
+    """Fig. 7: correct-mask classification holds for infants & elderly."""
+    for mname in ("cnv", "n-cnv"):
+        result = studies[(mname, "fig7_age")]
+        for case in result.cases:
+            assert result.accuracy[case] >= 0.5, (mname, case)
+
+
+def test_hair_headgear_generalization(studies):
+    """Fig. 8: mask-blue hair / head-gear do not break the BNNs."""
+    for mname in ("cnv", "n-cnv"):
+        result = studies[(mname, "fig8_hair_headgear")]
+        assert result.overall_accuracy() >= 0.5, mname
+        # The adversarial case specifically.
+        assert result.accuracy["mask_blue_hair"] >= 0.4, mname
+
+
+def test_manipulation_generalization(studies):
+    """Fig. 9: double mask / paint / sunglasses tolerated on average."""
+    for mname in ("cnv", "n-cnv"):
+        result = studies[(mname, "fig9_manipulation")]
+        assert result.overall_accuracy() >= 0.4, mname
+
+
+def test_attention_stays_on_face(studies):
+    """Across panels, correctly-classified attention is face-centred."""
+    for (mname, panel), result in studies.items():
+        for case in result.cases:
+            profile = result.band_profiles[case]
+            total = sum(profile.values())
+            if total == 0.0:
+                continue  # no correct classifications for this case
+            assert profile["background"] / total < 0.5, (mname, panel, case)
+
+
+def test_study_speed(benchmark, n_cnv):
+    """Timed kernel: one 3-sample age-panel study on n-CNV."""
+    result = benchmark.pedantic(
+        run_study,
+        args=(n_cnv.model, "fig7_age"),
+        kwargs={"samples_per_case": 3, "rng": 0},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.cases == ["infant", "adult", "elderly"]

@@ -1,0 +1,108 @@
+"""§IV-B throughput — per-layer IIs, pipeline FPS, streaming trace.
+
+Reproduces the paper's performance claims:
+
+* n-CNV reaches ~6400 classifications/second at 100 MHz when its
+  pipeline is full (the calibrated model; the analytic bound is printed
+  alongside);
+* CNV and µ-CNV are slower (their dimensioning targets area, not rate);
+* the streaming trace (Fig. 1's pipeline behaviour) converges to the
+  analytic rate as the stream grows.
+
+The timed kernel is the accelerator's functional datapath on a batch —
+the simulator's own classification throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.pipeline import MEASURED_EFFICIENCY, analyze_pipeline, simulate_stream
+from repro.testing import grid_images
+from repro.utils.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def accelerators(all_bnn):
+    return {name: clf.deploy() for name, clf in all_bnn.items()}
+
+
+def test_regenerate_throughput_table(accelerators, capsys):
+    rows = []
+    for name, acc in accelerators.items():
+        timing = analyze_pipeline(acc, clock_mhz=100.0)
+        rows.append(
+            [
+                name,
+                f"{timing.bottleneck[0]} ({timing.bottleneck[1]:,} cyc)",
+                f"{timing.fps_analytic:,.0f}",
+                f"{timing.fps_calibrated:,.0f}",
+                f"{timing.latency_us:.0f}",
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["config", "bottleneck", "FPS analytic", "FPS calibrated", "latency us"],
+                rows,
+                title=(
+                    "Throughput @ 100 MHz (paper: n-CNV ~6400 FPS; "
+                    f"calibration eta={MEASURED_EFFICIENCY})"
+                ),
+            )
+        )
+        print()
+        for name, acc in accelerators.items():
+            print(analyze_pipeline(acc).report())
+            print()
+
+
+def test_ncnv_hits_6400_fps(accelerators):
+    timing = analyze_pipeline(accelerators["n-cnv"], clock_mhz=100.0)
+    assert timing.fps_calibrated == pytest.approx(6400, rel=0.07)
+
+
+def test_ncnv_is_fastest(accelerators):
+    fps = {
+        name: analyze_pipeline(acc).fps_analytic
+        for name, acc in accelerators.items()
+    }
+    assert fps["n-cnv"] > fps["cnv"]
+    assert fps["n-cnv"] > fps["u-cnv"]
+
+
+def test_stream_trace_fig1(accelerators, capsys):
+    """Fig. 1's dataflow behaviour: per-stage occupancy over a stream."""
+    acc = accelerators["n-cnv"]
+    sim = simulate_stream(acc, num_images=50)
+    timing = analyze_pipeline(acc)
+    with capsys.disabled():
+        print()
+        print(
+            f"n-CNV stream of 50 images: {int(sim['total_cycles']):,} cycles "
+            f"-> {float(sim['fps']):,.0f} FPS "
+            f"(analytic steady-state {timing.fps_analytic:,.0f})"
+        )
+        first = sim["start"][0]
+        print(
+            "image 0 enters stages at cycles: "
+            + ", ".join(f"{int(c):,}" for c in first)
+        )
+    # The stream rate approaches the analytic rate (within pipeline fill).
+    assert float(sim["fps"]) > 0.8 * timing.fps_analytic
+
+
+def test_throughput_grows_with_clock(accelerators):
+    acc = accelerators["n-cnv"]
+    assert (
+        analyze_pipeline(acc, 200.0).fps_analytic
+        > analyze_pipeline(acc, 100.0).fps_analytic
+    )
+
+
+@pytest.mark.parametrize("name", ["cnv", "n-cnv", "u-cnv"])
+def test_simulator_classification_speed(benchmark, accelerators, name):
+    """Functional-datapath throughput of the simulator itself."""
+    images = grid_images(32)
+    preds = benchmark(accelerators[name].predict, images)
+    assert preds.shape == (32,)

@@ -1,0 +1,100 @@
+"""§IV-A training — accuracy vs. the paper, training throughput.
+
+The paper trains BNNs "up to 300 epochs, unless learning saturates
+earlier" and reports up to ~98% (CNV), 93.94% (n-CNV), 93.78% (µ-CNV)
+and 98.6% (FP32). Our substrate (synthetic faces, numpy on one core)
+reproduces the *shape*: FP32 >= CNV > n-CNV ~ µ-CNV, all far above the
+25% chance level. The timed kernel is one optimisation step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BinaryCoP, TrainingBudget
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam
+from repro.utils.tables import render_table
+
+PAPER_ACCURACY = {"cnv": 0.9810, "n-cnv": 0.9394, "u-cnv": 0.9378, "fp32-cnv": 0.986}
+
+
+@pytest.fixture(scope="module")
+def accuracy_rows(all_bnn, fp32_cnv, splits):
+    rows = {}
+    models = dict(all_bnn)
+    models["fp32-cnv"] = fp32_cnv
+    for name, clf in models.items():
+        rows[name] = {
+            "test": clf.evaluate(splits.test)["accuracy"],
+            "val": clf.history.best_val_accuracy() if clf.history else float("nan"),
+        }
+    return rows
+
+
+def test_regenerate_accuracy_table(accuracy_rows, capsys):
+    table = [
+        [
+            name,
+            f"{row['test']:.4f}",
+            f"{row['val']:.4f}",
+            f"{PAPER_ACCURACY[name]:.4f}",
+        ]
+        for name, row in accuracy_rows.items()
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["config", "test acc (ours)", "best val (ours)", "paper acc"],
+                table,
+                title="Classification accuracy (synthetic data, laptop budget)",
+            )
+        )
+
+
+def test_accuracy_shape_holds(accuracy_rows):
+    """FP32 >= CNV > {n-CNV, µ-CNV}; everything far above chance."""
+    acc = {name: row["test"] for name, row in accuracy_rows.items()}
+    assert acc["fp32-cnv"] >= acc["cnv"] - 0.03
+    assert acc["cnv"] >= acc["n-cnv"] - 0.01
+    assert acc["cnv"] >= acc["u-cnv"] - 0.01
+    assert min(acc.values()) > 0.6
+
+
+def test_binarization_gap_is_small(accuracy_rows):
+    """The BNN gives up only a few points vs FP32 (the paper's premise)."""
+    gap = accuracy_rows["fp32-cnv"]["test"] - accuracy_rows["cnv"]["test"]
+    assert gap < 0.15
+
+
+def test_learning_saturates(n_cnv):
+    """Validation accuracy improves substantially from the first epochs
+    (the history exists and shows learning, per §IV-A's protocol)."""
+    history = n_cnv.history
+    if history is None:
+        pytest.skip("model loaded from cache without history")
+    early = np.mean(history.val_accuracy[:3])
+    late = max(history.val_accuracy)
+    assert late > early + 0.1
+
+
+@pytest.mark.parametrize("name", ["n-cnv", "u-cnv"])
+def test_training_step_speed(benchmark, splits, name):
+    """Timed kernel: one forward+backward+update step (batch of 32)."""
+    clf = BinaryCoP(name, rng=0)
+    model = clf.model
+    model.train()
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    x = splits.train.images[:32]
+    y = splits.train.labels[:32]
+
+    def step():
+        optimizer.zero_grad()
+        logits = model.forward(x)
+        _, grad = cross_entropy(logits, y)
+        model.backward(grad)
+        optimizer.step()
+        return logits
+
+    logits = benchmark(step)
+    assert logits.shape == (32, 4)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate the paper's tables and figures, so they need fully
+trained models. Training happens once per (architecture, budget) via the
+model zoo and is cached on disk under ``.binarycop_cache/`` — the first
+benchmark run trains (minutes per model on one core); subsequent runs
+load instantly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BinaryCoP
+from repro.core.zoo import dataset_cached, trained_classifier
+from repro.data.dataset import DatasetSplits
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_collection_modifyitems(config, items):
+    """Keep the table/figure-regeneration tests alive under
+    ``--benchmark-only``.
+
+    pytest-benchmark marks every test without the ``benchmark`` fixture
+    as skipped when ``--benchmark-only`` is active. In this suite the
+    non-fixture tests are not incidental unit tests — they *regenerate
+    the paper's tables and figures* (the benchmark deliverable), so the
+    canonical ``pytest benchmarks/ --benchmark-only`` invocation must run
+    them. This hook (running after the plugin's) strips exactly that skip
+    marker from items in this directory.
+    """
+    if not config.getoption("--benchmark-only", default=False):
+        return
+    for item in items:
+        item.own_markers = [
+            m
+            for m in item.own_markers
+            if not (
+                m.name == "skip"
+                and "--benchmark-only active" in m.kwargs.get("reason", "")
+            )
+        ]
+
+
+@pytest.fixture(scope="session")
+def splits() -> DatasetSplits:
+    """The default benchmark dataset (the §IV-A pipeline, laptop scale)."""
+    return dataset_cached()
+
+
+@pytest.fixture(scope="session")
+def cnv(splits) -> BinaryCoP:
+    return trained_classifier("cnv", splits=splits, dataset_key={"default_dataset": True})
+
+
+@pytest.fixture(scope="session")
+def n_cnv(splits) -> BinaryCoP:
+    return trained_classifier("n-cnv", splits=splits, dataset_key={"default_dataset": True})
+
+
+@pytest.fixture(scope="session")
+def u_cnv(splits) -> BinaryCoP:
+    return trained_classifier("u-cnv", splits=splits, dataset_key={"default_dataset": True})
+
+
+@pytest.fixture(scope="session")
+def fp32_cnv(splits) -> BinaryCoP:
+    return trained_classifier(
+        "fp32-cnv", splits=splits, dataset_key={"default_dataset": True}
+    )
+
+
+@pytest.fixture(scope="session")
+def all_bnn(cnv, n_cnv, u_cnv):
+    return {"cnv": cnv, "n-cnv": n_cnv, "u-cnv": u_cnv}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Design-space exploration for a device budget (§IV-B).
+
+Explores matched-throughput PE/SIMD foldings of a prototype, prints the
+resource/throughput Pareto frontier with device-fit annotations, and
+compares against the paper's Table I operating point — the workflow a
+designer targeting a different Zynq part would follow.
+
+Usage:
+    python examples/design_space_exploration.py [--arch n-cnv]
+                                                [--device XC7Z020]
+"""
+
+import argparse
+
+from repro.core.zoo import dataset_cached, trained_classifier
+from repro.core.architectures import table1_folding
+from repro.hw.compiler import compile_model
+from repro.hw.devices import DEVICES
+from repro.hw.dse import explore, pareto_frontier
+from repro.hw.pipeline import analyze_pipeline
+from repro.hw.resources import estimate_resources
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--arch", default="n-cnv", choices=["cnv", "n-cnv", "u-cnv"])
+    parser.add_argument("--device", default="XC7Z020", choices=sorted(DEVICES))
+    parser.add_argument("--clock-mhz", type=float, default=100.0)
+    args = parser.parse_args()
+    device = DEVICES[args.device]
+
+    print(f"loading (or training) {args.arch} from the model zoo ...")
+    clf = trained_classifier(args.arch, splits=dataset_cached(),
+                             dataset_key={"default_dataset": True})
+
+    targets = [1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000]
+    print(f"exploring matched-throughput foldings over {len(targets)} targets ...")
+    points = explore(clf.model, targets, clock_mhz=args.clock_mhz, device=device)
+    frontier = pareto_frontier(points)
+
+    rows = [
+        [
+            f"{p.fps_analytic:,.0f}",
+            f"{p.lut:,.0f}",
+            f"{p.bram36:.1f}",
+            p.dsp,
+            p.bottleneck[0],
+            "yes" if p.fits_device else "NO",
+        ]
+        for p in frontier
+    ]
+    print()
+    print(render_table(
+        ["FPS", "LUT", "BRAM", "DSP", "bottleneck", f"fits {device.name}"],
+        rows,
+        title=f"{args.arch} Pareto frontier @ {args.clock_mhz:.0f} MHz",
+    ))
+
+    # The paper's own operating point for comparison.
+    acc = compile_model(clf.model, table1_folding(args.arch), name="table1")
+    timing = analyze_pipeline(acc, args.clock_mhz)
+    res = estimate_resources(acc, dsp_offload=(args.arch == "u-cnv"))
+    print(f"\nTable I dimensioning: {timing.fps_analytic:,.0f} FPS analytic "
+          f"({timing.fps_calibrated:,.0f} calibrated), {res.report()}")
+    util = device.utilisation(res.lut, res.bram36, res.dsp)
+    print(f"{device.name} utilisation: "
+          + ", ".join(f"{k}={v:.0%}" for k, v in util.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fairness audit: accuracy parity across demographics and mask types.
+
+§I of the paper: "To maintain equivalent classification accuracy for all
+face structures, skin-tones, hair types, and mask types, the algorithms
+must be able to generalize the relevant features over all subjects."
+
+This example audits a trained prototype against that claim using
+controlled cohorts: for each protected factor, subjects are rendered
+with identical class schedules and nuisance seeds, differing *only* in
+the audited attribute, so any accuracy gap is attributable to the
+attribute itself.
+
+Usage:
+    python examples/fairness_audit.py [--arch cnv] [--samples 40]
+"""
+
+import argparse
+
+from repro.core.fairness import FACTOR_COHORTS, evaluate_fairness
+from repro.core.zoo import dataset_cached, trained_classifier
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--arch", default="cnv",
+                        choices=["cnv", "n-cnv", "u-cnv", "fp32-cnv"])
+    parser.add_argument("--samples", type=int, default=40,
+                        help="subjects per cohort")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    print(f"loading (or training) {args.arch} from the model zoo ...")
+    clf = trained_classifier(args.arch, splits=dataset_cached(),
+                             dataset_key={"default_dataset": True})
+
+    worst_overall = None
+    for factor in FACTOR_COHORTS:
+        report = evaluate_fairness(
+            clf.model, factor, samples_per_cohort=args.samples, rng=args.seed
+        )
+        print()
+        print(report.render())
+        name, acc = report.worst
+        print(f"-> worst cohort: {name} at {acc:.1%} "
+              f"(disparity {report.disparity:.1%})")
+        if worst_overall is None or acc < worst_overall[2]:
+            worst_overall = (factor, name, acc)
+
+    factor, name, acc = worst_overall
+    print(f"\naudit summary: weakest cohort overall is {name} "
+          f"({factor}) at {acc:.1%}")
+    if acc > 0.5:
+        print("verdict: no cohort collapses; the equivalence claim holds "
+              "within the measured disparity bounds on synthetic data.")
+    else:
+        print("verdict: at least one cohort degrades substantially — "
+              "consider rebalancing the generator toward it (the paper's "
+              "remedy for class imbalance applies to attributes as well).")
+
+
+if __name__ == "__main__":
+    main()

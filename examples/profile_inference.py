@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Per-layer profiling: software wall-clock vs hardware pipeline IIs.
+
+Profiles a prototype's software forward pass layer by layer and places
+the result next to the compiled accelerator's per-stage initiation
+intervals — showing how differently the two substrates distribute their
+time (BLAS loves the wide conv layers; the streaming pipeline is bounded
+by whichever MVTU the folding under-provisioned).
+
+Usage:
+    python examples/profile_inference.py [--arch n-cnv] [--batch 16]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.zoo import dataset_cached, trained_classifier
+from repro.hw.pipeline import analyze_pipeline
+from repro.nn.profiler import LayerProfiler
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--arch", default="n-cnv", choices=["cnv", "n-cnv", "u-cnv"])
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    print(f"loading (or training) {args.arch} from the model zoo ...")
+    clf = trained_classifier(args.arch, splits=dataset_cached(),
+                             dataset_key={"default_dataset": True})
+    clf.model.eval()
+
+    rng = np.random.default_rng(0)
+    x = (rng.integers(0, 256, (args.batch, 32, 32, 3)) / 255.0).astype(np.float32)
+
+    print(f"\nsoftware forward profile (batch={args.batch}):")
+    result = LayerProfiler(clf.model).profile(x, repeats=args.repeats)
+    print(result.render())
+    bottleneck = result.bottleneck()
+    print(f"software bottleneck: {bottleneck.name} "
+          f"({bottleneck.total_s / result.total_seconds():.0%} of time)")
+    print(f"software MAC rate: {result.macs_per_second() * args.batch / 1e9:.2f} "
+          f"GMAC/s (float path)")
+
+    print("\nhardware pipeline (Table I folding, 100 MHz):")
+    accelerator = clf.deploy()
+    timing = analyze_pipeline(accelerator)
+    rows = [
+        [name, f"{ii:,}", f"{ii / timing.pipeline_interval:.0%}"]
+        for name, ii in timing.stage_intervals
+    ]
+    print(render_table(["stage", "II (cycles)", "vs bottleneck"], rows))
+    print(f"hardware bottleneck: {timing.bottleneck[0]} "
+          f"-> {timing.fps_calibrated:,.0f} FPS calibrated")
+    print("\nNote how the two substrates disagree: numpy spends its time "
+          "where the GEMMs are largest, while the dataflow pipeline is "
+          "bounded by the stage with the least parallel hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Speed-gate stream demo: trigger-driven classification on approach video.
+
+§I: BinaryCoP's throughput "easily enables multi-camera, speed-gate
+settings". This example streams synthetic approach sequences (a subject
+walking toward the gate camera) through the size+centredness trigger;
+only the trigger frame wakes the accelerator — the duty-cycle figure at
+the end is why the gate deployment runs at idle power (§IV-B).
+
+Usage:
+    python examples/speed_gate.py [--subjects 20] [--frames 12]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.zoo import dataset_cached, trained_classifier
+from repro.data.mask_model import CLASS_NAMES
+from repro.data.stream import GateTrigger, SpeedGateSimulator
+from repro.hw.pipeline import analyze_pipeline
+from repro.hw.power import PowerModel
+from repro.hw.resources import estimate_resources
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--subjects", type=int, default=20)
+    parser.add_argument("--frames", type=int, default=12,
+                        help="camera frames per approach")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("loading (or training) n-CNV from the model zoo ...")
+    clf = trained_classifier("n-cnv", splits=dataset_cached(),
+                             dataset_key={"default_dataset": True})
+    accelerator = clf.deploy()
+    sim = SpeedGateSimulator(accelerator, GateTrigger())
+
+    print(f"\nstreaming {args.subjects} approaches "
+          f"({args.frames} frames each):\n")
+    for i in range(args.subjects):
+        d = sim.process_subject(rng=args.seed * 10_000 + i, n_frames=args.frames)
+        if d.triggered:
+            verdict = "ok  " if d.correct else "MISS"
+            print(f"  subject {i + 1:3d}: triggered at frame "
+                  f"{d.trigger_frame + 1:2d}/{args.frames}  "
+                  f"true={CLASS_NAMES[int(d.truth)]:<8s}"
+                  f"pred={CLASS_NAMES[int(d.predicted)]:<8s} [{verdict}]")
+        else:
+            print(f"  subject {i + 1:3d}: no trigger "
+                  f"(never close/centred enough)")
+
+    print(f"\ntrigger rate:           {sim.trigger_rate():.1%}")
+    print(f"triggered accuracy:     {sim.accuracy():.1%}")
+    duty = sim.duty_cycle()
+    print(f"accelerator duty cycle: {duty:.1%} of streamed frames")
+    res = estimate_resources(accelerator)
+    power = PowerModel()
+    active = power.estimate(res).active_w
+    avg = duty * active + (1 - duty) * power.idle_w
+    print(f"average power at this duty cycle: {avg:.2f} W "
+          f"(idle {power.idle_w:.1f} W, active {active:.2f} W)")
+    timing = analyze_pipeline(accelerator)
+    print(f"headroom: one gate uses {1 / timing.fps_calibrated * 1e6:.0f} us "
+          f"per classification; the same accelerator could serve "
+          f"{timing.fps_calibrated:,.0f} gates/second in a multi-camera hub")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main workflows for shell users:
+
+* ``train``    — build the synthetic dataset and train a prototype;
+* ``evaluate`` — confusion matrix + accuracy of a checkpoint;
+* ``deploy``   — compile a checkpoint and print the full hardware
+  profile (timing, resources, buffers, power, device fit);
+* ``report``   — the complete markdown reproduction report;
+* ``info``     — architecture catalog (Table I facts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.architectures import ARCHITECTURES, architecture_summary
+from repro.core.classifier import BinaryCoP, TrainingBudget
+from repro.data.dataset import build_masked_face_dataset
+from repro.hw.buffers import plan_buffers
+from repro.hw.devices import fit_report
+from repro.hw.pipeline import analyze_pipeline
+from repro.hw.power import PowerModel
+from repro.hw.resources import estimate_resources
+
+__all__ = ["main", "build_parser"]
+
+BINARY_ARCHS = ("cnv", "n-cnv", "u-cnv")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BinaryCoP reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train a prototype on synthetic data")
+    p_train.add_argument("--arch", default="n-cnv", choices=sorted(ARCHITECTURES))
+    p_train.add_argument("--raw-size", type=int, default=4000)
+    p_train.add_argument("--epochs", type=int, default=30)
+    p_train.add_argument("--lr", type=float, default=3e-3)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--save", type=Path, required=True,
+                         help="checkpoint output path (.npz)")
+    p_train.add_argument("--quiet", action="store_true")
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    p_eval.add_argument("--model", type=Path, required=True)
+    p_eval.add_argument("--raw-size", type=int, default=2000)
+    p_eval.add_argument("--seed", type=int, default=0)
+
+    p_deploy = sub.add_parser("deploy", help="hardware profile of a checkpoint")
+    p_deploy.add_argument("--model", type=Path, required=True)
+    p_deploy.add_argument("--clock-mhz", type=float, default=100.0)
+    p_deploy.add_argument("--dsp-offload", action="store_true")
+
+    p_report = sub.add_parser("report", help="full markdown reproduction report")
+    p_report.add_argument("--out", type=Path, default=Path("report.md"))
+    p_report.add_argument("--archs", nargs="+", default=list(BINARY_ARCHS),
+                          choices=sorted(ARCHITECTURES))
+
+    p_info = sub.add_parser("info", help="architecture catalog (Table I)")
+    p_info.add_argument("--arch", default=None, choices=BINARY_ARCHS)
+    return parser
+
+
+def _cmd_train(args) -> int:
+    print(f"generating dataset (raw_size={args.raw_size}, seed={args.seed}) ...")
+    splits = build_masked_face_dataset(raw_size=args.raw_size, rng=args.seed)
+    print(splits.summary())
+    clf = BinaryCoP(args.arch, rng=args.seed)
+    budget = TrainingBudget(epochs=args.epochs, learning_rate=args.lr)
+    print(f"training {args.arch} for up to {args.epochs} epochs ...")
+    start = time.perf_counter()
+    history = clf.fit(splits, budget, verbose=not args.quiet)
+    print(f"trained {history.epochs} epochs in {time.perf_counter() - start:.0f}s")
+    metrics = clf.evaluate(splits.test)
+    print(f"test accuracy: {metrics['accuracy']:.4f}")
+    path = clf.save(args.save)
+    print(f"saved checkpoint to {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    clf = BinaryCoP.load(args.model)
+    print(f"loaded {clf.architecture} from {args.model}")
+    splits = build_masked_face_dataset(raw_size=args.raw_size, rng=args.seed)
+    cm = clf.confusion(splits.test)
+    print(cm.render())
+    print(f"accuracy: {cm.overall_accuracy():.4f}")
+    for name, recall in cm.per_class_recall().items():
+        print(f"  recall[{name}] = {recall:.4f}")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    clf = BinaryCoP.load(args.model)
+    if not clf.is_binary:
+        print("error: the FP32 baseline is not deployable", file=sys.stderr)
+        return 2
+    accelerator = clf.deploy()
+    print(analyze_pipeline(accelerator, args.clock_mhz).report())
+    resources = estimate_resources(accelerator, dsp_offload=args.dsp_offload)
+    print(f"resources: {resources.report()}")
+    print(plan_buffers(accelerator).report())
+    power = PowerModel().estimate(resources, clock_mhz=args.clock_mhz)
+    print(f"power: {power.report()}")
+    for line in fit_report(resources.lut, resources.bram36, resources.dsp):
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.core.reporting import build_report
+    from repro.core.zoo import dataset_cached, trained_classifier
+
+    splits = dataset_cached()
+    classifiers = {}
+    for arch in args.archs:
+        print(f"loading (or training) {arch} ...")
+        classifiers[arch] = trained_classifier(
+            arch, splits=splits, dataset_key={"default_dataset": True}
+        )
+    report = build_report(classifiers, splits)
+    path = report.save(args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    archs = (args.arch,) if args.arch else BINARY_ARCHS
+    for name in archs:
+        summary = architecture_summary(name)
+        print(f"{name}: {len(summary['layers'])} MVTU layers, "
+              f"{summary['weight_bits']:,} weight bits "
+              f"({summary['weight_bits'] / 8192:.1f} KiB packed)")
+        for lname, c_in, c_out in summary["layers"]:
+            print(f"  {lname:<10s} [{c_in}, {c_out}]")
+        folding = summary["folding"]
+        print(f"  PE:   {', '.join(map(str, folding.pe))}")
+        print(f"  SIMD: {', '.join(map(str, folding.simd))}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "deploy": _cmd_deploy,
+    "report": _cmd_report,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

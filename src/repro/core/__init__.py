@@ -1,0 +1,67 @@
+"""``repro.core`` — the BinaryCoP contribution: models, training,
+Grad-CAM interpretability, evaluation and deployment scenarios."""
+
+from repro.core.architectures import (
+    ARCHITECTURES,
+    GRADCAM_LAYER,
+    architecture_summary,
+    build_architecture,
+    build_cnv,
+    build_fp32_cnv,
+    build_n_cnv,
+    build_u_cnv,
+    table1_folding,
+)
+from repro.core.classifier import BinaryCoP, TrainingBudget
+from repro.core.deployment import CrowdAnalyzer, CrowdStatistics, GateEvent, GateMonitor
+from repro.core.error_analysis import BoundarySweep, boundary_sweep, render_sweep_table
+from repro.core.evaluation import ConfusionMatrix, accuracy, confusion_matrix
+from repro.core.generalization import (
+    GENERALIZATION_PANELS,
+    PanelCase,
+    StudyResult,
+    run_study,
+)
+from repro.core.fairness import FACTOR_COHORTS, FairnessReport, evaluate_fairness
+from repro.core.gradcam import GradCAM, GradCAMResult, attention_band_profile
+from repro.core.reporting import ExperimentReport, build_report
+from repro.core.zoo import dataset_cached, default_cache_dir, trained_classifier
+
+__all__ = [
+    "ARCHITECTURES",
+    "BinaryCoP",
+    "BoundarySweep",
+    "ConfusionMatrix",
+    "ExperimentReport",
+    "CrowdAnalyzer",
+    "CrowdStatistics",
+    "GENERALIZATION_PANELS",
+    "GRADCAM_LAYER",
+    "GateEvent",
+    "GateMonitor",
+    "FACTOR_COHORTS",
+    "FairnessReport",
+    "GradCAM",
+    "GradCAMResult",
+    "PanelCase",
+    "StudyResult",
+    "TrainingBudget",
+    "accuracy",
+    "architecture_summary",
+    "attention_band_profile",
+    "boundary_sweep",
+    "build_architecture",
+    "build_cnv",
+    "build_report",
+    "build_fp32_cnv",
+    "build_n_cnv",
+    "build_u_cnv",
+    "confusion_matrix",
+    "dataset_cached",
+    "evaluate_fairness",
+    "default_cache_dir",
+    "render_sweep_table",
+    "run_study",
+    "table1_folding",
+    "trained_classifier",
+]

@@ -1,0 +1,257 @@
+"""The BinaryCoP network architectures and hardware dimensioning (Table I).
+
+Three BNN prototypes are evaluated in the paper:
+
+* **CNV** — the FINN CNV topology (VGG-16 / BinaryNet inspired): three
+  conv groups of two 3×3 conv layers each (64/128/256 channels), max-pool
+  after groups 1 and 2, then three fully-connected layers (512/512/4);
+* **n-CNV** — the same depth at a quarter of the width (16/32/64 channels,
+  128-wide FC) for a smaller memory footprint;
+* **µ-CNV** — n-CNV with the last conv layer removed, to shrink the
+  synthesised design (the trade-off §IV-B notes: the shallower network
+  has a larger spatial dimension before the FC layers, so *more*
+  parameters after the last conv — reproduced by
+  :func:`architecture_summary`).
+
+Every conv/FC layer is followed by batch-norm and a sign activation
+except the final layer (§IV-A); pooling follows binarisation so the
+hardware can pool with boolean OR. Table I's PE/SIMD dimensioning for
+each prototype is exposed via :func:`table1_folding`.
+
+Note: Table I prints FC.3 as "[44]" for CNV — a typesetting artifact of
+the 4-class problem; all prototypes end in 4 logits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.compiler import FoldingConfig
+from repro.nn.layers import (
+    BatchNorm,
+    BinaryConv2D,
+    BinaryDense,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    SignActivation,
+)
+from repro.nn.sequential import Sequential
+from repro.utils.rng import RngLike, derive
+
+__all__ = [
+    "ARCHITECTURES",
+    "build_cnv",
+    "build_n_cnv",
+    "build_u_cnv",
+    "build_fp32_cnv",
+    "build_architecture",
+    "table1_folding",
+    "architecture_summary",
+    "GRADCAM_LAYER",
+]
+
+#: The layer whose activations/gradients Grad-CAM uses (§III-C): conv2_2,
+#: whose output spatial size is 5×5 after the second pooling stage.
+GRADCAM_LAYER = "conv2_2"
+
+INPUT_SHAPE: Tuple[int, int, int] = (32, 32, 3)
+NUM_CLASSES = 4
+
+# (conv channels per layer, pool-after flags, fc widths) per prototype.
+_SPECS: Dict[str, Dict] = {
+    "cnv": {
+        "convs": [(3, 64), (64, 64), (64, 128), (128, 128), (128, 256), (256, 256)],
+        "pool_after": {1, 3},
+        "fcs": [512, 512],
+    },
+    "n-cnv": {
+        "convs": [(3, 16), (16, 16), (16, 32), (32, 32), (32, 64), (64, 64)],
+        "pool_after": {1, 3},
+        "fcs": [128, 128],
+    },
+    "u-cnv": {
+        "convs": [(3, 16), (16, 16), (16, 32), (32, 32), (32, 64)],
+        "pool_after": {1, 3},
+        "fcs": [128],
+    },
+}
+
+#: Table I PE/SIMD dimensioning, in MVTU pipeline order.
+_TABLE1_FOLDING: Dict[str, FoldingConfig] = {
+    "cnv": FoldingConfig(
+        pe=(16, 32, 16, 16, 4, 1, 1, 1, 4),
+        simd=(3, 32, 32, 32, 32, 32, 4, 8, 1),
+    ),
+    "n-cnv": FoldingConfig(
+        pe=(16, 16, 16, 16, 4, 1, 1, 1, 1),
+        simd=(3, 16, 16, 32, 32, 32, 4, 8, 1),
+    ),
+    "u-cnv": FoldingConfig(
+        pe=(4, 4, 4, 4, 1, 1, 1),
+        simd=(3, 16, 16, 32, 32, 16, 1),
+    ),
+}
+
+_CONV_NAMES = ["conv1_1", "conv1_2", "conv2_1", "conv2_2", "conv3_1", "conv3_2"]
+
+
+def _flat_features(spec: Dict) -> int:
+    """Fan-in of the first FC layer, tracking the valid-conv spatial math."""
+    size = INPUT_SHAPE[0]
+    for i, _ in enumerate(spec["convs"]):
+        size -= 2  # 3x3 valid conv
+        if i in spec["pool_after"]:
+            size //= 2
+    channels = spec["convs"][-1][1]
+    return size * size * channels
+
+
+def _build_bnn(spec: Dict, rng: RngLike) -> Sequential:
+    """Assemble a binary prototype following the paper's layer grammar."""
+    model = Sequential(input_shape=INPUT_SHAPE)
+    for i, (c_in, c_out) in enumerate(spec["convs"]):
+        name = _CONV_NAMES[i]
+        model.add(
+            BinaryConv2D(c_in, c_out, kernel_size=3, rng=derive(rng, name)),
+            name=name,
+        )
+        model.add(BatchNorm(c_out), name=f"bn_{name}")
+        model.add(SignActivation(), name=f"sign_{name}")
+        if i in spec["pool_after"]:
+            model.add(MaxPool2D(2), name=f"pool{i // 2 + 1}")
+    model.add(Flatten(), name="flatten")
+    in_features = _flat_features(spec)
+    for j, width in enumerate(spec["fcs"], start=1):
+        name = f"fc{j}"
+        model.add(
+            BinaryDense(in_features, width, rng=derive(rng, name)), name=name
+        )
+        model.add(BatchNorm(width), name=f"bn_{name}")
+        model.add(SignActivation(), name=f"sign_{name}")
+        in_features = width
+    final = f"fc{len(spec['fcs']) + 1}"
+    model.add(
+        BinaryDense(in_features, NUM_CLASSES, rng=derive(rng, final)), name=final
+    )
+    return model
+
+
+def build_cnv(rng: RngLike = 0) -> Sequential:
+    """The full-size CNV prototype (FINN CNV topology, Table I col. 1)."""
+    return _build_bnn(_SPECS["cnv"], rng)
+
+
+def build_n_cnv(rng: RngLike = 0) -> Sequential:
+    """The narrow n-CNV prototype (Table I col. 2)."""
+    return _build_bnn(_SPECS["n-cnv"], rng)
+
+
+def build_u_cnv(rng: RngLike = 0) -> Sequential:
+    """The shallow µ-CNV prototype (Table I col. 3)."""
+    return _build_bnn(_SPECS["u-cnv"], rng)
+
+
+def build_fp32_cnv(rng: RngLike = 0, width_scale: float = 1.0) -> Sequential:
+    """The float-32 CNV used as the Grad-CAM comparison baseline (§IV-A).
+
+    Same topology as CNV with full-precision conv/dense layers and ReLU
+    activations. ``width_scale`` shrinks channel counts uniformly (handy
+    for fast tests; 1.0 = the paper's model).
+    """
+    spec = _SPECS["cnv"]
+    model = Sequential(input_shape=INPUT_SHAPE)
+    scaled = [
+        (c_in if i == 0 else max(1, int(c_in * width_scale)),
+         max(1, int(c_out * width_scale)))
+        for i, (c_in, c_out) in enumerate(spec["convs"])
+    ]
+    for i, (c_in, c_out) in enumerate(scaled):
+        name = _CONV_NAMES[i]
+        model.add(
+            Conv2D(c_in, c_out, kernel_size=3, rng=derive(rng, name)), name=name
+        )
+        model.add(BatchNorm(c_out), name=f"bn_{name}")
+        model.add(ReLU(), name=f"relu_{name}")
+        if i in spec["pool_after"]:
+            model.add(MaxPool2D(2), name=f"pool{i // 2 + 1}")
+    model.add(Flatten(), name="flatten")
+    size = INPUT_SHAPE[0]
+    for i, _ in enumerate(scaled):
+        size -= 2
+        if i in spec["pool_after"]:
+            size //= 2
+    in_features = size * size * scaled[-1][1]
+    for j, width in enumerate(spec["fcs"], start=1):
+        width = max(NUM_CLASSES, int(width * width_scale))
+        name = f"fc{j}"
+        model.add(Dense(in_features, width, rng=derive(rng, name)), name=name)
+        model.add(BatchNorm(width), name=f"bn_{name}")
+        model.add(ReLU(), name=f"relu_{name}")
+        in_features = width
+    model.add(
+        Dense(in_features, NUM_CLASSES, rng=derive(rng, "fc_final")),
+        name=f"fc{len(spec['fcs']) + 1}",
+    )
+    return model
+
+
+ARCHITECTURES = {
+    "cnv": build_cnv,
+    "n-cnv": build_n_cnv,
+    "u-cnv": build_u_cnv,
+    "fp32-cnv": build_fp32_cnv,
+}
+
+
+def build_architecture(name: str, rng: RngLike = 0) -> Sequential:
+    """Build a prototype by name (``cnv`` / ``n-cnv`` / ``u-cnv`` / ``fp32-cnv``)."""
+    try:
+        builder = ARCHITECTURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        ) from None
+    return builder(rng)
+
+
+def table1_folding(name: str) -> FoldingConfig:
+    """The paper's Table I PE/SIMD dimensioning for a binary prototype."""
+    try:
+        return _TABLE1_FOLDING[name]
+    except KeyError:
+        raise ValueError(
+            f"no Table I folding for {name!r}; known: {sorted(_TABLE1_FOLDING)}"
+        ) from None
+
+
+def architecture_summary(name: str) -> Dict[str, object]:
+    """Layer dims, parameter (weight-bit) counts and FC fan-in for a prototype.
+
+    Used by the Table I benchmark and by the µ-CNV memory-footprint check
+    (µ-CNV stores *more* weight bits than n-CNV despite being shallower).
+    """
+    if name not in _SPECS:
+        raise ValueError(f"unknown binary architecture {name!r}")
+    spec = _SPECS[name]
+    layers: List[Tuple[str, int, int]] = []  # (name, C_in/fan-in, C_out)
+    bits = 0
+    for i, (c_in, c_out) in enumerate(spec["convs"]):
+        layers.append((_CONV_NAMES[i], c_in, c_out))
+        bits += 9 * c_in * c_out
+    in_features = _flat_features(spec)
+    for j, width in enumerate(spec["fcs"], start=1):
+        layers.append((f"fc{j}", in_features, width))
+        bits += in_features * width
+        in_features = width
+    layers.append((f"fc{len(spec['fcs']) + 1}", in_features, NUM_CLASSES))
+    bits += in_features * NUM_CLASSES
+    return {
+        "name": name,
+        "layers": layers,
+        "weight_bits": bits,
+        "fc_fan_in": _flat_features(spec),
+        "folding": _TABLE1_FOLDING[name],
+    }

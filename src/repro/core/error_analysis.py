@@ -1,0 +1,132 @@
+"""Decision-boundary sharpness analysis.
+
+The four wear classes are *geometric* (mask edges relative to nose,
+mouth and chin landmarks), so a classifier that learned the task should
+degrade only near the class boundaries, not in the class interiors.
+This module sweeps deterministic mask placements from the deep interior
+of each class toward its boundary
+(:func:`repro.data.mask_model.place_mask_interpolated`) and measures
+accuracy along the sweep — an error-analysis lens the paper's confusion
+matrix (Fig. 2) summarises into its adjacent-class off-diagonals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.attributes import sample_attributes
+from repro.data.face_renderer import render_face
+from repro.data.keypoints import sample_keypoints
+from repro.data.mask_model import (
+    CLASS_NAMES,
+    WearClass,
+    composite_mask,
+    place_mask_interpolated,
+)
+from repro.utils import imaging
+from repro.utils.rng import RngLike, derive
+from repro.utils.tables import render_table
+
+__all__ = ["BoundarySweep", "boundary_sweep", "render_sweep_table"]
+
+
+@dataclass
+class BoundarySweep:
+    """Accuracy vs boundary proximity for one wear class."""
+
+    wear_class: WearClass
+    positions: List[float]  # 0 = deep interior, 1 = at the boundary
+    accuracy: List[float]
+    subjects_per_point: int
+
+    def interior_accuracy(self) -> float:
+        """Accuracy at the deepest sampled placement."""
+        return self.accuracy[0]
+
+    def boundary_accuracy(self) -> float:
+        """Accuracy at the placement closest to the class boundary."""
+        return self.accuracy[-1]
+
+    def sharpness(self) -> float:
+        """Interior minus boundary accuracy (>= 0 for a geometric learner)."""
+        return self.interior_accuracy() - self.boundary_accuracy()
+
+
+def _render_at(position: float, wear: WearClass, rng, image_size: int) -> np.ndarray:
+    """One subject with the mask pinned at ``position`` inside its class."""
+    attrs = sample_attributes(rng, sunglasses=False, face_paint=False,
+                              double_mask=False)
+    kp = sample_keypoints(rng, canvas=64, age_group=attrs.age_group)
+    img = render_face(kp, attrs, rng)
+    placement = place_mask_interpolated(kp, wear, position)
+    composite_mask(img, kp, placement, attrs.mask, rng)
+    small = imaging.resize_bilinear(img, (image_size, image_size))
+    return imaging.quantize_to_uint8_grid(small)
+
+
+def boundary_sweep(
+    classifier,
+    wear_class: WearClass,
+    positions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
+    subjects_per_point: int = 16,
+    rng: RngLike = 0,
+    image_size: int = 32,
+) -> BoundarySweep:
+    """Measure accuracy along the interior→boundary axis of one class.
+
+    ``classifier`` is anything with ``predict(images) -> labels``. The
+    same subjects (identical nuisance seeds) are rendered at every
+    position, so the curve isolates placement from subject variation.
+    """
+    if not hasattr(classifier, "predict"):
+        raise TypeError("classifier must expose predict(images)")
+    if subjects_per_point < 1:
+        raise ValueError(
+            f"subjects_per_point must be >= 1, got {subjects_per_point}"
+        )
+    positions = [float(p) for p in positions]
+    for p in positions:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"positions must lie in [0, 1], got {p}")
+    wear_class = WearClass(wear_class)
+    accuracy: List[float] = []
+    for position in positions:
+        images = np.empty((subjects_per_point, image_size, image_size, 3),
+                          dtype=np.float32)
+        for i in range(subjects_per_point):
+            subject_rng = derive(rng, f"boundary/{int(wear_class)}/{i}")
+            images[i] = _render_at(position, wear_class, subject_rng, image_size)
+        preds = np.asarray(classifier.predict(images))
+        accuracy.append(float((preds == int(wear_class)).mean()))
+    return BoundarySweep(
+        wear_class=wear_class,
+        positions=positions,
+        accuracy=accuracy,
+        subjects_per_point=subjects_per_point,
+    )
+
+
+def render_sweep_table(sweeps: Sequence[BoundarySweep]) -> str:
+    """One row per class, one column per position."""
+    if not sweeps:
+        raise ValueError("need at least one sweep")
+    positions = sweeps[0].positions
+    for s in sweeps:
+        if s.positions != positions:
+            raise ValueError("sweeps must share the same position grid")
+    rows = []
+    for s in sweeps:
+        rows.append(
+            [CLASS_NAMES[int(s.wear_class)]]
+            + [f"{a:.2f}" for a in s.accuracy]
+            + [f"{s.sharpness():+.2f}"]
+        )
+    headers = ["class"] + [f"t={p:.2f}" for p in positions] + ["drop"]
+    return render_table(
+        headers,
+        rows,
+        title="Decision-boundary sweep (t: class interior -> boundary)",
+    )

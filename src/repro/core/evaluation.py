@@ -1,0 +1,136 @@
+"""Evaluation utilities: confusion matrix (Fig. 2), per-class metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.mask_model import CLASS_NAMES
+from repro.utils.tables import render_matrix
+
+__all__ = ["ConfusionMatrix", "confusion_matrix", "accuracy"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of predictions against labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape}, labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty prediction set")
+    return float((predictions == labels).mean())
+
+
+@dataclass
+class ConfusionMatrix:
+    """A labelled confusion matrix with the paper's Fig. 2 presentation."""
+
+    counts: np.ndarray  # (C, C) int64, rows = true class
+    class_names: Sequence[str] = CLASS_NAMES
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.counts.ndim != 2 or self.counts.shape[0] != self.counts.shape[1]:
+            raise ValueError(f"counts must be square, got {self.counts.shape}")
+        if self.counts.shape[0] != len(self.class_names):
+            raise ValueError(
+                f"{len(self.class_names)} names for {self.counts.shape[0]} classes"
+            )
+
+    @property
+    def num_classes(self) -> int:
+        return self.counts.shape[0]
+
+    def overall_accuracy(self) -> float:
+        total = self.counts.sum()
+        if total == 0:
+            raise ValueError("empty confusion matrix")
+        return float(np.trace(self.counts) / total)
+
+    def per_class_recall(self) -> Dict[str, float]:
+        """Diagonal / row sum — the percentages printed in Fig. 2."""
+        out = {}
+        for i, name in enumerate(self.class_names):
+            row = self.counts[i].sum()
+            out[name] = float(self.counts[i, i] / row) if row else float("nan")
+        return out
+
+    def per_class_precision(self) -> Dict[str, float]:
+        """Diagonal / column sum."""
+        out = {}
+        for j, name in enumerate(self.class_names):
+            col = self.counts[:, j].sum()
+            out[name] = float(self.counts[j, j] / col) if col else float("nan")
+        return out
+
+    def per_class_f1(self) -> Dict[str, float]:
+        """Harmonic mean of precision and recall per class.
+
+        Classes with no support and no predictions get ``nan`` (undefined
+        rather than silently zero).
+        """
+        recall = self.per_class_recall()
+        precision = self.per_class_precision()
+        out = {}
+        for name in self.class_names:
+            r, p = recall[name], precision[name]
+            if np.isnan(r) or np.isnan(p) or (r + p) == 0:
+                out[name] = float("nan")
+            else:
+                out[name] = 2 * p * r / (p + r)
+        return out
+
+    def macro_f1(self) -> float:
+        """Unweighted mean of per-class F1 (nan-aware)."""
+        values = list(self.per_class_f1().values())
+        return float(np.nanmean(values))
+
+    def row_normalised(self) -> np.ndarray:
+        """Rows as probabilities (zeros where a class is absent)."""
+        sums = self.counts.sum(axis=1, keepdims=True).astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(sums > 0, self.counts / sums, 0.0)
+        return out
+
+    def dominant_confusion(self) -> tuple:
+        """The largest off-diagonal cell: (true name, predicted name, count)."""
+        off = self.counts.copy()
+        np.fill_diagonal(off, -1)
+        i, j = np.unravel_index(int(off.argmax()), off.shape)
+        return (self.class_names[i], self.class_names[j], int(self.counts[i, j]))
+
+    def render(self, title: Optional[str] = None) -> str:
+        """ASCII rendering in the paper's count-plus-row-percent format."""
+        return render_matrix(
+            self.counts,
+            list(self.class_names),
+            list(self.class_names),
+            title=title or "Confusion matrix (rows: true class)",
+            percent=True,
+        )
+
+
+def confusion_matrix(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    num_classes: int = len(CLASS_NAMES),
+    class_names: Sequence[str] = CLASS_NAMES,
+) -> ConfusionMatrix:
+    """Build a :class:`ConfusionMatrix` from predictions and labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape}, labels {labels.shape}"
+        )
+    for arr, name in ((predictions, "predictions"), (labels, "labels")):
+        if arr.size and (arr.min() < 0 or arr.max() >= num_classes):
+            raise ValueError(f"{name} out of range [0, {num_classes})")
+    counts = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(counts, (labels, predictions), 1)
+    return ConfusionMatrix(counts=counts, class_names=class_names)

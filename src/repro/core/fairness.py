@@ -1,0 +1,161 @@
+"""Demographic-parity evaluation across the generator's nuisance factors.
+
+§I of the paper states the design goal directly: "To maintain equivalent
+classification accuracy for all face structures, skin-tones, hair types,
+and mask types, the algorithms must be able to generalize the relevant
+features over all subjects." The Grad-CAM panels (Figs 7–9) probe that
+qualitatively; this module measures it: for every *protected factor*
+(skin tone, age group, hair color, mask type) it generates controlled
+cohorts that differ **only** in that factor (same class mix, same seed
+schedule), evaluates the classifier per cohort, and reports the accuracy
+disparity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.attributes import HAIR_COLORS, SKIN_TONES
+from repro.data.generator import FaceSampleGenerator, SampleSpec
+from repro.data.mask_model import WearClass
+from repro.nn.sequential import Sequential
+from repro.nn.trainer import predict_classes
+from repro.utils.rng import RngLike, derive
+from repro.utils.tables import render_table
+
+__all__ = ["FairnessReport", "FACTOR_COHORTS", "evaluate_fairness"]
+
+
+def _skin_cohorts() -> List[Tuple[str, SampleSpec]]:
+    return [
+        (f"skin_tone_{i}", SampleSpec(skin_tone=tone))
+        for i, tone in enumerate(SKIN_TONES)
+    ]
+
+
+def _age_cohorts() -> List[Tuple[str, SampleSpec]]:
+    return [
+        (age, SampleSpec(age_group=age)) for age in ("infant", "adult", "elderly")
+    ]
+
+
+def _hair_cohorts() -> List[Tuple[str, SampleSpec]]:
+    names = ("black", "dark_brown", "brown", "blond", "red", "grey", "blue", "pink")
+    return [
+        (f"hair_{name}", SampleSpec(hair_color=color))
+        for name, color in zip(names, HAIR_COLORS)
+    ]
+
+
+def _mask_type_cohorts() -> List[Tuple[str, SampleSpec]]:
+    return [
+        (f"mask_{t}", SampleSpec(mask_type=t))
+        for t in ("surgical", "cloth", "ffp2")
+    ]
+
+
+#: Protected factors and their cohort constructors.
+FACTOR_COHORTS: Dict[str, Callable[[], List[Tuple[str, SampleSpec]]]] = {
+    "skin_tone": _skin_cohorts,
+    "age_group": _age_cohorts,
+    "hair_color": _hair_cohorts,
+    "mask_type": _mask_type_cohorts,
+}
+
+
+@dataclass
+class FairnessReport:
+    """Per-cohort accuracies for one protected factor."""
+
+    factor: str
+    cohort_accuracy: Dict[str, float]
+    samples_per_cohort: int
+
+    def __post_init__(self) -> None:
+        if not self.cohort_accuracy:
+            raise ValueError("report needs at least one cohort")
+
+    @property
+    def worst(self) -> Tuple[str, float]:
+        name = min(self.cohort_accuracy, key=self.cohort_accuracy.get)
+        return name, self.cohort_accuracy[name]
+
+    @property
+    def best(self) -> Tuple[str, float]:
+        name = max(self.cohort_accuracy, key=self.cohort_accuracy.get)
+        return name, self.cohort_accuracy[name]
+
+    @property
+    def disparity(self) -> float:
+        """Max accuracy gap between any two cohorts (0 = perfect parity)."""
+        return self.best[1] - self.worst[1]
+
+    def mean_accuracy(self) -> float:
+        return float(np.mean(list(self.cohort_accuracy.values())))
+
+    def render(self) -> str:
+        rows = [
+            [name, f"{acc:.3f}"]
+            for name, acc in sorted(self.cohort_accuracy.items())
+        ]
+        rows.append(["(disparity)", f"{self.disparity:.3f}"])
+        return render_table(
+            ["cohort", "accuracy"],
+            rows,
+            title=f"Fairness over {self.factor} "
+            f"(n={self.samples_per_cohort}/cohort)",
+        )
+
+
+def evaluate_fairness(
+    model: Sequential,
+    factor: str,
+    samples_per_cohort: int = 40,
+    rng: RngLike = 0,
+    image_size: int = 32,
+) -> FairnessReport:
+    """Measure accuracy parity of ``model`` across one protected factor.
+
+    Cohorts share the class schedule (balanced across the four wear
+    classes, same per-index seeds) and differ only in the protected
+    attribute, so accuracy gaps are attributable to the factor itself
+    rather than to sampling noise in the other attributes.
+    """
+    if factor not in FACTOR_COHORTS:
+        raise ValueError(
+            f"unknown factor {factor!r}; known: {sorted(FACTOR_COHORTS)}"
+        )
+    if samples_per_cohort < 4:
+        raise ValueError(
+            f"samples_per_cohort must be >= 4 (one per class), got "
+            f"{samples_per_cohort}"
+        )
+    generator = FaceSampleGenerator(image_size=image_size)
+    cohorts = FACTOR_COHORTS[factor]()
+    # One wear class per index, cycled — identical for every cohort.
+    labels = np.arange(samples_per_cohort) % 4
+    accuracies: Dict[str, float] = {}
+    for name, spec in cohorts:
+        images = np.empty(
+            (samples_per_cohort, image_size, image_size, 3), dtype=np.float32
+        )
+        for i in range(samples_per_cohort):
+            # Seed by index only: cohorts see the same subjects modulo
+            # the protected attribute.
+            sample_rng = derive(rng, f"{factor}/{i}")
+            from dataclasses import replace
+
+            sample = generator.generate_one(
+                sample_rng, replace(spec, wear_class=WearClass(int(labels[i])))
+            )
+            images[i] = sample.image
+        preds = predict_classes(model, images)
+        accuracies[name] = float((preds == labels).mean())
+    return FairnessReport(
+        factor=factor,
+        cohort_accuracy=accuracies,
+        samples_per_cohort=samples_per_cohort,
+    )

@@ -1,0 +1,107 @@
+"""Model zoo: train-once, cache, reuse.
+
+Benchmarks, examples and the test suite all need trained BinaryCoP
+instances; training on a single CPU core is the expensive step, so this
+module provides a deterministic train-or-load cache keyed by
+(architecture, dataset seed/size, budget). Artifacts live under
+``.binarycop_cache/`` next to the repository root (or a caller-supplied
+directory) as ordinary model checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.core.classifier import BinaryCoP, TrainingBudget
+from repro.data.dataset import DatasetSplits, build_masked_face_dataset
+
+__all__ = ["default_cache_dir", "dataset_cached", "trained_classifier"]
+
+_ENV_VAR = "BINARYCOP_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$BINARYCOP_CACHE`` or ``./.binarycop_cache``."""
+    return Path(os.environ.get(_ENV_VAR, ".binarycop_cache"))
+
+
+def _key(payload: dict) -> str:
+    """Stable short hash of a configuration dict."""
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+_DATASET_MEMO: dict = {}
+
+
+def dataset_cached(
+    raw_size: int = 6000,
+    rng: int = 42,
+    augmented_copies: int = 1,
+    balance: bool = True,
+    augment: bool = True,
+) -> DatasetSplits:
+    """Build (or reuse, in-process) a dataset with the given pipeline knobs.
+
+    The generator is deterministic in its arguments, so an in-process
+    memo is sufficient — no on-disk image cache needed.
+    """
+    key = (raw_size, rng, augmented_copies, balance, augment)
+    if key not in _DATASET_MEMO:
+        _DATASET_MEMO[key] = build_masked_face_dataset(
+            raw_size=raw_size,
+            rng=rng,
+            augmented_copies=augmented_copies,
+            balance=balance,
+            augment=augment,
+        )
+    return _DATASET_MEMO[key]
+
+
+def trained_classifier(
+    architecture: str,
+    splits: Optional[DatasetSplits] = None,
+    budget: Optional[TrainingBudget] = None,
+    rng: int = 0,
+    cache_dir: Optional[Path] = None,
+    dataset_key: Optional[dict] = None,
+    verbose: bool = False,
+) -> BinaryCoP:
+    """Return a trained classifier, training only on cache miss.
+
+    ``dataset_key`` describes the dataset when ``splits`` came from a
+    custom pipeline; when ``splits`` is omitted, the default
+    :func:`dataset_cached` configuration is used (and keyed
+    automatically).
+    """
+    budget = budget or TrainingBudget.laptop()
+    if splits is None:
+        splits = dataset_cached()
+        dataset_key = {"default_dataset": True}
+    if dataset_key is None:
+        dataset_key = {
+            "train": len(splits.train),
+            "val": len(splits.val),
+            "test": len(splits.test),
+        }
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    key = _key(
+        {
+            "architecture": architecture,
+            "rng": rng,
+            "budget": asdict(budget),
+            "dataset": dataset_key,
+        }
+    )
+    path = cache_dir / f"{architecture}-{key}.npz"
+    if path.exists():
+        return BinaryCoP.load(path)
+    clf = BinaryCoP(architecture, rng=rng)
+    clf.fit(splits, budget, verbose=verbose)
+    clf.save(path)
+    return clf

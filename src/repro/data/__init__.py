@@ -1,0 +1,76 @@
+"""``repro.data`` — synthetic MaskedFace-Net-style dataset substrate.
+
+A procedural 32×32 face generator with a deformable, key-point-driven
+mask model defining the paper's four wear classes, plus the §IV-A
+pipeline: raw imbalance → subsampling balance → augmentation → splits.
+"""
+
+from repro.data.attributes import (
+    HAIR_COLORS,
+    MASK_BLUE,
+    MASK_COLORS,
+    SKIN_TONES,
+    FaceAttributes,
+    MaskAttributes,
+    sample_attributes,
+)
+from repro.data.augmentation import Augmenter
+from repro.data.balancing import (
+    RAW_CLASS_PROBABILITIES,
+    RAW_DATASET_SIZE,
+    balance_by_subsampling,
+    class_distribution,
+)
+from repro.data.dataset import (
+    Dataset,
+    DatasetSplits,
+    build_masked_face_dataset,
+    iterate_minibatches,
+)
+from repro.data.export import export_ppm_samples, load_splits, save_splits
+from repro.data.generator import FaceSampleGenerator, GeneratedSample, SampleSpec
+from repro.data.keypoints import FaceKeypoints, sample_keypoints
+from repro.data.mask_model import CLASS_NAMES, WearClass, composite_mask, place_mask
+from repro.data.stream import (
+    ApproachSequence,
+    GateTrigger,
+    SpeedGateSimulator,
+    StreamFrame,
+    render_approach_sequence,
+)
+
+__all__ = [
+    "ApproachSequence",
+    "Augmenter",
+    "CLASS_NAMES",
+    "Dataset",
+    "DatasetSplits",
+    "FaceAttributes",
+    "FaceKeypoints",
+    "FaceSampleGenerator",
+    "GateTrigger",
+    "GeneratedSample",
+    "HAIR_COLORS",
+    "MASK_BLUE",
+    "MASK_COLORS",
+    "MaskAttributes",
+    "RAW_CLASS_PROBABILITIES",
+    "RAW_DATASET_SIZE",
+    "SKIN_TONES",
+    "SampleSpec",
+    "SpeedGateSimulator",
+    "StreamFrame",
+    "WearClass",
+    "balance_by_subsampling",
+    "build_masked_face_dataset",
+    "class_distribution",
+    "composite_mask",
+    "export_ppm_samples",
+    "iterate_minibatches",
+    "load_splits",
+    "place_mask",
+    "render_approach_sequence",
+    "save_splits",
+    "sample_attributes",
+    "sample_keypoints",
+]

@@ -1,0 +1,221 @@
+"""Demographic and nuisance attribute sampling for synthetic faces.
+
+The paper stresses that the classifier must generalise "for all face
+structures, skin-tones, hair types, and mask types" (§I) and probes this
+with Grad-CAM over ages (Fig. 7), hair colors and head-gear — including
+head-gear the same light-blue as the masks (Fig. 8) — and manipulated
+faces with double masks, face paint and sunglasses (Fig. 9). Every one of
+those factors is an explicit sampled attribute here, so the same studies
+can be run on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = [
+    "FaceAttributes",
+    "MaskAttributes",
+    "sample_attributes",
+    "sample_mask_attributes",
+    "SKIN_TONES",
+    "HAIR_COLORS",
+    "MASK_COLORS",
+    "MASK_BLUE",
+]
+
+Color = Tuple[float, float, float]
+
+# A broad Fitzpatrick-inspired ramp (RGB in [0,1]), dark to light.
+SKIN_TONES: Tuple[Color, ...] = (
+    (0.32, 0.20, 0.13),
+    (0.45, 0.29, 0.18),
+    (0.58, 0.38, 0.25),
+    (0.72, 0.50, 0.34),
+    (0.83, 0.62, 0.47),
+    (0.93, 0.76, 0.62),
+    (0.97, 0.84, 0.72),
+)
+
+HAIR_COLORS: Tuple[Color, ...] = (
+    (0.08, 0.06, 0.05),  # black
+    (0.28, 0.17, 0.09),  # dark brown
+    (0.48, 0.32, 0.16),  # brown
+    (0.76, 0.60, 0.32),  # blond
+    (0.55, 0.16, 0.10),  # red
+    (0.80, 0.80, 0.82),  # grey/white
+    (0.55, 0.75, 0.85),  # dyed light blue (mask-colored, Fig. 8)
+    (0.75, 0.45, 0.70),  # dyed pink
+)
+
+# The canonical surgical light-blue, plus white/black/patterned cloth.
+MASK_BLUE: Color = (0.62, 0.80, 0.88)
+MASK_COLORS: Tuple[Color, ...] = (
+    MASK_BLUE,
+    (0.55, 0.74, 0.84),
+    (0.92, 0.92, 0.94),  # white FFP2
+    (0.15, 0.15, 0.18),  # black cloth
+    (0.45, 0.55, 0.75),  # blue cloth
+    (0.75, 0.55, 0.55),  # pink cloth
+)
+
+_AGE_GROUPS = ("infant", "adult", "elderly")
+_HAIR_STYLES = ("bald", "short", "long")
+_HEADGEAR = ("none", "cap", "beanie")
+_MASK_TYPES = ("surgical", "cloth", "ffp2")
+
+
+@dataclass
+class MaskAttributes:
+    """Appearance of one mask (placement is decided by the class label)."""
+
+    color: Color = MASK_BLUE
+    mask_type: str = "surgical"
+    pleats: int = 3  # horizontal fold lines on surgical masks
+    strap_visible: bool = True
+    texture_noise: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.mask_type not in _MASK_TYPES:
+            raise ValueError(f"unknown mask_type {self.mask_type!r}")
+        if not 0 <= self.pleats <= 5:
+            raise ValueError(f"pleats must be in [0, 5], got {self.pleats}")
+
+
+@dataclass
+class FaceAttributes:
+    """Everything that defines a synthetic subject except the mask class."""
+
+    skin_tone: Color = SKIN_TONES[4]
+    age_group: str = "adult"
+    hair_color: Color = HAIR_COLORS[0]
+    hair_style: str = "short"
+    headgear: str = "none"
+    headgear_color: Color = (0.4, 0.4, 0.45)
+    sunglasses: bool = False
+    face_paint: Optional[Color] = None
+    has_eyebrows: bool = True
+    background: Color = (0.75, 0.75, 0.78)
+    background_noise: float = 0.03
+    mask: MaskAttributes = field(default_factory=MaskAttributes)
+    double_mask: bool = False
+    second_mask_color: Color = (0.92, 0.92, 0.94)
+
+    def __post_init__(self) -> None:
+        if self.age_group not in _AGE_GROUPS:
+            raise ValueError(f"unknown age_group {self.age_group!r}")
+        if self.hair_style not in _HAIR_STYLES:
+            raise ValueError(f"unknown hair_style {self.hair_style!r}")
+        if self.headgear not in _HEADGEAR:
+            raise ValueError(f"unknown headgear {self.headgear!r}")
+
+
+def _jitter_color(gen: np.random.Generator, color: Color, amount: float = 0.05) -> Color:
+    """Perturb a base color, staying in [0, 1]."""
+    c = np.clip(np.asarray(color) + gen.uniform(-amount, amount, 3), 0.0, 1.0)
+    return (float(c[0]), float(c[1]), float(c[2]))
+
+
+def sample_mask_attributes(
+    rng: RngLike, mask_type: Optional[str] = None
+) -> MaskAttributes:
+    """Sample mask appearance: type, color, pleats, texture.
+
+    ``mask_type`` pins the type (``surgical``/``cloth``/``ffp2``) for
+    controlled cohorts (fairness studies over mask types).
+    """
+    gen = as_generator(rng)
+    if mask_type is None:
+        mask_type = _MASK_TYPES[int(gen.choice(3, p=[0.6, 0.25, 0.15]))]
+    elif mask_type not in _MASK_TYPES:
+        raise ValueError(f"unknown mask_type {mask_type!r}")
+    color = _jitter_color(gen, MASK_COLORS[int(gen.integers(len(MASK_COLORS)))])
+    pleats = int(gen.integers(2, 4)) if mask_type == "surgical" else 0
+    return MaskAttributes(
+        color=color,
+        mask_type=mask_type,
+        pleats=pleats,
+        strap_visible=bool(gen.random() < 0.8),
+        texture_noise=float(gen.uniform(0.01, 0.04)),
+    )
+
+
+def sample_attributes(
+    rng: RngLike,
+    age_group: Optional[str] = None,
+    hair_color: Optional[Color] = None,
+    headgear: Optional[str] = None,
+    sunglasses: Optional[bool] = None,
+    face_paint: Optional[bool] = None,
+    double_mask: Optional[bool] = None,
+    skin_tone: Optional[Color] = None,
+    mask_type: Optional[str] = None,
+) -> FaceAttributes:
+    """Sample a subject; keyword overrides pin individual factors.
+
+    Overrides are what the generalization studies (Figs 7–9) and the
+    fairness cohorts use to build controlled panels — e.g.
+    ``age_group="infant"``, ``hair_color=HAIR_COLORS[6]`` (mask-blue
+    hair) or ``skin_tone=SKIN_TONES[0]``.
+    """
+    gen = as_generator(rng)
+    if age_group is None:
+        age_group = _AGE_GROUPS[int(gen.choice(3, p=[0.15, 0.7, 0.15]))]
+    if skin_tone is None:
+        skin = _jitter_color(gen, SKIN_TONES[int(gen.integers(len(SKIN_TONES)))], 0.03)
+    else:
+        skin = _jitter_color(gen, skin_tone, 0.02)
+    if hair_color is None:
+        hair_color = _jitter_color(gen, HAIR_COLORS[int(gen.integers(len(HAIR_COLORS)))])
+    hair_style = _HAIR_STYLES[int(gen.choice(3, p=[0.15, 0.55, 0.30]))]
+    if age_group == "infant" and hair_style == "long":
+        hair_style = "short"
+    if headgear is None:
+        headgear = _HEADGEAR[int(gen.choice(3, p=[0.75, 0.15, 0.10]))]
+    # Head-gear sometimes deliberately mask-colored (Fig. 8 rows 2-3).
+    if gen.random() < 0.25:
+        headgear_color = _jitter_color(gen, MASK_BLUE)
+    else:
+        headgear_color = (
+            float(gen.uniform(0.1, 0.9)),
+            float(gen.uniform(0.1, 0.9)),
+            float(gen.uniform(0.1, 0.9)),
+        )
+    if sunglasses is None:
+        sunglasses = bool(gen.random() < 0.08)
+    paint_color: Optional[Color]
+    if face_paint is None:
+        face_paint = bool(gen.random() < 0.04)
+    paint_color = (
+        (float(gen.uniform(0.2, 1.0)), float(gen.uniform(0.2, 1.0)), float(gen.uniform(0.2, 1.0)))
+        if face_paint
+        else None
+    )
+    if double_mask is None:
+        double_mask = bool(gen.random() < 0.05)
+    background = (
+        float(gen.uniform(0.35, 0.9)),
+        float(gen.uniform(0.35, 0.9)),
+        float(gen.uniform(0.35, 0.9)),
+    )
+    return FaceAttributes(
+        skin_tone=skin,
+        age_group=age_group,
+        hair_color=hair_color,
+        hair_style=hair_style,
+        headgear=headgear,
+        headgear_color=headgear_color,
+        sunglasses=sunglasses,
+        face_paint=paint_color,
+        has_eyebrows=bool(gen.random() < 0.9),
+        background=background,
+        background_noise=float(gen.uniform(0.01, 0.06)),
+        mask=sample_mask_attributes(gen, mask_type=mask_type),
+        double_mask=double_mask,
+        second_mask_color=_jitter_color(gen, MASK_COLORS[2]),
+    )

@@ -1,0 +1,115 @@
+"""Data augmentation.
+
+§IV-A: "The evenly balanced dataset is then randomly augmented with a
+varying combination of contrast, brightness, gaussian noise, flip and
+rotate operations." Each op is implemented as a pure function plus an
+:class:`Augmenter` that samples a varying combination per image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils import imaging
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = [
+    "adjust_contrast",
+    "adjust_brightness",
+    "add_gaussian_noise",
+    "horizontal_flip",
+    "rotate",
+    "Augmenter",
+]
+
+
+def adjust_contrast(image: np.ndarray, factor: float) -> np.ndarray:
+    """Scale deviations from the mean by ``factor`` (1.0 = identity)."""
+    if factor < 0:
+        raise ValueError(f"contrast factor must be non-negative, got {factor}")
+    mean = image.mean(axis=(0, 1), keepdims=True)
+    return imaging.clip01(mean + (image - mean) * factor)
+
+
+def adjust_brightness(image: np.ndarray, delta: float) -> np.ndarray:
+    """Add ``delta`` to every channel (0.0 = identity)."""
+    return imaging.clip01(image + delta)
+
+
+def add_gaussian_noise(
+    image: np.ndarray, sigma: float, rng: RngLike = None
+) -> np.ndarray:
+    """Add i.i.d. gaussian pixel noise with std ``sigma``."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0:
+        return image.copy()
+    gen = as_generator(rng)
+    return imaging.clip01(image + gen.normal(0.0, sigma, image.shape).astype(np.float32))
+
+
+def horizontal_flip(image: np.ndarray) -> np.ndarray:
+    """Mirror left-right (faces and masks are left-right symmetric classes)."""
+    return np.ascontiguousarray(image[:, ::-1])
+
+
+def rotate(image: np.ndarray, degrees: float) -> np.ndarray:
+    """Rotate about the centre (small angles; border replicated)."""
+    return imaging.rotate_image(image, degrees)
+
+
+@dataclass
+class Augmenter:
+    """Samples a varying combination of the five paper augmentations.
+
+    Each op fires independently with its own probability; parameter
+    ranges default to values that keep the class signal intact (rotation
+    is capped well below the angle that would move the mask's apparent
+    position across a landmark).
+    """
+
+    p_contrast: float = 0.5
+    contrast_range: Tuple[float, float] = (0.7, 1.4)
+    p_brightness: float = 0.5
+    brightness_range: Tuple[float, float] = (-0.15, 0.15)
+    p_noise: float = 0.5
+    noise_sigma_range: Tuple[float, float] = (0.01, 0.05)
+    p_flip: float = 0.5
+    p_rotate: float = 0.35
+    rotate_range: Tuple[float, float] = (-12.0, 12.0)
+
+    def __post_init__(self) -> None:
+        for name in ("p_contrast", "p_brightness", "p_noise", "p_flip", "p_rotate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+
+    def __call__(self, image: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Return an augmented copy of ``image``."""
+        gen = as_generator(rng)
+        out = image
+        if gen.random() < self.p_rotate:
+            out = rotate(out, float(gen.uniform(*self.rotate_range)))
+        if gen.random() < self.p_flip:
+            out = horizontal_flip(out)
+        if gen.random() < self.p_contrast:
+            out = adjust_contrast(out, float(gen.uniform(*self.contrast_range)))
+        if gen.random() < self.p_brightness:
+            out = adjust_brightness(out, float(gen.uniform(*self.brightness_range)))
+        if gen.random() < self.p_noise:
+            out = add_gaussian_noise(out, float(gen.uniform(*self.noise_sigma_range)), gen)
+        if out is image:
+            out = image.copy()
+        # Keep augmented pixels on the uint8 grid — the deployment input
+        # domain (see imaging.quantize_to_uint8_grid).
+        return imaging.quantize_to_uint8_grid(out)
+
+    def augment_batch(
+        self, images: np.ndarray, rng: RngLike = None
+    ) -> np.ndarray:
+        """Augment every image in an ``(N, H, W, C)`` batch independently."""
+        gen = as_generator(rng)
+        return np.stack([self(img, gen) for img in images])

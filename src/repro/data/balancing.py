@@ -1,0 +1,86 @@
+"""Dataset balancing.
+
+§IV-A: the raw MaskedFace-Net split is ~51% CMFD, ~39% IMFD Nose, ~5%
+IMFD Chin, ~5% IMFD Nose+Mouth — heavily biased toward the two dominant
+classes. The paper's remedy is to *randomly subsample the larger classes*
+down to a comparable count. :func:`balance_by_subsampling` implements
+exactly that; :func:`class_distribution` and
+:data:`RAW_CLASS_PROBABILITIES` reproduce the raw statistics for the
+balancing ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.mask_model import WearClass
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = [
+    "RAW_CLASS_PROBABILITIES",
+    "RAW_DATASET_SIZE",
+    "class_distribution",
+    "balance_by_subsampling",
+]
+
+#: Raw MaskedFace-Net class shares reported in §IV-A, in WearClass order
+#: (Correct, Nose, Nose+Mouth, Chin).
+RAW_CLASS_PROBABILITIES: Tuple[float, float, float, float] = (0.51, 0.39, 0.05, 0.05)
+
+#: Total sample count of the real dataset (for scale context in reports).
+RAW_DATASET_SIZE: int = 133_783
+
+
+def class_distribution(labels: np.ndarray, num_classes: int = 4) -> Dict[int, int]:
+    """Per-class sample counts (all classes present in the dict, even if 0)."""
+    labels = np.asarray(labels)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    counts = np.bincount(labels, minlength=num_classes)
+    return {c: int(counts[c]) for c in range(num_classes)}
+
+
+def balance_by_subsampling(
+    images: np.ndarray,
+    labels: np.ndarray,
+    rng: RngLike = None,
+    target_per_class: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Randomly subsample over-represented classes to a common count.
+
+    ``target_per_class`` defaults to the size of the smallest class (the
+    paper samples "the larger classes CMFD and IMFD Nose to collect a
+    comparable number of examples to the two remaining classes"). The
+    result is shuffled.
+    """
+    labels = np.asarray(labels)
+    if len(images) != len(labels):
+        raise ValueError(
+            f"images ({len(images)}) and labels ({len(labels)}) length mismatch"
+        )
+    counts = class_distribution(labels)
+    present = [c for c, n in counts.items() if n > 0]
+    if len(present) < 2:
+        raise ValueError("balancing needs at least two non-empty classes")
+    min_count = min(counts[c] for c in present)
+    target = int(target_per_class) if target_per_class is not None else min_count
+    if target <= 0:
+        raise ValueError(f"target_per_class must be positive, got {target}")
+    if target > min_count:
+        raise ValueError(
+            f"target_per_class ({target}) exceeds the smallest class "
+            f"({min_count}); cannot balance by subsampling alone"
+        )
+    gen = as_generator(rng)
+    keep = []
+    for c in present:
+        idx = np.flatnonzero(labels == c)
+        keep.append(gen.choice(idx, size=target, replace=False))
+    keep_idx = np.concatenate(keep)
+    gen.shuffle(keep_idx)
+    return images[keep_idx], labels[keep_idx]

@@ -1,0 +1,288 @@
+"""Procedural face rendering.
+
+Renders a synthetic subject (no mask — the mask is composited afterwards
+by :mod:`repro.data.mask_model`) onto a square canvas from a key-point
+skeleton plus appearance attributes. The renderer is intentionally simple
+— ellipses, polygons, soft shading — but places every feature *at its
+key-point*, so the class-discriminative geometry (nose, mouth, chin
+positions) is metrically faithful even at 32×32 after downsampling.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.attributes import FaceAttributes
+from repro.data.keypoints import FaceKeypoints
+from repro.utils import imaging
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["render_face"]
+
+
+def _shade(color, factor: float):
+    """Darken (<1) or lighten (>1) a color."""
+    return tuple(float(np.clip(c * factor, 0.0, 1.0)) for c in color)
+
+
+def _render_background(img: np.ndarray, attrs: FaceAttributes, gen) -> None:
+    h, w = img.shape[:2]
+    img[:] = np.asarray(attrs.background, dtype=np.float32)
+    if attrs.background_noise > 0:
+        img += gen.normal(0.0, attrs.background_noise, size=(h, w, 1)).astype(
+            np.float32
+        )
+        np.clip(img, 0.0, 1.0, out=img)
+
+
+def _render_neck_and_shoulders(img: np.ndarray, kp: FaceKeypoints, attrs) -> None:
+    cx, cy = kp.face_center
+    neck_w = kp.face_rx * 0.45
+    chin_y = kp.chin_tip[1]
+    h = img.shape[0]
+    # Neck: rectangle-ish polygon from the chin down.
+    verts = np.array(
+        [
+            (cx - neck_w, chin_y - 2.0),
+            (cx + neck_w, chin_y - 2.0),
+            (cx + neck_w * 1.1, h),
+            (cx - neck_w * 1.1, h),
+        ]
+    )
+    imaging.fill_polygon(img, verts, _shade(attrs.skin_tone, 0.92))
+    # Shoulders: a wide dark band at the bottom.
+    sh_y = min(h - 1.0, chin_y + kp.face_ry * 0.45)
+    verts = np.array(
+        [
+            (cx - kp.face_rx * 1.9, h),
+            (cx - kp.face_rx * 1.5, sh_y),
+            (cx + kp.face_rx * 1.5, sh_y),
+            (cx + kp.face_rx * 1.9, h),
+        ]
+    )
+    imaging.fill_polygon(img, verts, (0.25, 0.27, 0.33))
+
+
+def _render_head(img: np.ndarray, kp: FaceKeypoints, attrs) -> None:
+    cx, cy = kp.face_center
+    # Ears (behind the face ellipse).
+    ear_y = kp.eye_line_y + kp.face_ry * 0.12
+    ear_r = kp.face_rx * 0.16
+    for sx in (-1, 1):
+        imaging.draw_ellipse(
+            img,
+            (cx + sx * kp.face_rx * 0.98, ear_y),
+            (ear_r, ear_r * 1.4),
+            _shade(attrs.skin_tone, 0.95),
+        )
+    imaging.draw_ellipse(img, (cx, cy), (kp.face_rx, kp.face_ry), attrs.skin_tone)
+    # Soft cheek shading for depth.
+    imaging.draw_ellipse(
+        img,
+        (cx, cy + kp.face_ry * 0.25),
+        (kp.face_rx * 0.8, kp.face_ry * 0.5),
+        _shade(attrs.skin_tone, 1.05),
+        opacity=0.35,
+    )
+
+
+def _render_hair(img: np.ndarray, kp: FaceKeypoints, attrs) -> None:
+    if attrs.hair_style == "bald" and attrs.headgear == "none":
+        return
+    cx, cy = kp.face_center
+    if attrs.hair_style != "bald":
+        top_y = kp.forehead_top[1]
+        if attrs.hair_style == "long":
+            # Long hair: curtain behind the face down to the jaw.
+            verts = np.array(
+                [
+                    (cx - kp.face_rx * 1.25, top_y + kp.face_ry * 0.2),
+                    (cx + kp.face_rx * 1.25, top_y + kp.face_ry * 0.2),
+                    (cx + kp.face_rx * 1.15, kp.jaw_left[1] + kp.face_ry * 0.35),
+                    (cx - kp.face_rx * 1.15, kp.jaw_left[1] + kp.face_ry * 0.35),
+                ]
+            )
+            imaging.fill_polygon(img, verts, attrs.hair_color)
+            imaging.draw_ellipse(
+                img, (cx, cy), (kp.face_rx * 0.98, kp.face_ry * 0.98), attrs.skin_tone
+            )
+        # Hair cap over the top of the head.
+        imaging.draw_ellipse(
+            img,
+            (cx, top_y + kp.face_ry * 0.22),
+            (kp.face_rx * 1.04, kp.face_ry * 0.42),
+            attrs.hair_color,
+        )
+
+
+def _render_headgear(img: np.ndarray, kp: FaceKeypoints, attrs) -> None:
+    if attrs.headgear == "none":
+        return
+    cx, _ = kp.face_center
+    top_y = kp.forehead_top[1]
+    color = attrs.headgear_color
+    if attrs.headgear == "cap":
+        imaging.draw_ellipse(
+            img,
+            (cx, top_y + kp.face_ry * 0.18),
+            (kp.face_rx * 1.08, kp.face_ry * 0.34),
+            color,
+        )
+        brim = np.array(
+            [
+                (cx - kp.face_rx * 0.9, top_y + kp.face_ry * 0.30),
+                (cx + kp.face_rx * 1.35, top_y + kp.face_ry * 0.30),
+                (cx + kp.face_rx * 1.35, top_y + kp.face_ry * 0.42),
+                (cx - kp.face_rx * 0.9, top_y + kp.face_ry * 0.42),
+            ]
+        )
+        imaging.fill_polygon(img, brim, _shade(color, 0.85))
+    else:  # beanie
+        imaging.draw_ellipse(
+            img,
+            (cx, top_y + kp.face_ry * 0.26),
+            (kp.face_rx * 1.1, kp.face_ry * 0.5),
+            color,
+        )
+
+
+def _render_eyes(img: np.ndarray, kp: FaceKeypoints, attrs, gen) -> None:
+    eye_scale = {"infant": 1.25, "adult": 1.0, "elderly": 0.8}[attrs.age_group]
+    eye_rx = kp.face_rx * 0.16 * eye_scale
+    eye_ry = eye_rx * 0.6
+    iris_color = (
+        float(gen.uniform(0.1, 0.5)),
+        float(gen.uniform(0.2, 0.5)),
+        float(gen.uniform(0.2, 0.6)),
+    )
+    for ex, ey in (kp.left_eye, kp.right_eye):
+        if attrs.sunglasses:
+            continue
+        imaging.draw_ellipse(img, (ex, ey), (eye_rx, eye_ry), (0.97, 0.97, 0.97))
+        imaging.draw_ellipse(img, (ex, ey), (eye_rx * 0.45, eye_ry * 0.85), iris_color)
+        imaging.draw_ellipse(img, (ex, ey), (eye_rx * 0.2, eye_ry * 0.4), (0.05, 0.05, 0.05))
+    if attrs.has_eyebrows and not attrs.sunglasses:
+        brow_color = _shade(attrs.hair_color, 0.8)
+        for ex, ey in (kp.left_eye, kp.right_eye):
+            imaging.draw_ellipse(
+                img,
+                (ex, ey - eye_ry * 2.2),
+                (eye_rx * 1.1, eye_ry * 0.35),
+                brow_color,
+            )
+    if attrs.sunglasses:
+        lens_rx = kp.face_rx * 0.24
+        lens_ry = lens_rx * 0.75
+        for ex, ey in (kp.left_eye, kp.right_eye):
+            imaging.draw_ellipse(img, (ex, ey), (lens_rx, lens_ry), (0.05, 0.05, 0.07))
+        # Bridge between lenses.
+        bx0 = kp.left_eye[0] + lens_rx * 0.8
+        bx1 = kp.right_eye[0] - lens_rx * 0.8
+        ey = kp.eye_line_y
+        bridge = np.array(
+            [(bx0, ey - 1.0), (bx1, ey - 1.0), (bx1, ey + 1.0), (bx0, ey + 1.0)]
+        )
+        imaging.fill_polygon(img, bridge, (0.05, 0.05, 0.07))
+
+
+def _render_nose(img: np.ndarray, kp: FaceKeypoints, attrs) -> None:
+    nx, n_tip_y = kp.nose_tip
+    _, n_bridge_y = kp.nose_bridge
+    nose_w = kp.face_rx * 0.18
+    verts = np.array(
+        [
+            (nx, n_bridge_y),
+            (nx - nose_w, n_tip_y),
+            (nx + nose_w, n_tip_y),
+        ]
+    )
+    imaging.fill_polygon(img, verts, _shade(attrs.skin_tone, 0.88))
+    # Nostrils — the strongest "exposed nose" cue.
+    for sx in (-1, 1):
+        imaging.draw_ellipse(
+            img,
+            (nx + sx * nose_w * 0.5, n_tip_y - 0.5),
+            (nose_w * 0.28, nose_w * 0.2),
+            _shade(attrs.skin_tone, 0.45),
+        )
+
+
+def _render_mouth(img: np.ndarray, kp: FaceKeypoints, attrs, gen) -> None:
+    mx, my = kp.mouth_center
+    mouth_w = kp.face_rx * float(gen.uniform(0.38, 0.5))
+    mouth_h = kp.face_ry * 0.07
+    lip = (0.62, 0.28, 0.28) if attrs.age_group != "infant" else (0.75, 0.42, 0.42)
+    imaging.draw_ellipse(img, (mx, my), (mouth_w, mouth_h), lip)
+    # Lip split line.
+    imaging.draw_ellipse(img, (mx, my), (mouth_w * 0.9, mouth_h * 0.25), _shade(lip, 0.6))
+
+
+def _render_age_marks(img: np.ndarray, kp: FaceKeypoints, attrs) -> None:
+    if attrs.age_group != "elderly":
+        return
+    cx, _ = kp.face_center
+    wrinkle = _shade(attrs.skin_tone, 0.75)
+    # Forehead lines.
+    fy = kp.forehead_top[1] + (kp.eye_line_y - kp.forehead_top[1]) * 0.5
+    for k in range(2):
+        imaging.draw_ellipse(
+            img,
+            (cx, fy + k * kp.face_ry * 0.08),
+            (kp.face_rx * 0.55, kp.face_ry * 0.012),
+            wrinkle,
+            opacity=0.7,
+        )
+    # Nasolabial folds.
+    for sx in (-1, 1):
+        imaging.draw_ellipse(
+            img,
+            (cx + sx * kp.face_rx * 0.38, kp.nose_tip[1] + kp.face_ry * 0.08),
+            (kp.face_rx * 0.05, kp.face_ry * 0.12),
+            wrinkle,
+            angle=sx * 0.4,
+            opacity=0.6,
+        )
+
+
+def _render_face_paint(img: np.ndarray, kp: FaceKeypoints, attrs) -> None:
+    if attrs.face_paint is None:
+        return
+    cx, cy = kp.face_center
+    # Painted band across the upper face (Fig. 9-style manipulation).
+    imaging.draw_ellipse(
+        img,
+        (cx, kp.eye_line_y),
+        (kp.face_rx * 0.95, kp.face_ry * 0.28),
+        attrs.face_paint,
+        opacity=0.5,
+    )
+
+
+def render_face(
+    kp: FaceKeypoints,
+    attrs: FaceAttributes,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Render the un-masked subject; returns ``(canvas, canvas, 3)`` float32.
+
+    Draw order is back-to-front: background, shoulders/neck, head, hair,
+    facial features, age marks, paint, sunglasses, head-gear. The mask is
+    composited separately so the same subject can be rendered under all
+    four wear classes (useful for controlled Grad-CAM panels).
+    """
+    gen = as_generator(rng)
+    c = kp.canvas
+    img = np.empty((c, c, 3), dtype=np.float32)
+    _render_background(img, attrs, gen)
+    _render_neck_and_shoulders(img, kp, attrs)
+    _render_head(img, kp, attrs)
+    _render_hair(img, kp, attrs)
+    _render_eyes(img, kp, attrs, gen)
+    _render_nose(img, kp, attrs)
+    _render_mouth(img, kp, attrs, gen)
+    _render_age_marks(img, kp, attrs)
+    _render_face_paint(img, kp, attrs)
+    _render_headgear(img, kp, attrs)
+    return imaging.clip01(img)

@@ -1,0 +1,169 @@
+"""Facial key-point model.
+
+MaskedFace-Net [6] places a deformable mask model on natural faces by
+matching mask key-points to automatically detected facial key-points.
+Our synthetic generator works the same way but in reverse order: it first
+*samples* a key-point skeleton (whose geometry varies with age group,
+face shape and pose jitter), then renders a face consistent with it, and
+finally fits the mask polygon to the same key-points. The mask-wear class
+is therefore defined *geometrically* — by where the mask's top and bottom
+edges sit relative to the nose, mouth and chin key-points — exactly the
+property the classifier must learn.
+
+Coordinates are ``(x, y)`` in canvas pixels, y growing downward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["FaceKeypoints", "sample_keypoints"]
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class FaceKeypoints:
+    """Landmark skeleton for one synthetic face.
+
+    All coordinates are absolute canvas pixels. ``face_rx``/``face_ry``
+    are the face-ellipse radii; landmarks are guaranteed to lie inside
+    that ellipse (validated at construction).
+    """
+
+    canvas: int
+    face_center: Point
+    face_rx: float
+    face_ry: float
+    left_eye: Point
+    right_eye: Point
+    nose_bridge: Point  # top of the nose, between the eyes
+    nose_tip: Point
+    mouth_center: Point
+    chin_tip: Point  # lowest point of the chin
+    jaw_left: Point  # jaw line at mouth height
+    jaw_right: Point
+    forehead_top: Point
+
+    def __post_init__(self) -> None:
+        if self.face_rx <= 0 or self.face_ry <= 0:
+            raise ValueError(
+                f"face radii must be positive, got {(self.face_rx, self.face_ry)}"
+            )
+        order = [
+            self.forehead_top[1],
+            (self.left_eye[1] + self.right_eye[1]) / 2.0,
+            self.nose_bridge[1],
+            self.nose_tip[1],
+            self.mouth_center[1],
+            self.chin_tip[1],
+        ]
+        if not all(a < b for a, b in zip(order, order[1:])):
+            raise ValueError(
+                "landmarks are vertically disordered (expected forehead < "
+                f"eyes < nose bridge < nose tip < mouth < chin): {order}"
+            )
+
+    # -- derived geometry ----------------------------------------------------
+    @property
+    def eye_line_y(self) -> float:
+        """Vertical coordinate of the eye line."""
+        return (self.left_eye[1] + self.right_eye[1]) / 2.0
+
+    @property
+    def face_width_at(self) -> float:
+        """Horizontal face radius (used to size the mask)."""
+        return self.face_rx
+
+    def below_nose_y(self, fraction: float = 0.45) -> float:
+        """A y level between nose tip and mouth (mask top when nose exposed)."""
+        return self.nose_tip[1] + fraction * (self.mouth_center[1] - self.nose_tip[1])
+
+    def below_mouth_y(self, fraction: float = 0.45) -> float:
+        """A y level between mouth and chin (mask top when nose+mouth exposed)."""
+        return self.mouth_center[1] + fraction * (
+            self.chin_tip[1] - self.mouth_center[1]
+        )
+
+    def above_chin_y(self, fraction: float = 0.35) -> float:
+        """A y level above the chin tip (mask bottom when chin exposed)."""
+        return self.chin_tip[1] - fraction * (self.chin_tip[1] - self.mouth_center[1])
+
+    def as_dict(self) -> Dict[str, Point]:
+        """Landmark name -> (x, y), for diagnostics and tests."""
+        out = {}
+        for f in fields(self):
+            if f.name in ("canvas", "face_rx", "face_ry"):
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+def sample_keypoints(
+    rng: RngLike,
+    canvas: int = 64,
+    age_group: str = "adult",
+) -> FaceKeypoints:
+    """Sample a plausible landmark skeleton.
+
+    ``age_group`` modulates the proportions the paper's Fig. 7 probes:
+    infants get rounder faces with relatively lower-set, larger-spaced
+    features; the elderly get slightly narrower faces.
+    """
+    gen = as_generator(rng)
+    if age_group not in ("infant", "adult", "elderly"):
+        raise ValueError(f"unknown age_group {age_group!r}")
+    c = float(canvas)
+    cx = c / 2.0 + gen.uniform(-0.03, 0.03) * c
+    cy = c / 2.0 + gen.uniform(-0.02, 0.02) * c
+
+    if age_group == "infant":
+        rx = gen.uniform(0.30, 0.36) * c
+        ry = gen.uniform(0.32, 0.38) * c
+        eye_frac = gen.uniform(0.02, 0.08)  # eyes near the vertical centre
+    elif age_group == "elderly":
+        rx = gen.uniform(0.24, 0.30) * c
+        ry = gen.uniform(0.34, 0.42) * c
+        eye_frac = gen.uniform(-0.12, -0.05)
+    else:
+        rx = gen.uniform(0.26, 0.33) * c
+        ry = gen.uniform(0.33, 0.41) * c
+        eye_frac = gen.uniform(-0.10, -0.03)
+
+    # Vertical layout (fractions of the face half-height ry).
+    eye_y = cy + eye_frac * ry
+    nose_bridge_y = eye_y + gen.uniform(0.08, 0.14) * ry
+    nose_tip_y = nose_bridge_y + gen.uniform(0.28, 0.40) * ry
+    mouth_y = nose_tip_y + gen.uniform(0.22, 0.34) * ry
+    chin_y = cy + ry * gen.uniform(0.96, 1.0)
+    if chin_y <= mouth_y + 0.05 * ry:
+        chin_y = mouth_y + gen.uniform(0.12, 0.2) * ry
+    forehead_y = cy - ry * gen.uniform(0.92, 1.0)
+
+    eye_dx = gen.uniform(0.38, 0.5) * rx
+    nose_x = cx + gen.uniform(-0.03, 0.03) * rx
+    jaw_y = mouth_y
+    # Jaw half-width at mouth height from the ellipse equation.
+    rel = np.clip((jaw_y - cy) / ry, -0.99, 0.99)
+    jaw_half = rx * float(np.sqrt(1.0 - rel**2))
+
+    return FaceKeypoints(
+        canvas=canvas,
+        face_center=(cx, cy),
+        face_rx=rx,
+        face_ry=ry,
+        left_eye=(cx - eye_dx, eye_y),
+        right_eye=(cx + eye_dx, eye_y),
+        nose_bridge=(nose_x, nose_bridge_y),
+        nose_tip=(nose_x, nose_tip_y),
+        mouth_center=(cx, mouth_y),
+        chin_tip=(cx, chin_y),
+        jaw_left=(cx - jaw_half, jaw_y),
+        jaw_right=(cx + jaw_half, jaw_y),
+        forehead_top=(cx, forehead_y),
+    )

@@ -1,0 +1,285 @@
+"""Deformable mask model and the four wear classes.
+
+Following Cabani et al. [6], a mask is a deformable polygon whose control
+points are matched to facial key-points. The wear class is purely a
+question of which landmarks the mask spans:
+
+===================  =============================  ==========================
+class                top edge                       bottom edge
+===================  =============================  ==========================
+``CORRECT``          at/above the nose bridge        below the chin tip
+``NOSE_EXPOSED``     between nose tip and mouth      below the chin tip
+``NOSE_MOUTH``       between mouth and chin          below the chin tip
+``CHIN_EXPOSED``     at/above the nose bridge        above the chin tip
+===================  =============================  ==========================
+
+Placement within each class is jittered so the classifier must learn the
+landmark-relative geometry, not a fixed pixel row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.attributes import MaskAttributes
+from repro.data.keypoints import FaceKeypoints
+from repro.utils import imaging
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = [
+    "WearClass",
+    "CLASS_NAMES",
+    "MaskPlacement",
+    "place_mask",
+    "place_mask_interpolated",
+    "composite_mask",
+]
+
+
+class WearClass(IntEnum):
+    """The 4-class split of MaskedFace-Net used by the paper (§IV-A)."""
+
+    CORRECT = 0  # CMFD
+    NOSE_EXPOSED = 1  # IMFD Nose
+    NOSE_MOUTH_EXPOSED = 2  # IMFD Nose and Mouth
+    CHIN_EXPOSED = 3  # IMFD Chin
+
+
+#: Display names in the order of :class:`WearClass` (Fig. 2 axis labels).
+CLASS_NAMES: Tuple[str, ...] = ("Correct", "Nose", "N+M", "Chin")
+
+
+@dataclass
+class MaskPlacement:
+    """Resolved mask geometry for one face: vertical span plus widths."""
+
+    top_y: float
+    bottom_y: float
+    top_half_width: float
+    bottom_half_width: float
+    center_x: float
+    wear_class: WearClass
+
+    def __post_init__(self) -> None:
+        if self.bottom_y <= self.top_y:
+            raise ValueError(
+                f"mask bottom ({self.bottom_y}) must be below top ({self.top_y})"
+            )
+        if self.top_half_width <= 0 or self.bottom_half_width <= 0:
+            raise ValueError("mask widths must be positive")
+
+
+def place_mask(
+    kp: FaceKeypoints, wear_class: WearClass, rng: RngLike = None
+) -> MaskPlacement:
+    """Fit the deformable mask to key-points for the requested class.
+
+    The vertical span is sampled within the class's admissible band (see
+    module docstring); widths follow the face ellipse at the respective
+    heights so the mask visually hugs the jaw.
+    """
+    gen = as_generator(rng)
+    wear_class = WearClass(wear_class)
+    nose_bridge_y = kp.nose_bridge[1]
+    chin_y = kp.chin_tip[1]
+
+    if wear_class == WearClass.CORRECT:
+        top = nose_bridge_y + gen.uniform(-0.06, 0.25) * (kp.nose_tip[1] - nose_bridge_y)
+        bottom = chin_y + gen.uniform(0.05, 0.22) * kp.face_ry
+    elif wear_class == WearClass.NOSE_EXPOSED:
+        top = kp.below_nose_y(float(gen.uniform(0.25, 0.6)))
+        bottom = chin_y + gen.uniform(0.05, 0.22) * kp.face_ry
+    elif wear_class == WearClass.NOSE_MOUTH_EXPOSED:
+        top = kp.below_mouth_y(float(gen.uniform(0.3, 0.6)))
+        bottom = chin_y + gen.uniform(0.08, 0.25) * kp.face_ry
+    else:  # CHIN_EXPOSED: pulled up, chin out
+        top = nose_bridge_y + gen.uniform(-0.06, 0.25) * (kp.nose_tip[1] - nose_bridge_y)
+        bottom = kp.above_chin_y(float(gen.uniform(0.3, 0.65)))
+
+    cx = kp.face_center[0]
+    cy = kp.face_center[1]
+
+    def half_width_at(y: float) -> float:
+        rel = np.clip((y - cy) / kp.face_ry, -0.95, 0.95)
+        return kp.face_rx * float(np.sqrt(1.0 - rel**2))
+
+    top_hw = half_width_at(top) * float(gen.uniform(1.0, 1.12))
+    bottom_hw = max(half_width_at(min(bottom, chin_y)) * 0.9, kp.face_rx * 0.3)
+    return MaskPlacement(
+        top_y=float(top),
+        bottom_y=float(bottom),
+        top_half_width=float(top_hw),
+        bottom_half_width=float(bottom_hw),
+        center_x=float(cx),
+        wear_class=wear_class,
+    )
+
+
+def place_mask_interpolated(
+    kp: FaceKeypoints, wear_class: WearClass, position: float
+) -> MaskPlacement:
+    """Deterministic placement at a point inside the class's admissible band.
+
+    ``position`` in ``[0, 1]`` interpolates the class-defining edge from
+    the *deep* end of the class (0, far from any boundary) to the
+    *boundary* end (1, where the next class begins). Used by the
+    decision-boundary sharpness analysis: a classifier that learned the
+    landmark geometry should stay confident at low positions and lose
+    confidence only as the placement approaches the class boundary.
+    """
+    if not 0.0 <= position <= 1.0:
+        raise ValueError(f"position must be in [0, 1], got {position}")
+    wear_class = WearClass(wear_class)
+    nose_bridge_y = kp.nose_bridge[1]
+    nose_tip_y = kp.nose_tip[1]
+    mouth_y = kp.mouth_center[1]
+    chin_y = kp.chin_tip[1]
+    below_chin = chin_y + 0.12 * kp.face_ry
+
+    if wear_class == WearClass.CORRECT:
+        # Top edge travels from the nose bridge (deep) toward the nose
+        # tip (boundary with NOSE_EXPOSED).
+        top = nose_bridge_y + position * (nose_tip_y - nose_bridge_y) * 0.98
+        bottom = below_chin
+    elif wear_class == WearClass.NOSE_EXPOSED:
+        # Top edge travels from midway nose->mouth (deep) up toward the
+        # nose tip (boundary with CORRECT).
+        deep = nose_tip_y + 0.5 * (mouth_y - nose_tip_y)
+        top = deep + position * (nose_tip_y + 1e-3 - deep)
+        bottom = below_chin
+    elif wear_class == WearClass.NOSE_MOUTH_EXPOSED:
+        # Top edge travels from midway mouth->chin (deep) up toward the
+        # mouth (boundary with NOSE_EXPOSED).
+        deep = mouth_y + 0.5 * (chin_y - mouth_y)
+        top = deep + position * (mouth_y + 1e-3 - deep)
+        bottom = chin_y + 0.18 * kp.face_ry
+    else:  # CHIN_EXPOSED
+        # Bottom edge travels from well above the chin (deep) down toward
+        # the chin tip (boundary with CORRECT).
+        top = nose_bridge_y
+        deep = chin_y - 0.5 * (chin_y - mouth_y)
+        bottom = deep + position * (chin_y - 1e-3 - deep)
+
+    cx = kp.face_center[0]
+    cy = kp.face_center[1]
+
+    def half_width_at(y: float) -> float:
+        rel = np.clip((y - cy) / kp.face_ry, -0.95, 0.95)
+        return kp.face_rx * float(np.sqrt(1.0 - rel**2))
+
+    return MaskPlacement(
+        top_y=float(top),
+        bottom_y=float(bottom),
+        top_half_width=float(half_width_at(top) * 1.05),
+        bottom_half_width=float(
+            max(half_width_at(min(bottom, chin_y)) * 0.9, kp.face_rx * 0.3)
+        ),
+        center_x=float(cx),
+        wear_class=wear_class,
+    )
+
+
+def _mask_polygon(p: MaskPlacement, bulge: float) -> np.ndarray:
+    """Six-point mask outline: flat-ish top edge, rounded bottom."""
+    mid_y = 0.5 * (p.top_y + p.bottom_y)
+    mid_hw = 0.5 * (p.top_half_width + p.bottom_half_width) * (1.0 + bulge)
+    return np.array(
+        [
+            (p.center_x - p.top_half_width, p.top_y),
+            (p.center_x + p.top_half_width, p.top_y),
+            (p.center_x + mid_hw, mid_y),
+            (p.center_x + p.bottom_half_width, p.bottom_y),
+            (p.center_x - p.bottom_half_width, p.bottom_y),
+            (p.center_x - mid_hw, mid_y),
+        ]
+    )
+
+
+def composite_mask(
+    img: np.ndarray,
+    kp: FaceKeypoints,
+    placement: MaskPlacement,
+    mask_attrs: MaskAttributes,
+    rng: RngLike = None,
+    double_mask: bool = False,
+    second_color=None,
+) -> np.ndarray:
+    """Composite the mask (straps, body, pleats, shading) onto ``img``.
+
+    Mutates and returns ``img``. With ``double_mask`` a second, slightly
+    smaller mask of ``second_color`` is layered on top (Fig. 9).
+    """
+    gen = as_generator(rng)
+    # Ear straps first (they run under the mask body).
+    if mask_attrs.strap_visible:
+        strap = tuple(float(np.clip(c * 0.9, 0, 1)) for c in mask_attrs.color)
+        ear_y = kp.eye_line_y + kp.face_ry * 0.15
+        for sx, x_edge in ((-1, placement.center_x - placement.top_half_width),
+                           (1, placement.center_x + placement.top_half_width)):
+            ear_x = kp.face_center[0] + sx * kp.face_rx * 1.0
+            verts = np.array(
+                [
+                    (x_edge, placement.top_y + 1.0),
+                    (ear_x, ear_y),
+                    (ear_x, ear_y + 1.5),
+                    (x_edge, placement.top_y + 2.5),
+                ]
+            )
+            imaging.fill_polygon(img, verts, strap, opacity=0.9)
+
+    bulge = float(gen.uniform(0.02, 0.12)) if mask_attrs.mask_type != "ffp2" else 0.2
+    poly = _mask_polygon(placement, bulge)
+    imaging.fill_polygon(img, poly, mask_attrs.color, opacity=1.0)
+
+    # Pleats (surgical) or a centre seam (ffp2).
+    darker = tuple(float(np.clip(c * 0.82, 0, 1)) for c in mask_attrs.color)
+    span = placement.bottom_y - placement.top_y
+    if mask_attrs.pleats > 0:
+        for k in range(1, mask_attrs.pleats + 1):
+            py = placement.top_y + span * k / (mask_attrs.pleats + 1)
+            hw = placement.top_half_width * (1.0 - 0.15 * k / (mask_attrs.pleats + 1))
+            verts = np.array(
+                [
+                    (placement.center_x - hw, py - 0.4),
+                    (placement.center_x + hw, py - 0.4),
+                    (placement.center_x + hw, py + 0.4),
+                    (placement.center_x - hw, py + 0.4),
+                ]
+            )
+            imaging.fill_polygon(img, verts, darker, opacity=0.8)
+    elif mask_attrs.mask_type == "ffp2":
+        verts = np.array(
+            [
+                (placement.center_x - 0.6, placement.top_y + span * 0.1),
+                (placement.center_x + 0.6, placement.top_y + span * 0.1),
+                (placement.center_x + 0.6, placement.bottom_y - span * 0.1),
+                (placement.center_x - 0.6, placement.bottom_y - span * 0.1),
+            ]
+        )
+        imaging.fill_polygon(img, verts, darker, opacity=0.7)
+
+    # Fabric texture noise, confined to the mask area.
+    if mask_attrs.texture_noise > 0:
+        region = imaging.polygon_mask(img.shape[:2], poly)
+        noise = gen.normal(0.0, mask_attrs.texture_noise, size=img.shape[:2]).astype(
+            np.float32
+        )
+        img += (region * noise)[..., None]
+        np.clip(img, 0.0, 1.0, out=img)
+
+    if double_mask:
+        second = MaskPlacement(
+            top_y=placement.top_y + span * 0.12,
+            bottom_y=placement.bottom_y - span * 0.08,
+            top_half_width=placement.top_half_width * 0.92,
+            bottom_half_width=placement.bottom_half_width * 0.92,
+            center_x=placement.center_x,
+            wear_class=placement.wear_class,
+        )
+        color = second_color if second_color is not None else (0.92, 0.92, 0.94)
+        imaging.fill_polygon(img, _mask_polygon(second, bulge * 0.8), color, opacity=0.95)
+    return img

@@ -1,0 +1,114 @@
+"""``repro.hw`` — FINN-style streaming BNN accelerator simulator.
+
+Functional (bit-exact integer datapath: XNOR+popcount MVTUs, folded
+batch-norm thresholds, OR-pooling) and performance (cycle-level pipeline
+IIs, LUT/BRAM/DSP cost model calibrated to the paper's Table II, board
+power model) simulation of the BinaryCoP accelerator of §III-B/IV-B.
+"""
+
+from repro.hw.bitpack import PackedBits, pack_bits, popcount, unpack_bits
+from repro.hw.buffers import BufferPlan, StageBuffer, plan_buffers
+from repro.hw.calibration import solve_lut_coefficients
+from repro.hw.export import export_accelerator, load_accelerator
+from repro.hw.compiler import (
+    FinnAccelerator,
+    FoldingConfig,
+    HardwareStage,
+    compile_model,
+)
+from repro.hw.devices import DEVICES, Z7010, Z7020, Device, fit_report
+from repro.hw.faults import (
+    FaultReport,
+    accuracy_under_faults,
+    flip_weight_bits,
+    perturb_thresholds,
+)
+from repro.hw.dse import (
+    DesignPoint,
+    balance_folding,
+    explore,
+    legal_foldings,
+    optimize_for_device,
+    pareto_frontier,
+)
+from repro.hw.maxpool_unit import MaxPoolUnit, MaxPoolUnitConfig
+from repro.hw.mvtu import MVTU, MVTUConfig
+from repro.hw.pipeline import (
+    MEASURED_EFFICIENCY,
+    PipelineTiming,
+    analyze_pipeline,
+    simulate_stream,
+)
+from repro.hw.power import IDLE_POWER_W, PowerModel, PowerReport
+from repro.hw.resources import (
+    TABLE2_CALIBRATION,
+    ResourceEstimate,
+    estimate_resources,
+)
+from repro.hw.swu import SlidingWindowUnit, SWUConfig
+from repro.hw.thresholding import (
+    ThresholdSpec,
+    apply_thresholds,
+    fold_batchnorm_sign,
+    fold_popcount_domain,
+)
+from repro.hw.xnor_kernels import (
+    bipolar_from_popcount,
+    xnor_dot_popcount,
+    xnor_matmul_popcount,
+)
+
+__all__ = [
+    "BufferPlan",
+    "DEVICES",
+    "DesignPoint",
+    "Device",
+    "FaultReport",
+    "FinnAccelerator",
+    "FoldingConfig",
+    "HardwareStage",
+    "IDLE_POWER_W",
+    "MEASURED_EFFICIENCY",
+    "MVTU",
+    "MVTUConfig",
+    "MaxPoolUnit",
+    "MaxPoolUnitConfig",
+    "PackedBits",
+    "PipelineTiming",
+    "PowerModel",
+    "PowerReport",
+    "ResourceEstimate",
+    "SWUConfig",
+    "SlidingWindowUnit",
+    "TABLE2_CALIBRATION",
+    "ThresholdSpec",
+    "Z7010",
+    "Z7020",
+    "accuracy_under_faults",
+    "analyze_pipeline",
+    "apply_thresholds",
+    "balance_folding",
+    "bipolar_from_popcount",
+    "compile_model",
+    "estimate_resources",
+    "export_accelerator",
+    "explore",
+    "fit_report",
+    "flip_weight_bits",
+    "fold_batchnorm_sign",
+    "fold_popcount_domain",
+    "legal_foldings",
+    "load_accelerator",
+    "pack_bits",
+    "optimize_for_device",
+    "pareto_frontier",
+    "perturb_thresholds",
+    "plan_buffers",
+    "popcount",
+    "simulate_stream",
+    "solve_lut_coefficients",
+    "StageBuffer",
+    "unpack_bits",
+    "xnor_dot_popcount",
+    "xnor_matmul_popcount",
+]

@@ -1,0 +1,142 @@
+"""On-chip activation buffering: SWU line buffers and inter-stage FIFOs.
+
+The streaming pipeline of §III-B keeps *all* intermediate activations on
+chip. Two kinds of storage make that possible:
+
+* **line buffers** inside each sliding-window unit — a KxK window over a
+  raster-scanned map needs the last ``K-1`` full rows plus ``K`` pixels
+  resident (the classical line-buffer bound);
+* **inter-stage FIFOs** that decouple a producer finishing its image
+  early from a consumer still draining the previous one. A FIFO deep
+  enough to hold one output *row* of the producer absorbs the rate
+  mismatch within a line; the depth is scaled up when the consumer is
+  slower (back-pressure accumulates proportionally to the II ratio).
+
+This module sizes both from a compiled accelerator and reports the
+storage bill in bits/BRAMs — the part of the on-chip memory budget that
+Table II's weight-centric model leaves implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Optional
+
+from repro.hw.compiler import FinnAccelerator
+
+__all__ = ["BufferPlan", "StageBuffer", "plan_buffers"]
+
+#: One 18 Kb block RAM, the granularity buffers map to.
+BRAM_BLOCK_BITS = 18_432
+
+#: Buffers below this size stay in LUTRAM/registers.
+LUTRAM_THRESHOLD_BITS = 1_024
+
+
+@dataclass(frozen=True)
+class StageBuffer:
+    """Buffer bill for one pipeline stage."""
+
+    stage: str
+    line_buffer_bits: int
+    fifo_bits: int
+    fifo_depth_words: int
+    word_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.line_buffer_bits + self.fifo_bits
+
+    def bram_blocks(self) -> int:
+        """18Kb BRAMs consumed (0 when the buffer fits LUTRAM)."""
+        blocks = 0
+        for bits in (self.line_buffer_bits, self.fifo_bits):
+            if bits > LUTRAM_THRESHOLD_BITS:
+                blocks += ceil(bits / BRAM_BLOCK_BITS)
+        return blocks
+
+
+@dataclass
+class BufferPlan:
+    """The accelerator-wide activation-buffer bill."""
+
+    buffers: List[StageBuffer]
+
+    def total_bits(self) -> int:
+        return sum(b.total_bits for b in self.buffers)
+
+    def total_bram_blocks(self) -> int:
+        return sum(b.bram_blocks() for b in self.buffers)
+
+    def report(self) -> str:
+        lines = ["activation buffers (line buffers + inter-stage FIFOs):"]
+        for b in self.buffers:
+            lines.append(
+                f"  {b.stage:<12s} line={b.line_buffer_bits:>8d} b  "
+                f"fifo={b.fifo_bits:>8d} b ({b.fifo_depth_words} x "
+                f"{b.word_bits} b)  -> {b.bram_blocks()} BRAM18"
+            )
+        lines.append(
+            f"  total: {self.total_bits():,} bits "
+            f"({self.total_bits() / 8192:.1f} KiB), "
+            f"{self.total_bram_blocks()} BRAM18 blocks"
+        )
+        return "\n".join(lines)
+
+
+def plan_buffers(accelerator: FinnAccelerator) -> BufferPlan:
+    """Size line buffers and FIFOs for every stage of ``accelerator``.
+
+    The FIFO between stage ``l`` and ``l+1`` holds stage ``l``'s output
+    words; its depth is one output row of the producer, multiplied by the
+    consumer/producer initiation-interval ratio when the consumer is the
+    slower side (it then backs up by that factor before the pipeline
+    steady-state absorbs it). Depth is floored at 2 (ping-pong minimum).
+    """
+    buffers: List[StageBuffer] = []
+    stages = accelerator.stages
+    for idx, stage in enumerate(stages):
+        cfg = stage.mvtu.config
+        # -- line buffer (conv stages only) --------------------------------
+        if stage.swu is not None:
+            swu = stage.swu.config
+            kh, kw = swu.kernel
+            h, w = swu.in_hw
+            pixels_resident = (kh - 1) * w + kw
+            bits_per_pixel = swu.channels * (8 if cfg.input_bits == 8 else 1)
+            line_bits = pixels_resident * bits_per_pixel
+        else:
+            line_bits = 0
+        # -- inter-stage FIFO (towards the next stage) ----------------------
+        if idx + 1 < len(stages):
+            out_bits_per_word = cfg.rows  # one output pixel/vector, 1b each
+            if stage.kind == "conv":
+                out_w = (
+                    stage.pool.config.out_hw[1]
+                    if stage.pool is not None
+                    else stage.swu.config.out_hw[1]
+                )
+                depth = out_w
+            else:
+                depth = 1
+            ii_producer = stage.initiation_interval()
+            ii_consumer = stages[idx + 1].initiation_interval()
+            if ii_consumer > ii_producer:
+                depth = ceil(depth * ii_consumer / ii_producer)
+            depth = max(2, depth)
+            fifo_bits = depth * out_bits_per_word
+        else:
+            depth = 0
+            out_bits_per_word = cfg.rows
+            fifo_bits = 0
+        buffers.append(
+            StageBuffer(
+                stage=stage.name,
+                line_buffer_bits=int(line_bits),
+                fifo_bits=int(fifo_bits),
+                fifo_depth_words=int(depth),
+                word_bits=int(out_bits_per_word),
+            )
+        )
+    return BufferPlan(buffers=buffers)

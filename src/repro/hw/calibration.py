@@ -1,0 +1,105 @@
+"""Provenance of the resource-model calibration.
+
+The LUT coefficients in :mod:`repro.hw.resources` are not hand-tuned
+magic numbers: they are the unique solution of the linear system formed
+by the paper's three Table II designs under the structural cost model
+
+    LUT = a * sum(PE*SIMD) + b * sum(PE) + c * n_MVTU + d.
+
+This module re-derives them from first principles so the calibration is
+reproducible code rather than a constant in a comment, and so the same
+procedure can be re-run against a different published design set (e.g.
+when porting the model to another FINN paper's tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.hw.compiler import FoldingConfig
+
+__all__ = ["DesignObservation", "solve_lut_coefficients", "TABLE2_OBSERVATIONS"]
+
+
+@dataclass(frozen=True)
+class DesignObservation:
+    """One published design point: its folding and measured LUT count."""
+
+    name: str
+    folding: FoldingConfig
+    lut: float
+
+    @property
+    def lane_sum(self) -> int:
+        return sum(p * s for p, s in zip(self.folding.pe, self.folding.simd))
+
+    @property
+    def pe_sum(self) -> int:
+        return sum(self.folding.pe)
+
+    @property
+    def n_mvtus(self) -> int:
+        return len(self.folding)
+
+
+#: The paper's Table II designs (folding from Table I, LUTs from Table II).
+TABLE2_OBSERVATIONS: Tuple[DesignObservation, ...] = (
+    DesignObservation(
+        name="cnv",
+        folding=FoldingConfig(
+            pe=(16, 32, 16, 16, 4, 1, 1, 1, 4),
+            simd=(3, 32, 32, 32, 32, 32, 4, 8, 1),
+        ),
+        lut=26_060,
+    ),
+    DesignObservation(
+        name="n-cnv",
+        folding=FoldingConfig(
+            pe=(16, 16, 16, 16, 4, 1, 1, 1, 1),
+            simd=(3, 16, 16, 32, 32, 32, 4, 8, 1),
+        ),
+        lut=20_425,
+    ),
+    DesignObservation(
+        name="u-cnv",
+        folding=FoldingConfig(
+            pe=(4, 4, 4, 4, 1, 1, 1),
+            simd=(3, 16, 16, 32, 32, 16, 1),
+        ),
+        lut=11_738,
+    ),
+)
+
+
+def solve_lut_coefficients(
+    observations: Sequence[DesignObservation] = TABLE2_OBSERVATIONS,
+    base_lut: float = 3000.0,
+) -> Dict[str, float]:
+    """Solve (a, b, c) of the LUT model given a fixed base term.
+
+    With exactly three observations the system is square and solved
+    exactly; with more it is solved in the least-squares sense. Returns
+    ``{"per_lane": a, "per_pe": b, "per_mvtu": c, "base": base_lut,
+    "max_abs_error": e}``.
+    """
+    if len(observations) < 3:
+        raise ValueError(
+            f"need at least 3 observations to identify 3 coefficients, "
+            f"got {len(observations)}"
+        )
+    design_matrix = np.array(
+        [[o.lane_sum, o.pe_sum, o.n_mvtus] for o in observations], dtype=np.float64
+    )
+    target = np.array([o.lut - base_lut for o in observations], dtype=np.float64)
+    coeffs, *_ = np.linalg.lstsq(design_matrix, target, rcond=None)
+    residual = design_matrix @ coeffs - target
+    return {
+        "per_lane": float(coeffs[0]),
+        "per_pe": float(coeffs[1]),
+        "per_mvtu": float(coeffs[2]),
+        "base": float(base_lut),
+        "max_abs_error": float(np.abs(residual).max()),
+    }

@@ -1,0 +1,435 @@
+"""BNN → FINN-style accelerator compiler.
+
+Takes a trained :class:`repro.nn.Sequential` following the paper's layer
+grammar and emits a :class:`FinnAccelerator`: a pipeline of hardware
+stages (SWU + MVTU + optional OR-pool per conv layer; MVTU per FC layer)
+whose datapath is **integer-only** — XNOR/popcount accumulation and
+folded batch-norm thresholds, exactly as §III-A/B describe.
+
+Layer grammar recognised (what :mod:`repro.core.architectures` emits)::
+
+    [Conv]   (Binary)Conv2D -> BatchNorm -> SignActivation [-> MaxPool2D]
+    [Flat]   Flatten
+    [FC]     BinaryDense -> BatchNorm -> SignActivation
+    [Logit]  BinaryDense                      (final layer, no threshold)
+
+The first conv consumes 8-bit pixels (FINN's fixed-point input layer);
+everything downstream is 1-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hw.bitpack import pack_bits
+from repro.hw.maxpool_unit import MaxPoolUnit, MaxPoolUnitConfig
+from repro.hw.mvtu import MVTU, MVTUConfig
+from repro.hw.swu import SlidingWindowUnit, SWUConfig
+from repro.hw.thresholding import fold_batchnorm_sign, fold_popcount_domain
+from repro.nn.binary_ops import sign
+from repro.nn.layers import (
+    BatchNorm,
+    BinaryConv2D,
+    BinaryDense,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    SignActivation,
+)
+from repro.nn.layers.xnor import XnorConv2D, XnorDense
+from repro.nn.sequential import Sequential
+
+__all__ = ["HardwareStage", "FinnAccelerator", "FoldingConfig", "compile_model"]
+
+#: Pixel quantisation scale for the 8-bit input layer.
+INPUT_SCALE = 255
+
+
+@dataclass(frozen=True)
+class FoldingConfig:
+    """PE/SIMD dimensioning for every MVTU, in pipeline order (Table I)."""
+
+    pe: Tuple[int, ...]
+    simd: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pe) != len(self.simd):
+            raise ValueError(
+                f"PE ({len(self.pe)}) and SIMD ({len(self.simd)}) vectors "
+                f"must have equal length"
+            )
+        if any(p <= 0 for p in self.pe) or any(s <= 0 for s in self.simd):
+            raise ValueError("PE and SIMD entries must be positive")
+
+    def __len__(self) -> int:
+        return len(self.pe)
+
+
+@dataclass
+class HardwareStage:
+    """One pipeline stage: an MVTU plus its helpers."""
+
+    name: str
+    kind: str  # "conv" or "fc"
+    mvtu: MVTU
+    vectors_per_image: int
+    swu: Optional[SlidingWindowUnit] = None
+    pool: Optional[MaxPoolUnit] = None
+    in_shape: Tuple[int, ...] = ()
+    out_shape: Tuple[int, ...] = ()
+
+    def initiation_interval(self) -> int:
+        """Cycles this stage needs per image (slowest of its units)."""
+        cycles = [self.mvtu.cycles_per_image(self.vectors_per_image)]
+        if self.swu is not None:
+            cycles.append(self.swu.cycles_per_image())
+        if self.pool is not None:
+            cycles.append(self.pool.cycles_per_image())
+        return max(cycles)
+
+    def unit_cycles(self) -> Dict[str, int]:
+        """Per-unit cycle breakdown (for the pipeline report)."""
+        out = {"mvtu": self.mvtu.cycles_per_image(self.vectors_per_image)}
+        if self.swu is not None:
+            out["swu"] = self.swu.cycles_per_image()
+        if self.pool is not None:
+            out["pool"] = self.pool.cycles_per_image()
+        return out
+
+
+class FinnAccelerator:
+    """A compiled streaming accelerator.
+
+    ``execute`` runs the full integer datapath; timing and resource
+    queries delegate to :mod:`repro.hw.pipeline` and
+    :mod:`repro.hw.resources`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stages: List[HardwareStage],
+        input_shape: Tuple[int, int, int],
+        num_classes: int,
+    ) -> None:
+        if not stages:
+            raise ValueError("accelerator needs at least one stage")
+        self.name = name
+        self.stages = stages
+        self.input_shape = tuple(input_shape)
+        self.num_classes = int(num_classes)
+
+    # -- functional ---------------------------------------------------------
+    @staticmethod
+    def quantize_input(images: np.ndarray) -> np.ndarray:
+        """Quantise [0, 1] float images to the 8-bit integer input domain."""
+        images = np.asarray(images)
+        if np.issubdtype(images.dtype, np.integer):
+            if images.min() < 0 or images.max() > INPUT_SCALE:
+                raise ValueError(
+                    f"integer input must be in [0, {INPUT_SCALE}]"
+                )
+            return images.astype(np.int64)
+        if images.min() < -1e-6 or images.max() > 1.0 + 1e-6:
+            raise ValueError("float input must be in [0, 1]")
+        return np.rint(images.astype(np.float64) * INPUT_SCALE).astype(np.int64)
+
+    def execute(self, images: np.ndarray, return_bits: bool = False):
+        """Run the integer datapath; returns integer logits ``(N, classes)``.
+
+        With ``return_bits`` additionally returns the per-stage binary
+        activation maps (for equivalence tests and debugging).
+        """
+        if images.ndim == 3:
+            images = images[None]
+        if images.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"input {images.shape[1:]} does not match accelerator "
+                f"input {self.input_shape}"
+            )
+        n = images.shape[0]
+        current = self.quantize_input(images)
+        bits_trace = []
+        flat = False
+        for stage in self.stages:
+            if stage.kind == "conv":
+                rows = stage.swu.execute(current)
+                if stage.mvtu.config.input_bits == 1:
+                    out_bits = stage.mvtu.execute(pack_bits(rows.astype(bool)))
+                else:
+                    out_bits = stage.mvtu.execute(rows)
+                oh, ow = stage.swu.config.out_hw
+                fm = out_bits.reshape(n, oh, ow, stage.mvtu.config.rows)
+                if stage.pool is not None:
+                    fm = stage.pool.execute(fm)
+                current = fm
+            else:  # fc
+                if not flat:
+                    current = current.reshape(n, -1)
+                    flat = True
+                packed = pack_bits(np.asarray(current).astype(bool))
+                current = stage.mvtu.execute(packed)
+            if return_bits:
+                bits_trace.append(np.asarray(current))
+        logits = np.asarray(current)
+        if logits.shape != (n, self.num_classes):
+            raise RuntimeError(
+                f"datapath produced {logits.shape}, expected "
+                f"{(n, self.num_classes)} — stage wiring is inconsistent"
+            )
+        if return_bits:
+            return logits, bits_trace
+        return logits
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Argmax classification over the integer logits."""
+        return self.execute(images).argmax(axis=1)
+
+    # -- reporting -----------------------------------------------------------
+    def stage_intervals(self) -> List[Tuple[str, int]]:
+        """(stage name, initiation interval in cycles) per stage."""
+        return [(s.name, s.initiation_interval()) for s in self.stages]
+
+    def weight_bits(self) -> int:
+        """Total on-chip weight storage in bits."""
+        return sum(s.mvtu.config.weight_bits for s in self.stages)
+
+    def total_ops_per_image(self) -> int:
+        """Total MAC-equivalent operations per classified image."""
+        return sum(
+            s.mvtu.ops_per_image(s.vectors_per_image) for s in self.stages
+        )
+
+    def folding(self) -> FoldingConfig:
+        """The PE/SIMD dimensioning actually compiled in."""
+        return FoldingConfig(
+            pe=tuple(s.mvtu.config.pe for s in self.stages),
+            simd=tuple(s.mvtu.config.simd for s in self.stages),
+        )
+
+
+def _iter_blocks(model: Sequential):
+    """Split the layer list into compiler blocks, validating the grammar."""
+    layers = [(name, model[name]) for name in model.layer_names]
+    i = 0
+    while i < len(layers):
+        name, layer = layers[i]
+        if isinstance(layer, Conv2D):  # includes BinaryConv2D
+            if i + 2 >= len(layers) or not (
+                isinstance(layers[i + 1][1], BatchNorm)
+                and isinstance(layers[i + 2][1], SignActivation)
+            ):
+                raise ValueError(
+                    f"conv layer {name!r} must be followed by "
+                    "BatchNorm -> SignActivation"
+                )
+            pool = None
+            consumed = 3
+            if i + 3 < len(layers) and isinstance(layers[i + 3][1], MaxPool2D):
+                pool = layers[i + 3][1]
+                consumed = 4
+            yield ("conv", name, layer, layers[i + 1][1], pool)
+            i += consumed
+        elif isinstance(layer, Flatten):
+            yield ("flatten", name, layer, None, None)
+            i += 1
+        elif isinstance(layer, Dense):  # includes BinaryDense
+            if i + 2 < len(layers) and isinstance(layers[i + 1][1], BatchNorm):
+                if not isinstance(layers[i + 2][1], SignActivation):
+                    raise ValueError(
+                        f"dense layer {name!r} with BatchNorm must be "
+                        "followed by SignActivation"
+                    )
+                yield ("fc", name, layer, layers[i + 1][1], None)
+                i += 3
+            elif i == len(layers) - 1:
+                yield ("logits", name, layer, None, None)
+                i += 1
+            else:
+                raise ValueError(
+                    f"dense layer {name!r} is neither thresholded nor final"
+                )
+        else:
+            raise ValueError(
+                f"layer {name!r} ({type(layer).__name__}) is not part of the "
+                "deployable grammar"
+            )
+
+
+def compile_model(
+    model: Sequential,
+    folding: FoldingConfig,
+    name: str = "accelerator",
+) -> FinnAccelerator:
+    """Compile a trained model into a :class:`FinnAccelerator`.
+
+    The model must be in inference mode with meaningful batch-norm running
+    statistics (i.e. trained); thresholds are folded from those statistics
+    as in §III-A. ``folding`` supplies (PE, SIMD) per MVTU in order.
+    """
+    if model.input_shape is None:
+        raise ValueError("model must be built with input_shape")
+    blocks = list(_iter_blocks(model))
+    mvtu_blocks = [b for b in blocks if b[0] in ("conv", "fc", "logits")]
+    if len(folding) != len(mvtu_blocks):
+        raise ValueError(
+            f"folding has {len(folding)} entries but the model has "
+            f"{len(mvtu_blocks)} MVTU layers"
+        )
+
+    stages: List[HardwareStage] = []
+    shape = tuple(model.input_shape)
+    mvtu_idx = 0
+    first_conv = True
+    num_classes = None
+
+    for kind, lname, layer, bn, pool in blocks:
+        if kind == "flatten":
+            size = int(np.prod(shape))
+            shape = (size,)
+            continue
+        pe = folding.pe[mvtu_idx]
+        simd = folding.simd[mvtu_idx]
+        mvtu_idx += 1
+
+        if kind == "conv":
+            h, w, c = shape
+            kh, kw = layer.kernel_size
+            if layer.stride != (1, 1) or layer.padding != (0, 0):
+                raise ValueError(
+                    f"{lname}: hardware conv supports stride 1, no padding"
+                )
+            rows = layer.out_channels
+            cols = kh * kw * c
+            w_bin = sign(layer.weight.data).reshape(cols, rows).T
+            input_bits = 8 if first_conv else 1
+            scale, shift = bn.fused_scale_shift()
+            if isinstance(layer, XnorConv2D):
+                # XNOR-Net per-filter scales are strictly positive, so
+                # BN(alpha * acc) folds by scaling the BN slope — the
+                # thresholds absorb the scales for free (§II-B trade-off
+                # discussion; see repro.nn.layers.xnor).
+                scale = scale * layer.output_scales()
+            if input_bits == 8:
+                acc_bound = INPUT_SCALE * cols
+                spec = fold_batchnorm_sign(
+                    scale,
+                    shift,
+                    acc_min=-acc_bound,
+                    acc_max=acc_bound,
+                    acc_to_real=1.0 / INPUT_SCALE,
+                )
+            else:
+                spec = fold_popcount_domain(scale, shift, fan_in=cols)
+            cfg = MVTUConfig(
+                name=lname,
+                rows=rows,
+                cols=cols,
+                pe=pe,
+                simd=simd,
+                input_bits=input_bits,
+            )
+            swu = SlidingWindowUnit(
+                SWUConfig(
+                    name=f"{lname}.swu",
+                    in_hw=(h, w),
+                    channels=c,
+                    kernel=(kh, kw),
+                    stride=(1, 1),
+                    simd=simd,
+                )
+            )
+            oh, ow = swu.config.out_hw
+            out_shape = (oh, ow, rows)
+            pool_unit = None
+            if pool is not None:
+                pool_unit = MaxPoolUnit(
+                    MaxPoolUnitConfig(
+                        name=f"{lname}.pool",
+                        in_hw=(oh, ow),
+                        channels=rows,
+                        pool=pool.pool_size,
+                    )
+                )
+                out_shape = pool_unit.config.out_hw + (rows,)
+            stages.append(
+                HardwareStage(
+                    name=lname,
+                    kind="conv",
+                    mvtu=MVTU(cfg, w_bin, spec),
+                    vectors_per_image=oh * ow,
+                    swu=swu,
+                    pool=pool_unit,
+                    in_shape=shape,
+                    out_shape=out_shape,
+                )
+            )
+            shape = out_shape
+            first_conv = False
+        else:  # fc or logits
+            if len(shape) != 1:
+                raise ValueError(
+                    f"{lname}: dense stage reached with non-flat shape {shape} "
+                    "(missing Flatten?)"
+                )
+            if not isinstance(layer, BinaryDense):
+                raise ValueError(
+                    f"{lname}: hardware FC layers must be BinaryDense "
+                    f"(got {type(layer).__name__})"
+                )
+            rows = layer.out_features
+            cols = layer.in_features
+            if cols != shape[0]:
+                raise ValueError(
+                    f"{lname}: fan-in {cols} does not match incoming {shape[0]}"
+                )
+            w_bin = sign(layer.weight.data).T  # (out, in)
+            if kind == "fc":
+                scale, shift = bn.fused_scale_shift()
+                if isinstance(layer, XnorDense):
+                    scale = scale * layer.output_scales()
+                spec = fold_popcount_domain(scale, shift, fan_in=cols)
+                has_threshold = True
+            else:
+                if isinstance(layer, XnorDense):
+                    raise ValueError(
+                        f"{lname}: XNOR-Net scales on the logits layer would "
+                        "need real multipliers in hardware; use BinaryDense "
+                        "for the final layer"
+                    )
+                spec = None
+                has_threshold = False
+                num_classes = rows
+            cfg = MVTUConfig(
+                name=lname,
+                rows=rows,
+                cols=cols,
+                pe=pe,
+                simd=simd,
+                input_bits=1,
+                has_threshold=has_threshold,
+            )
+            stages.append(
+                HardwareStage(
+                    name=lname,
+                    kind="fc",
+                    mvtu=MVTU(cfg, w_bin, spec),
+                    vectors_per_image=1,
+                    in_shape=shape,
+                    out_shape=(rows,),
+                )
+            )
+            shape = (rows,)
+
+    if num_classes is None:
+        raise ValueError("model has no final logits layer")
+    return FinnAccelerator(
+        name=name,
+        stages=stages,
+        input_shape=tuple(model.input_shape),
+        num_classes=num_classes,
+    )

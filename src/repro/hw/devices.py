@@ -1,0 +1,73 @@
+"""Target device catalog: Zynq-7000 SoCs used in the paper (§IV-A).
+
+The experiments target the Xilinx XC7Z020 (Z7020); the µ-CNV design can
+also be synthesised on the more constrained XC7Z010 (Z7010) when XNOR
+operations are offloaded to DSP blocks (OrthrusPE [27]). Resource limits
+are the public Zynq-7000 datasheet values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["Device", "Z7020", "Z7010", "DEVICES", "fit_report"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA SoC target with its programmable-logic resource budget."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    bram36: float  # BRAM in 36Kb-block units
+    dsp48: int
+    default_clock_mhz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.flip_flops, self.dsp48) <= 0 or self.bram36 <= 0:
+            raise ValueError(f"{self.name}: resource budgets must be positive")
+
+    def fits(self, lut: float, bram36: float, dsp: float) -> bool:
+        """Whether a design's requirements fit this device."""
+        return lut <= self.luts and bram36 <= self.bram36 and dsp <= self.dsp48
+
+    def utilisation(self, lut: float, bram36: float, dsp: float) -> Dict[str, float]:
+        """Fractional utilisation per resource class."""
+        return {
+            "lut": lut / self.luts,
+            "bram36": bram36 / self.bram36,
+            "dsp": dsp / self.dsp48,
+        }
+
+
+#: The paper's primary target (e.g. PYNQ-Z1/Z2 boards).
+Z7020 = Device(name="XC7Z020", luts=53_200, flip_flops=106_400, bram36=140, dsp48=220)
+
+#: The heavily constrained low-cost part µ-CNV targets with DSP offload.
+Z7010 = Device(name="XC7Z010", luts=17_600, flip_flops=35_200, bram36=60, dsp48=80)
+
+DEVICES: Dict[str, Device] = {d.name: d for d in (Z7020, Z7010)}
+
+
+def fit_report(lut: float, bram36: float, dsp: float) -> List[str]:
+    """One line per catalog device: fits / which resource overflows."""
+    lines = []
+    for dev in DEVICES.values():
+        if dev.fits(lut, bram36, dsp):
+            util = dev.utilisation(lut, bram36, dsp)
+            lines.append(
+                f"{dev.name}: FITS (lut {util['lut']:.0%}, "
+                f"bram {util['bram36']:.0%}, dsp {util['dsp']:.0%})"
+            )
+        else:
+            over = []
+            if lut > dev.luts:
+                over.append(f"LUT {lut:.0f}>{dev.luts}")
+            if bram36 > dev.bram36:
+                over.append(f"BRAM {bram36:.1f}>{dev.bram36}")
+            if dsp > dev.dsp48:
+                over.append(f"DSP {dsp:.0f}>{dev.dsp48}")
+            lines.append(f"{dev.name}: does not fit ({', '.join(over)})")
+    return lines

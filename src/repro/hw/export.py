@@ -1,0 +1,174 @@
+"""Deployment-package export for a compiled accelerator.
+
+A real FINN flow ends with weight/threshold memory initialisation files
+consumed by the HLS build. This module serialises everything a hardware
+build (or another simulator) needs to re-instantiate a compiled
+:class:`~repro.hw.compiler.FinnAccelerator` **without** the Python
+model: per-stage packed weight words, integer thresholds, folding and
+geometry metadata — and can load such a package back into a functional
+accelerator, verified bit-exact by the test suite.
+
+Package layout (one ``.npz``):
+
+* ``<i>.weights`` — packed ``uint64`` words (binary stages) or ``int32``
+  matrices (the 8-bit first layer);
+* ``<i>.thresholds`` / ``<i>.flipped`` — threshold spec (absent for the
+  logits stage);
+* JSON metadata with stage geometry, folding and datapath parameters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hw.bitpack import PackedBits
+from repro.hw.compiler import FinnAccelerator, HardwareStage
+from repro.hw.maxpool_unit import MaxPoolUnit, MaxPoolUnitConfig
+from repro.hw.mvtu import MVTU, MVTUConfig
+from repro.hw.swu import SlidingWindowUnit, SWUConfig
+from repro.hw.thresholding import ThresholdSpec
+from repro.utils.serialization import load_arrays, save_arrays
+
+__all__ = ["export_accelerator", "load_accelerator"]
+
+PACKAGE_KIND = "binarycop-accelerator"
+PACKAGE_VERSION = 1
+
+
+def export_accelerator(accelerator: FinnAccelerator, path) -> Path:
+    """Serialise a compiled accelerator to a deployment package."""
+    arrays: Dict[str, np.ndarray] = {}
+    stages_meta: List[dict] = []
+    for i, stage in enumerate(accelerator.stages):
+        cfg = stage.mvtu.config
+        if cfg.input_bits == 1:
+            arrays[f"{i}.weights"] = stage.mvtu._packed_weights.words
+        else:
+            arrays[f"{i}.weights"] = stage.mvtu._int_weights
+        spec = stage.mvtu.thresholds
+        if spec is not None:
+            arrays[f"{i}.thresholds"] = spec.thresholds
+            arrays[f"{i}.flipped"] = spec.flipped
+        meta = {
+            "name": stage.name,
+            "kind": stage.kind,
+            "rows": cfg.rows,
+            "cols": cfg.cols,
+            "pe": cfg.pe,
+            "simd": cfg.simd,
+            "input_bits": cfg.input_bits,
+            "has_threshold": cfg.has_threshold,
+            "vectors_per_image": stage.vectors_per_image,
+            "in_shape": list(stage.in_shape),
+            "out_shape": list(stage.out_shape),
+        }
+        if spec is not None:
+            meta["acc_min"] = spec.acc_min
+            meta["acc_max"] = spec.acc_max
+        if stage.swu is not None:
+            meta["swu"] = {
+                "in_hw": list(stage.swu.config.in_hw),
+                "channels": stage.swu.config.channels,
+                "kernel": list(stage.swu.config.kernel),
+            }
+        if stage.pool is not None:
+            meta["pool"] = {
+                "in_hw": list(stage.pool.config.in_hw),
+                "channels": stage.pool.config.channels,
+                "pool": list(stage.pool.config.pool),
+            }
+        stages_meta.append(meta)
+    metadata = {
+        "kind": PACKAGE_KIND,
+        "package_version": PACKAGE_VERSION,
+        "name": accelerator.name,
+        "input_shape": list(accelerator.input_shape),
+        "num_classes": accelerator.num_classes,
+        "stages": stages_meta,
+    }
+    return save_arrays(path, arrays, metadata)
+
+
+def load_accelerator(path) -> FinnAccelerator:
+    """Re-instantiate an accelerator from a deployment package."""
+    arrays, meta = load_arrays(path)
+    if meta.get("kind") != PACKAGE_KIND:
+        raise ValueError(
+            f"{path} is not an accelerator package (kind={meta.get('kind')!r})"
+        )
+    if meta.get("package_version", 0) > PACKAGE_VERSION:
+        raise ValueError(
+            f"package version {meta['package_version']} newer than "
+            f"supported {PACKAGE_VERSION}"
+        )
+    stages: List[HardwareStage] = []
+    for i, sm in enumerate(meta["stages"]):
+        cfg = MVTUConfig(
+            name=sm["name"],
+            rows=sm["rows"],
+            cols=sm["cols"],
+            pe=sm["pe"],
+            simd=sm["simd"],
+            input_bits=sm["input_bits"],
+            has_threshold=sm["has_threshold"],
+        )
+        spec = None
+        if sm["has_threshold"]:
+            spec = ThresholdSpec(
+                thresholds=np.asarray(arrays[f"{i}.thresholds"], dtype=np.int64),
+                flipped=np.asarray(arrays[f"{i}.flipped"], dtype=bool),
+                acc_min=sm["acc_min"],
+                acc_max=sm["acc_max"],
+            )
+        # Rebuild the MVTU without re-validating weights through the
+        # bipolar constructor path: reconstruct from stored arrays.
+        if cfg.input_bits == 1:
+            from repro.hw.bitpack import unpack_bits
+
+            words = np.asarray(arrays[f"{i}.weights"], dtype=np.uint64)
+            weights = unpack_bits(PackedBits(words=words, nbits=cfg.cols))
+        else:
+            weights = np.asarray(arrays[f"{i}.weights"], dtype=np.int32)
+        mvtu = MVTU(cfg, weights, spec)
+        swu = None
+        if "swu" in sm:
+            swu = SlidingWindowUnit(
+                SWUConfig(
+                    name=f"{sm['name']}.swu",
+                    in_hw=tuple(sm["swu"]["in_hw"]),
+                    channels=sm["swu"]["channels"],
+                    kernel=tuple(sm["swu"]["kernel"]),
+                    simd=cfg.simd,
+                )
+            )
+        pool = None
+        if "pool" in sm:
+            pool = MaxPoolUnit(
+                MaxPoolUnitConfig(
+                    name=f"{sm['name']}.pool",
+                    in_hw=tuple(sm["pool"]["in_hw"]),
+                    channels=sm["pool"]["channels"],
+                    pool=tuple(sm["pool"]["pool"]),
+                )
+            )
+        stages.append(
+            HardwareStage(
+                name=sm["name"],
+                kind=sm["kind"],
+                mvtu=mvtu,
+                vectors_per_image=sm["vectors_per_image"],
+                swu=swu,
+                pool=pool,
+                in_shape=tuple(sm["in_shape"]),
+                out_shape=tuple(sm["out_shape"]),
+            )
+        )
+    return FinnAccelerator(
+        name=meta["name"],
+        stages=stages,
+        input_shape=tuple(meta["input_shape"]),
+        num_classes=meta["num_classes"],
+    )

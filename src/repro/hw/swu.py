@@ -1,0 +1,96 @@
+"""Sliding Window Unit (SWU).
+
+"For convolutional layers, an additional sliding-window unit reshapes the
+binarized activation maps to create a single, wide input feature map
+memory, which can efficiently be accessed by the corresponding MVTU"
+(§III-B). Functionally this is im2col over *bit* tensors; in timing terms
+the unit streams one SIMD-wide group of window elements per cycle, so its
+initiation interval per image is::
+
+    out_h * out_w * (K*K*C / simd)
+
+The SWU and its MVTU run concurrently in the dataflow pipeline; whichever
+is slower bounds the layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.functional import conv_output_hw, im2col
+
+__all__ = ["SWUConfig", "SlidingWindowUnit"]
+
+
+@dataclass(frozen=True)
+class SWUConfig:
+    """Geometry of one sliding-window unit."""
+
+    name: str
+    in_hw: Tuple[int, int]
+    channels: int
+    kernel: Tuple[int, int] = (3, 3)
+    stride: Tuple[int, int] = (1, 1)
+    simd: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError(f"{self.name}: channels must be positive")
+        if self.simd <= 0:
+            raise ValueError(f"{self.name}: simd must be positive")
+        window = self.kernel[0] * self.kernel[1] * self.channels
+        if window % self.simd != 0:
+            raise ValueError(
+                f"{self.name}: SIMD={self.simd} does not divide window "
+                f"size {window}"
+            )
+        conv_output_hw(self.in_hw, self.kernel, self.stride, (0, 0))
+
+    @property
+    def out_hw(self) -> Tuple[int, int]:
+        return conv_output_hw(self.in_hw, self.kernel, self.stride, (0, 0))
+
+    @property
+    def window_elems(self) -> int:
+        return self.kernel[0] * self.kernel[1] * self.channels
+
+
+class SlidingWindowUnit:
+    """Functional + timed SWU."""
+
+    def __init__(self, config: SWUConfig) -> None:
+        self.config = config
+
+    def execute(self, feature_map: np.ndarray) -> np.ndarray:
+        """Reshape ``(n, H, W, C)`` maps into ``(n * oh * ow, K*K*C)`` rows.
+
+        Works on any dtype (bits travel as bool/int8; the first layer's
+        pixels as uint8/int32). Row order is raster-scan over output
+        pixels — the order the MVTU consumes.
+        """
+        cfg = self.config
+        n, h, w, c = feature_map.shape
+        if (h, w) != cfg.in_hw or c != cfg.channels:
+            raise ValueError(
+                f"{cfg.name}: feature map {feature_map.shape[1:]} does not "
+                f"match configured {cfg.in_hw + (cfg.channels,)}"
+            )
+        # im2col is float-typed; keep integer semantics by casting through
+        # a wide integer when the input is integral.
+        if np.issubdtype(feature_map.dtype, np.integer) or feature_map.dtype == bool:
+            cols = im2col(
+                feature_map.astype(np.float64), cfg.kernel, cfg.stride, (0, 0)
+            )
+            out = np.rint(cols).astype(np.int64)
+        else:
+            out = im2col(feature_map, cfg.kernel, cfg.stride, (0, 0))
+        oh, ow = cfg.out_hw
+        return out.reshape(n * oh * ow, cfg.window_elems)
+
+    def cycles_per_image(self) -> int:
+        """Streaming initiation interval for one image."""
+        oh, ow = self.config.out_hw
+        return oh * ow * (self.config.window_elems // self.config.simd)

@@ -1,0 +1,77 @@
+"""XNOR + popcount GEMM kernels (Eq. 3 of the paper).
+
+For bipolar vectors ``a, b`` of length ``F`` encoded as bits
+(``+1 -> 1``), the dot product is::
+
+    a . b = 2 * popcount(XNOR(a, b)) - F
+
+The kernels below compute the *popcount of matches* ``p`` — what the
+hardware accumulates — with the bipolar accumulator recoverable as
+``2p - F``. Implementation notes (per the hpc-parallel guides): the
+XNOR of tail padding is masked off by construction (both operands pad
+with zero bits, XNOR would count them as matches, so we XOR and count
+mismatches of the *valid* prefix instead: matches = F - mismatches; XOR
+of zero padding is zero and contributes no mismatches — no explicit tail
+mask needed), and large batch×neuron products are blocked to bound the
+``(M, N, W)`` intermediate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.bitpack import PackedBits, popcount
+
+__all__ = ["xnor_matmul_popcount", "xnor_dot_popcount", "bipolar_from_popcount"]
+
+# Block size (rows of A per slab) keeping the (block, N, W) xor tensor
+# small enough to stay cache-friendly on a laptop-class core.
+_BLOCK_ELEMS = 4_000_000
+
+
+def bipolar_from_popcount(p: np.ndarray, fan_in: int) -> np.ndarray:
+    """Convert a match-popcount ``p`` to the bipolar accumulator ``2p - F``."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    return 2 * p.astype(np.int64) - int(fan_in)
+
+
+def xnor_dot_popcount(a: PackedBits, b: PackedBits) -> np.ndarray:
+    """Element-wise-broadcast XNOR dot of two packed tensors.
+
+    ``a`` and ``b`` must share ``nbits`` and have broadcastable leading
+    shapes; returns the match count with the broadcast shape.
+    """
+    if a.nbits != b.nbits:
+        raise ValueError(f"bit lengths differ: {a.nbits} vs {b.nbits}")
+    mismatches = popcount(np.bitwise_xor(a.words, b.words)).sum(axis=-1)
+    return a.nbits - mismatches
+
+
+def xnor_matmul_popcount(a: PackedBits, b: PackedBits) -> np.ndarray:
+    """Binary GEMM: returns ``(M, N)`` match counts.
+
+    ``a`` packs ``(M, F)`` activations; ``b`` packs ``(N, F)`` weight rows
+    (one row per output neuron — note this is the *transpose* of the
+    float GEMM convention, matching the hardware's weight layout where
+    each PE holds whole rows).
+    """
+    if a.words.ndim != 2 or b.words.ndim != 2:
+        raise ValueError(
+            f"expected 2-D packed operands, got {a.words.shape} and {b.words.shape}"
+        )
+    if a.nbits != b.nbits:
+        raise ValueError(f"fan-in mismatch: {a.nbits} vs {b.nbits}")
+    m = a.words.shape[0]
+    n = b.words.shape[0]
+    w = a.n_words
+    out = np.empty((m, n), dtype=np.int64)
+    block = max(1, _BLOCK_ELEMS // max(1, n * w))
+    bw = b.words[None, :, :]
+    for start in range(0, m, block):
+        stop = min(m, start + block)
+        xor = np.bitwise_xor(a.words[start:stop, None, :], bw)
+        out[start:stop] = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
+    # out currently holds mismatch counts; matches = F - mismatches.
+    np.subtract(a.nbits, out, out=out)
+    return out

@@ -1,0 +1,57 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+Implements everything §III-A of the paper needs: binary convolutions and
+dense layers with latent FP32 weights, sign activations with straight-
+through estimators, batch normalisation (foldable to hardware thresholds),
+max pooling, optimizers with latent-weight clipping, losses, LR schedules
+and a training loop.
+"""
+
+from repro.nn.binary_ops import sign, ste_grad
+from repro.nn.layers import (
+    BatchNorm,
+    BinaryConv2D,
+    BinaryDense,
+    Conv2D,
+    Dense,
+    Flatten,
+    HardTanh,
+    MaxPool2D,
+    ReLU,
+    SignActivation,
+)
+from repro.nn.losses import cross_entropy, squared_hinge
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.profiler import LayerProfiler, ProfileResult
+from repro.nn.sequential import Sequential
+from repro.nn.trainer import EarlyStopping, History, Trainer, evaluate_accuracy, predict_classes
+
+__all__ = [
+    "Adam",
+    "BatchNorm",
+    "BinaryConv2D",
+    "BinaryDense",
+    "Conv2D",
+    "Dense",
+    "EarlyStopping",
+    "Flatten",
+    "HardTanh",
+    "LayerProfiler",
+    "History",
+    "MaxPool2D",
+    "Module",
+    "Parameter",
+    "ProfileResult",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "SignActivation",
+    "Trainer",
+    "cross_entropy",
+    "evaluate_accuracy",
+    "predict_classes",
+    "sign",
+    "squared_hinge",
+    "ste_grad",
+]

@@ -1,0 +1,100 @@
+"""Binarisation primitives: sign(), straight-through estimators, packing prep.
+
+Implements §III-A of the paper: the deterministic ``sign`` binarisation of
+Eq. 1 (with the convention ``sign(0) = +1``), and the straight-through
+estimator (STE) used to propagate gradients through it. Two STE variants
+are provided:
+
+* ``"identity"`` — pure pass-through (BinaryConnect [13]);
+* ``"clipped"`` — pass-through gated on ``|x| <= 1`` (BinaryNet [11],
+  equivalent to differentiating a hard-tanh). This is the paper's default.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+__all__ = [
+    "sign",
+    "ste_grad",
+    "STEVariant",
+    "binary_tanh_forward",
+    "hard_sigmoid",
+    "stochastic_sign",
+]
+
+STEVariant = Literal["identity", "clipped"]
+
+_STE_VARIANTS = ("identity", "clipped")
+
+
+def sign(x: np.ndarray) -> np.ndarray:
+    """Deterministic binarisation per Eq. 1: ``+1`` if ``x >= 0`` else ``-1``.
+
+    Note this differs from :func:`numpy.sign` (which maps 0 to 0); the
+    hardware expresses ``-1`` as bit 0 and ``+1`` as bit 1, so zero must
+    bind to one of the two values — the paper (and FINN) choose ``+1``.
+    """
+    out = np.ones_like(x, dtype=np.float32)
+    np.negative(out, where=np.asarray(x) < 0, out=out)
+    return out
+
+
+def ste_grad(
+    grad_output: np.ndarray,
+    pre_activation: np.ndarray,
+    variant: STEVariant = "clipped",
+) -> np.ndarray:
+    """Gradient of the loss w.r.t. the *input* of ``sign`` under an STE.
+
+    Parameters
+    ----------
+    grad_output:
+        Gradient w.r.t. the binarised output.
+    pre_activation:
+        The (latent) values that were binarised in the forward pass.
+    variant:
+        ``"identity"`` passes the gradient through unchanged;
+        ``"clipped"`` zeroes it where ``|pre_activation| > 1``, which both
+        stabilises training and prevents latent values from drifting once
+        saturated.
+    """
+    if variant not in _STE_VARIANTS:
+        raise ValueError(
+            f"unknown STE variant {variant!r}; expected one of {_STE_VARIANTS}"
+        )
+    if variant == "identity":
+        return grad_output.astype(np.float32, copy=True)
+    mask = (np.abs(pre_activation) <= 1.0).astype(np.float32)
+    return grad_output * mask
+
+
+def hard_sigmoid(x: np.ndarray) -> np.ndarray:
+    """``clip((x + 1) / 2, 0, 1)`` — BinaryNet's binarisation probability."""
+    return np.clip((np.asarray(x, dtype=np.float32) + 1.0) * 0.5, 0.0, 1.0)
+
+
+def stochastic_sign(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Stochastic binarisation: ``+1`` with probability ``hard_sigmoid(x)``.
+
+    The training-time regulariser from Courbariaux et al. [13]/[11]: the
+    expectation equals the hard-tanh of ``x``, so the estimator is
+    unbiased within the linear region while injecting quantisation noise.
+    Inference always uses the deterministic :func:`sign` (hardware has no
+    RNG in the datapath), which is why the activation layer only applies
+    this in training mode.
+    """
+    p = hard_sigmoid(x)
+    draws = rng.random(size=p.shape)
+    return np.where(draws < p, 1.0, -1.0).astype(np.float32)
+
+
+def binary_tanh_forward(x: np.ndarray) -> np.ndarray:
+    """Alias of :func:`sign` named after its smooth proxy (hard-tanh).
+
+    Provided for readability at call sites that think of the activation as
+    a binarised tanh rather than a weight binariser.
+    """
+    return sign(x)

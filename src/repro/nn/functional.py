@@ -1,0 +1,184 @@
+"""Vectorised tensor primitives: padding, im2col/col2im, pooling windows.
+
+All convolutions in this library lower to GEMM via im2col. The forward
+im2col is a zero-copy view built with
+:func:`numpy.lib.stride_tricks.sliding_window_view`; the backward col2im
+scatter-add loops only over the :math:`K \\times K` kernel offsets (9
+iterations for the paper's 3x3 kernels) with everything else vectorised —
+the standard high-performance numpy formulation.
+
+Layout: activations are NHWC; weight tensors are ``(K, K, C_in, C_out)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "conv_output_hw",
+    "pad_nhwc",
+    "im2col",
+    "col2im",
+    "pool_windows",
+    "unpool_windows",
+]
+
+
+def conv_output_hw(
+    in_hw: Tuple[int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[int, int]:
+    """Output spatial size of a convolution/pool with the given geometry."""
+    h, w = in_hw
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride}, padding {padding} does "
+            f"not fit input {in_hw}"
+        )
+    return out_h, out_w
+
+
+def pad_nhwc(x: np.ndarray, padding: Tuple[int, int], value: float = 0.0) -> np.ndarray:
+    """Pad the spatial dims of an NHWC tensor with a constant."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (ph, ph), (pw, pw), (0, 0)),
+        mode="constant",
+        constant_values=value,
+    )
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Extract convolution patches from an NHWC tensor.
+
+    Returns an array of shape ``(N, out_h, out_w, kh * kw * C)``. The last
+    axis is ordered ``(kh, kw, C)`` — row-major over the kernel window with
+    channels fastest — which matches the flattening of ``(K, K, C_in, C_out)``
+    weights into a ``(K*K*C_in, C_out)`` GEMM operand, and is the order the
+    hardware sliding-window unit streams.
+
+    The returned array is a contiguous copy (the GEMM wants contiguity).
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    kh, kw = kernel
+    sh, sw = stride
+    xp = pad_nhwc(x, padding, pad_value)
+    # windows: (N, H', W', C, kh, kw) -> slice strides -> reorder to (kh,kw,C)
+    windows = sliding_window_view(xp, (kh, kw), axis=(1, 2))
+    windows = windows[:, ::sh, ::sw]  # (N, out_h, out_w, C, kh, kw)
+    windows = windows.transpose(0, 1, 2, 4, 5, 3)  # (N, oh, ow, kh, kw, C)
+    n, oh, ow = windows.shape[:3]
+    return np.ascontiguousarray(windows).reshape(n, oh, ow, kh * kw * x.shape[3])
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch gradients back.
+
+    ``cols`` has shape ``(N, out_h, out_w, kh * kw * C)``; returns a tensor
+    of ``input_shape`` (NHWC). Pixels covered by multiple windows receive
+    the sum of contributions, making this the exact transpose of im2col.
+    """
+    n, h, w, c = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv_output_hw((h, w), kernel, stride, padding)
+    if cols.shape != (n, out_h, out_w, kh * kw * c):
+        raise ValueError(
+            f"cols shape {cols.shape} inconsistent with input {input_shape}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    cols6 = cols.reshape(n, out_h, out_w, kh, kw, c)
+    padded = np.zeros((n, h + 2 * ph, w + 2 * pw, c), dtype=cols.dtype)
+    # Loop only over the (kh, kw) kernel offsets; each iteration adds one
+    # strided slab — fully vectorised over batch and spatial dims.
+    for i in range(kh):
+        hi = i + sh * out_h
+        for j in range(kw):
+            wj = j + sw * out_w
+            padded[:, i:hi:sh, j:wj:sw, :] += cols6[:, :, :, i, j, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, ph : ph + h, pw : pw + w, :]
+
+
+def pool_windows(
+    x: np.ndarray, pool: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Gather pooling windows: returns ``(N, out_h, out_w, kh*kw, C)``.
+
+    Requires the input to tile exactly (no padding) — the paper's
+    architectures only use 2x2/2 pooling on even feature maps, and the
+    hardware max-pool unit has the same constraint.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    kh, kw = pool
+    sh, sw = stride
+    n, h, w, c = x.shape
+    if (h - kh) % sh != 0 or (w - kw) % sw != 0:
+        raise ValueError(
+            f"pool {pool}/stride {stride} does not tile input {h}x{w} exactly"
+        )
+    windows = sliding_window_view(x, (kh, kw), axis=(1, 2))
+    windows = windows[:, ::sh, ::sw]  # (N, oh, ow, C, kh, kw)
+    oh, ow = windows.shape[1:3]
+    windows = windows.transpose(0, 1, 2, 4, 5, 3).reshape(n, oh, ow, kh * kw, c)
+    return np.ascontiguousarray(windows)
+
+
+def unpool_windows(
+    grads: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    pool: Tuple[int, int],
+    stride: Tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`pool_windows` for non-overlapping windows.
+
+    ``grads`` has shape ``(N, out_h, out_w, kh*kw, C)``. Only supports
+    ``stride == pool`` (non-overlapping), which is all the paper uses; the
+    scatter then becomes a pure reshape/transpose with no accumulation.
+    """
+    kh, kw = pool
+    sh, sw = stride
+    if (sh, sw) != (kh, kw):
+        raise NotImplementedError("unpool only supports non-overlapping windows")
+    n, h, w, c = input_shape
+    oh, ow = grads.shape[1:3]
+    if grads.shape != (n, oh, ow, kh * kw, c):
+        raise ValueError(f"grads shape {grads.shape} inconsistent")
+    if oh * kh != h or ow * kw != w:
+        raise ValueError(
+            f"pool {pool} does not tile input {h}x{w} exactly "
+            f"(pool_windows would have rejected this input)"
+        )
+    g6 = grads.reshape(n, oh, ow, kh, kw, c)
+    # Exact tiling: the scatter is a pure transpose + reshape, no adds.
+    out = g6.transpose(0, 1, 3, 2, 4, 5).reshape(n, h, w, c)
+    return np.ascontiguousarray(out)

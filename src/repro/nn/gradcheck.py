@@ -1,0 +1,110 @@
+"""Finite-difference gradient checking for layers and losses.
+
+Used by the test suite to certify every differentiable layer's backward
+pass against central differences. Binary layers are *not* differentiable
+in the analytic sense (the STE is a surrogate), so gradcheck applies to
+the full-precision layers and to STE-free paths only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["numeric_gradient", "check_layer_input_grad", "check_layer_param_grads"]
+
+
+def numeric_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` at ``x`` (float64)."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(x)
+        flat[i] = orig - eps
+        f_minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def _scalar_projection(shape: Tuple[int, ...], seed: int = 987654321) -> np.ndarray:
+    """A fixed random projection turning a tensor output into a scalar.
+
+    The seed is deliberately obscure: if it collided with the seed a test
+    used to draw its input, the objective could become degenerate (e.g.
+    for batch-norm, ``sum(x * BN(x))`` has an exactly-zero gradient).
+    """
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape).astype(np.float64)
+
+
+def check_layer_input_grad(
+    layer: Module,
+    x: np.ndarray,
+    eps: float = 1e-3,
+    atol: float = 5e-4,
+    rtol: float = 1e-2,
+) -> None:
+    """Assert the layer's input gradient matches finite differences.
+
+    The scalar objective is ``sum(P * layer(x))`` for a fixed random
+    projection ``P``, whose analytic input gradient is
+    ``layer.backward(P)``.
+    """
+    layer.train()
+    out = layer.forward(x.astype(np.float32))
+    proj = _scalar_projection(out.shape)
+
+    def objective(x64: np.ndarray) -> float:
+        return float((layer.forward(x64.astype(np.float32)) * proj).sum())
+
+    layer.zero_grad()
+    layer.forward(x.astype(np.float32))
+    analytic = layer.backward(proj.astype(np.float32)).astype(np.float64)
+    numeric = numeric_gradient(objective, x.astype(np.float64), eps)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def check_layer_param_grads(
+    layer: Module,
+    x: np.ndarray,
+    eps: float = 1e-3,
+    atol: float = 5e-4,
+    rtol: float = 1e-2,
+) -> None:
+    """Assert every parameter gradient matches finite differences."""
+    layer.train()
+    out = layer.forward(x.astype(np.float32))
+    proj = _scalar_projection(out.shape)
+    layer.zero_grad()
+    layer.forward(x.astype(np.float32))
+    layer.backward(proj.astype(np.float32))
+    for name, p in layer.named_parameters():
+        if p.grad is None:
+            raise AssertionError(f"parameter {name} received no gradient")
+        original = p.data.copy()
+
+        def objective(theta: np.ndarray) -> float:
+            p.data = theta.astype(np.float32)
+            try:
+                return float((layer.forward(x.astype(np.float32)) * proj).sum())
+            finally:
+                p.data = original
+
+        numeric = numeric_gradient(objective, original.astype(np.float64), eps)
+        np.testing.assert_allclose(
+            p.grad.astype(np.float64),
+            numeric,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"parameter {name}",
+        )

@@ -1,0 +1,81 @@
+"""Weight initialisers.
+
+Binary layers train from latent full-precision weights; Glorot-uniform
+initialisation keeps early latent magnitudes inside the clipped-STE window
+``[-1, 1]`` so every weight can still flip sign during training.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["glorot_uniform", "he_normal", "uniform", "zeros", "ones", "get"]
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Fan-in/out for dense ``(in, out)`` and conv ``(K, K, C_in, C_out)``."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[0] * shape[1]
+        return receptive * shape[2], receptive * shape[3]
+    raise ValueError(f"cannot infer fans for shape {shape}")
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fi+fo))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return as_generator(rng).uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """He normal: N(0, sqrt(2/fan_in)); the usual choice before ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    std = float(np.sqrt(2.0 / fan_in))
+    return (as_generator(rng).standard_normal(shape) * std).astype(np.float32)
+
+
+def uniform(
+    shape: Tuple[int, ...], rng: RngLike = None, low: float = -0.1, high: float = 0.1
+) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high)``."""
+    return as_generator(rng).uniform(low, high, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """All-zeros (biases, batch-norm beta)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """All-ones (batch-norm gamma)."""
+    return np.ones(shape, dtype=np.float32)
+
+
+_REGISTRY = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "uniform": uniform,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get(name_or_fn) -> Initializer:
+    """Look up an initialiser by name, or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _REGISTRY[name_or_fn]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name_or_fn!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,24 @@
+"""Layer zoo for the numpy neural-network substrate."""
+
+from repro.nn.layers.activation import HardTanh, ReLU, SignActivation
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.layers.conv import BinaryConv2D, Conv2D
+from repro.nn.layers.dense import BinaryDense, Dense
+from repro.nn.layers.pooling import MaxPool2D
+from repro.nn.layers.reshape import Flatten
+from repro.nn.layers.xnor import XnorConv2D, XnorDense
+
+__all__ = [
+    "BatchNorm",
+    "BinaryConv2D",
+    "BinaryDense",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "HardTanh",
+    "MaxPool2D",
+    "ReLU",
+    "SignActivation",
+    "XnorConv2D",
+    "XnorDense",
+]

@@ -1,0 +1,108 @@
+"""Activation layers: binarising sign (with STE), ReLU, HardTanh."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.binary_ops import STEVariant, sign, ste_grad, stochastic_sign
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["SignActivation", "ReLU", "HardTanh"]
+
+
+class SignActivation(Module):
+    """Binarising activation :math:`h = \\mathrm{sign}(a)` (Eq. 2).
+
+    Forward maps every element to ``{-1, +1}``; backward applies the
+    straight-through estimator. With the default clipped STE this layer
+    behaves like a hard-tanh whose output has been rounded to its
+    saturation values — the standard BinaryNet activation.
+
+    With ``stochastic=True`` the *training* forward samples the sign with
+    probability ``hard_sigmoid(x)`` (the regularising variant of [13]);
+    inference always binarises deterministically, matching the hardware.
+    """
+
+    def __init__(
+        self,
+        ste: STEVariant = "clipped",
+        stochastic: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.ste = ste
+        self.stochastic = bool(stochastic)
+        self._rng = as_generator(rng) if stochastic else None
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x if self.training else None
+        if self.stochastic and self.training:
+            return stochastic_sign(x, self._rng)
+        return sign(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called without a preceding training-mode forward"
+            )
+        return ste_grad(grad_output, self._cache, self.ste)
+
+    def clear_cache(self) -> None:
+        self._cache = None
+        super().clear_cache()
+
+
+class ReLU(Module):
+    """Rectified linear unit (used by the FP32 comparison model)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.maximum(x, 0.0).astype(np.float32)
+        self._cache = (x > 0) if self.training else None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called without a preceding training-mode forward"
+            )
+        return (grad_output * self._cache).astype(np.float32)
+
+    def clear_cache(self) -> None:
+        self._cache = None
+        super().clear_cache()
+
+
+class HardTanh(Module):
+    """Saturating linear activation ``clip(x, -1, 1)``.
+
+    The smooth proxy of ``sign``; useful for ablations that replace
+    binarisation with its relaxed counterpart.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.clip(x, -1.0, 1.0).astype(np.float32)
+        self._cache = (np.abs(x) <= 1.0) if self.training else None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called without a preceding training-mode forward"
+            )
+        return (grad_output * self._cache).astype(np.float32)
+
+    def clear_cache(self) -> None:
+        self._cache = None
+        super().clear_cache()

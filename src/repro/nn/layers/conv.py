@@ -1,0 +1,174 @@
+"""2-D convolution layers: full-precision and binary-weight variants.
+
+Both lower to GEMM via im2col. :class:`BinaryConv2D` implements the paper's
+Eq. 2/3 weight path: latent FP32 weights are binarised with ``sign`` in the
+forward pass and trained through a straight-through estimator; the layer's
+input is whatever the previous activation produced (binary ``{-1,+1}``
+except for the first layer, which sees the RGB image — exactly as in
+BinaryNet/FINN, where layer 1 consumes fixed-point pixels).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import initializers
+from repro.nn.binary_ops import STEVariant, sign, ste_grad
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike
+from repro.utils.tensor_checks import as_pair
+
+__all__ = ["Conv2D", "BinaryConv2D"]
+
+
+class Conv2D(Module):
+    """Full-precision 2-D convolution (NHWC in, NHWC out).
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts; weights are ``(K, K, C_in, C_out)``.
+    kernel_size, stride, padding:
+        Ints or pairs. The paper uses ``K=3``, stride 1, no padding
+        ("valid"), matching the FINN CNV topology.
+    use_bias:
+        The paper's layers are all followed by batch-norm, which absorbs
+        any bias, so the default is ``False``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size=3,
+        stride=1,
+        padding=0,
+        use_bias: bool = False,
+        initializer="glorot_uniform",
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError(
+                f"channel counts must be positive, got {in_channels}, {out_channels}"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = as_pair(kernel_size, "kernel_size")
+        self.stride = as_pair(stride, "stride")
+        self.padding = as_pair(padding, "padding")
+        init = initializers.get(initializer)
+        kh, kw = self.kernel_size
+        self.register_parameter(
+            "weight",
+            Parameter(init((kh, kw, self.in_channels, self.out_channels), rng)),
+        )
+        if use_bias:
+            self.register_parameter(
+                "bias",
+                Parameter(
+                    np.zeros(self.out_channels, dtype=np.float32),
+                    weight_decay=False,
+                ),
+            )
+        else:
+            self.bias: Optional[Parameter] = None
+        self._cache = None
+
+    # -- shape ---------------------------------------------------------------
+    def output_shape(self, input_shape):
+        h, w, c = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{type(self).__name__} expects {self.in_channels} input "
+                f"channels, got shape {input_shape}"
+            )
+        oh, ow = F.conv_output_hw((h, w), self.kernel_size, self.stride, self.padding)
+        return (oh, ow, self.out_channels)
+
+    # -- weight materialisation (overridden by the binary variant) -----------
+    def effective_weight(self) -> np.ndarray:
+        """Weight tensor actually convolved in the forward pass."""
+        return self.weight.data
+
+    def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
+        """Map gradient w.r.t. effective weight back to the latent weight."""
+        return grad_w
+
+    # -- compute --------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"{type(self).__name__} expected (N,H,W,{self.in_channels}), "
+                f"got {x.shape}"
+            )
+        w_eff = self.effective_weight()
+        cols = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        n, oh, ow, patch = cols.shape
+        w2d = w_eff.reshape(patch, self.out_channels)
+        out = cols.reshape(-1, patch) @ w2d
+        out = out.reshape(n, oh, ow, self.out_channels)
+        if self.bias is not None:
+            out += self.bias.data
+        if self.training:
+            self._cache = (x.shape, cols, w_eff)
+        else:
+            self._cache = None
+        return out.astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called without a preceding training-mode forward"
+            )
+        x_shape, cols, w_eff = self._cache
+        n, oh, ow, _ = grad_output.shape
+        patch = cols.shape[3]
+        g2d = grad_output.reshape(-1, self.out_channels)
+        # dL/dW_eff = cols^T @ g
+        grad_w = (cols.reshape(-1, patch).T @ g2d).reshape(w_eff.shape)
+        self.weight.accumulate_grad(self._weight_grad_to_latent(grad_w))
+        if self.bias is not None:
+            self.bias.accumulate_grad(g2d.sum(axis=0))
+        # dL/dcols = g @ W_eff^T, scattered back to the input.
+        grad_cols = (g2d @ w_eff.reshape(patch, self.out_channels).T).reshape(
+            n, oh, ow, patch
+        )
+        return F.col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
+
+    def clear_cache(self) -> None:
+        self._cache = None
+        super().clear_cache()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}({self.in_channels}->{self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class BinaryConv2D(Conv2D):
+    """Convolution with 1-bit weights (latent FP32, ``sign`` in forward).
+
+    The straight-through estimator passes ``dL/dW_bin`` back to the latent
+    weight; with ``ste="clipped"`` the gradient is masked where the latent
+    magnitude exceeds 1 (BinaryNet). The optimizer additionally clips
+    latent weights to ``[-1, 1]`` after each update (``latent_binary``
+    flag on the parameter).
+    """
+
+    def __init__(self, *args, ste: STEVariant = "clipped", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.ste = ste
+        self.weight.latent_binary = True
+        # Binary layers do not use L2 decay: it fights the sign objective.
+        self.weight.weight_decay = False
+
+    def effective_weight(self) -> np.ndarray:
+        return sign(self.weight.data)
+
+    def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
+        return ste_grad(grad_w, self.weight.data, self.ste)

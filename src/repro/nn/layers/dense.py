@@ -1,0 +1,115 @@
+"""Fully-connected layers: full-precision and binary-weight variants."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.binary_ops import STEVariant, sign, ste_grad
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike
+
+__all__ = ["Dense", "BinaryDense"]
+
+
+class Dense(Module):
+    """Affine layer ``y = x W (+ b)`` with weights ``(in, out)``.
+
+    Input is ``(N, in_features)``; use a Flatten layer ahead of this when
+    coming from a convolutional stack.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = False,
+        initializer="glorot_uniform",
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"feature counts must be positive, got {in_features}, {out_features}"
+            )
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        init = initializers.get(initializer)
+        self.register_parameter(
+            "weight", Parameter(init((self.in_features, self.out_features), rng))
+        )
+        if use_bias:
+            self.register_parameter(
+                "bias",
+                Parameter(
+                    np.zeros(self.out_features, dtype=np.float32),
+                    weight_decay=False,
+                ),
+            )
+        else:
+            self.bias: Optional[Parameter] = None
+        self._cache: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape):
+        if len(input_shape) != 1 or input_shape[0] != self.in_features:
+            raise ValueError(
+                f"{type(self).__name__} expects ({self.in_features},), "
+                f"got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def effective_weight(self) -> np.ndarray:
+        """Weight matrix actually multiplied in the forward pass."""
+        return self.weight.data
+
+    def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
+        return grad_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{type(self).__name__} expected (N, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        w_eff = self.effective_weight()
+        out = x @ w_eff
+        if self.bias is not None:
+            out += self.bias.data
+        self._cache = (x, w_eff) if self.training else None
+        return out.astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called without a preceding training-mode forward"
+            )
+        x, w_eff = self._cache
+        self.weight.accumulate_grad(self._weight_grad_to_latent(x.T @ grad_output))
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_output.sum(axis=0))
+        return grad_output @ w_eff.T
+
+    def clear_cache(self) -> None:
+        self._cache = None
+        super().clear_cache()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.in_features}->{self.out_features})"
+
+
+class BinaryDense(Dense):
+    """Fully-connected layer with 1-bit weights (latent FP32 + STE)."""
+
+    def __init__(self, *args, ste: STEVariant = "clipped", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.ste = ste
+        self.weight.latent_binary = True
+        self.weight.weight_decay = False
+
+    def effective_weight(self) -> np.ndarray:
+        return sign(self.weight.data)
+
+    def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
+        return ste_grad(grad_w, self.weight.data, self.ste)

@@ -1,0 +1,72 @@
+"""Max pooling.
+
+In the BNN deployment, pooling is applied to *binary* feature maps, where
+``max`` degenerates to boolean OR (a single +1 in the window forces the
+output to +1) — the trick §III-B exploits in hardware. The software layer
+here is a general float max-pool so it can also sit in FP32 baselines; the
+binary-OR equivalence is asserted by tests and by the hardware compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.utils.tensor_checks import as_pair
+
+__all__ = ["MaxPool2D"]
+
+
+class MaxPool2D(Module):
+    """Non-overlapping max pooling (default 2x2, stride = pool size)."""
+
+    def __init__(self, pool_size=2, stride=None) -> None:
+        super().__init__()
+        self.pool_size = as_pair(pool_size, "pool_size")
+        self.stride = as_pair(stride, "stride") if stride is not None else self.pool_size
+        if self.stride != self.pool_size:
+            raise NotImplementedError(
+                "MaxPool2D supports only non-overlapping windows "
+                "(stride == pool_size), which is all the paper uses"
+            )
+
+    def output_shape(self, input_shape):
+        h, w, c = input_shape
+        oh, ow = F.conv_output_hw((h, w), self.pool_size, self.stride, (0, 0))
+        return (oh, ow, c)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        windows = F.pool_windows(x, self.pool_size, self.stride)
+        out = windows.max(axis=3)
+        if self.training:
+            # Route gradients only through the first maximal element of each
+            # window (ties broken by argmax), matching subgradient practice.
+            argmax = windows.argmax(axis=3)
+            self._cache = (x.shape, argmax)
+        else:
+            self._cache = None
+        return out.astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called without a preceding training-mode forward"
+            )
+        x_shape, argmax = self._cache
+        kh, kw = self.pool_size
+        n, oh, ow, c = grad_output.shape
+        window_grads = np.zeros((n, oh, ow, kh * kw, c), dtype=np.float32)
+        np.put_along_axis(
+            window_grads, argmax[:, :, :, None, :], grad_output[:, :, :, None, :], axis=3
+        )
+        return F.unpool_windows(window_grads, x_shape, self.pool_size, self.stride)
+
+    def clear_cache(self) -> None:
+        self._cache = None
+        super().clear_cache()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MaxPool2D({self.pool_size})"

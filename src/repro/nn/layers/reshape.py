@@ -1,0 +1,43 @@
+"""Shape adapters between convolutional (NHWC) and dense (NC) stages."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Flatten ``(N, H, W, C)`` to ``(N, H*W*C)``.
+
+    The flattening order (H, then W, then C — numpy C-order) is part of
+    the model contract: the hardware compiler reuses it when laying out
+    the first fully-connected layer's weight matrix.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape):
+        size = 1
+        for dim in input_shape:
+            size *= int(dim)
+        return (size,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache = None
+        super().clear_cache()

@@ -1,0 +1,86 @@
+"""XNOR-Net-style binary layers with real-valued scaling factors.
+
+§II-B of the paper discusses XNOR-Net [12] as the higher-capacity
+alternative to plain BinaryNet: "the introduction of scaling factors
+improves the information capacity of the network at the cost of more
+trainable parameters ... this adds to the computational complexity of
+XNOR-Net at deployment time. For the task of face-mask detection with
+low scene complexity, more efficient forms of BNNs can be applied."
+
+These layers implement the weight-scaling half of XNOR-Net so that the
+trade-off can actually be measured (see ``benchmarks/bench_ablations``):
+each output channel/neuron ``c`` carries a scale
+
+    alpha_c = mean(|W_c|)
+
+and the effective weight is ``alpha_c * sign(W_c)``. Crucially for
+deployment, a *positive per-channel* scale followed by batch-norm+sign
+folds into the integer threshold with **zero** extra hardware — the
+compiler divides the threshold boundary by ``alpha_c`` — so hidden
+XNOR-Net layers map onto the same MVTU. Only a final (un-thresholded)
+logits layer would need real multipliers, which is why the compiler
+still requires a plain :class:`~repro.nn.layers.dense.BinaryDense` head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.binary_ops import sign, ste_grad
+from repro.nn.layers.conv import BinaryConv2D
+from repro.nn.layers.dense import BinaryDense
+
+__all__ = ["XnorConv2D", "XnorDense", "channel_scales"]
+
+
+def channel_scales(latent: np.ndarray) -> np.ndarray:
+    """Per-output-channel XNOR-Net scales ``alpha_c = mean(|W_c|)``.
+
+    ``latent`` is ``(K, K, C_in, C_out)`` or ``(in, out)``; the result is
+    ``(C_out,)``. Scales are strictly positive for any non-degenerate
+    latent tensor; an all-zero channel yields a tiny epsilon instead of
+    zero so downstream folding never divides by zero.
+    """
+    axes = tuple(range(latent.ndim - 1))
+    alpha = np.abs(latent).mean(axis=axes)
+    return np.maximum(alpha, 1e-12).astype(np.float32)
+
+
+class XnorConv2D(BinaryConv2D):
+    """Binary convolution with XNOR-Net per-filter scaling.
+
+    Forward uses ``alpha_c * sign(W_c)``; backward follows the XNOR-Net
+    STE (gradient through both the sign and, implicitly, the scale —
+    approximated by the straight-through pass used in practice).
+    """
+
+    def effective_weight(self) -> np.ndarray:
+        alpha = channel_scales(self.weight.data)
+        return sign(self.weight.data) * alpha
+
+    def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
+        # Pass-through on the binarisation; the alpha factor rescales the
+        # gradient per channel (the first-order term of the XNOR-Net
+        # update rule).
+        alpha = channel_scales(self.weight.data)
+        return ste_grad(grad_w * alpha, self.weight.data, self.ste)
+
+    def output_scales(self) -> np.ndarray:
+        """The per-channel scales (what the compiler folds away)."""
+        return channel_scales(self.weight.data)
+
+
+class XnorDense(BinaryDense):
+    """Binary dense layer with XNOR-Net per-neuron scaling."""
+
+    def effective_weight(self) -> np.ndarray:
+        alpha = channel_scales(self.weight.data)
+        return sign(self.weight.data) * alpha
+
+    def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
+        alpha = channel_scales(self.weight.data)
+        return ste_grad(grad_w * alpha, self.weight.data, self.ste)
+
+    def output_scales(self) -> np.ndarray:
+        """The per-neuron scales (what the compiler folds away)."""
+        return channel_scales(self.weight.data)

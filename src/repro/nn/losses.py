@@ -1,0 +1,116 @@
+"""Loss functions (value + gradient w.r.t. logits in one call).
+
+Losses are functions of raw logits; the softmax/normalisation lives inside
+the loss so models end on a plain (binary-)dense layer, as the paper's
+architectures do.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "squared_hinge",
+    "get",
+]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise log-softmax."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+
+
+def _check_targets(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, classes), got {logits.shape}")
+    targets = np.asarray(targets)
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets must be (N,) class indices, got {targets.shape} "
+            f"for logits {logits.shape}"
+        )
+    if targets.min() < 0 or targets.max() >= logits.shape[1]:
+        raise ValueError(
+            f"target indices out of range [0, {logits.shape[1]}): "
+            f"min={targets.min()}, max={targets.max()}"
+        )
+    return targets.astype(np.intp)
+
+
+def cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    label_smoothing: float = 0.0,
+) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy; returns ``(loss, dloss/dlogits)``.
+
+    ``label_smoothing`` mixes the one-hot target with the uniform
+    distribution — useful on the synthetic dataset where some rendered
+    borderline mask positions are genuinely ambiguous.
+    """
+    targets = _check_targets(logits, targets)
+    if not 0.0 <= label_smoothing < 1.0:
+        raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+    n, k = logits.shape
+    logp = log_softmax(logits.astype(np.float64))
+    onehot = np.zeros((n, k), dtype=np.float64)
+    onehot[np.arange(n), targets] = 1.0
+    if label_smoothing > 0.0:
+        soft = (1.0 - label_smoothing) * onehot + label_smoothing / k
+    else:
+        soft = onehot
+    loss = float(-(soft * logp).sum() / n)
+    grad = (np.exp(logp) - soft) / n
+    return loss, grad.astype(np.float32)
+
+
+def squared_hinge(
+    logits: np.ndarray, targets: np.ndarray, margin: float = 1.0
+) -> Tuple[float, np.ndarray]:
+    """Mean multi-class squared hinge loss (the original BinaryNet loss).
+
+    Encodes targets as ``+1`` for the true class and ``-1`` elsewhere and
+    penalises ``max(0, margin - y*logit)^2``, averaged over samples and
+    classes.
+    """
+    targets = _check_targets(logits, targets)
+    if margin <= 0:
+        raise ValueError(f"margin must be positive, got {margin}")
+    n, k = logits.shape
+    y = -np.ones((n, k), dtype=np.float32)
+    y[np.arange(n), targets] = 1.0
+    slack = np.maximum(0.0, margin - y * logits)
+    loss = float((slack**2).mean())
+    grad = (-2.0 * y * slack) / (n * k)
+    return loss, grad.astype(np.float32)
+
+
+_REGISTRY = {
+    "cross_entropy": cross_entropy,
+    "squared_hinge": squared_hinge,
+}
+
+
+def get(name_or_fn):
+    """Look up a loss by name, or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _REGISTRY[name_or_fn]
+    except KeyError:
+        raise ValueError(
+            f"unknown loss {name_or_fn!r}; known: {sorted(_REGISTRY)}"
+        ) from None

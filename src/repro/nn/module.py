@@ -1,0 +1,183 @@
+"""Module and Parameter abstractions for the numpy neural-network substrate.
+
+The framework is a classic define-by-layer design: every :class:`Module`
+implements an explicit ``forward`` and ``backward``. There is no taped
+autograd — the models in this paper are strictly sequential, and explicit
+backward passes keep the arithmetic transparent (important here, because
+the hardware compiler must reason about the exact forward semantics).
+
+Data layout is **NHWC** throughout: activations are
+``(batch, height, width, channels)``, matching the paper's
+:math:`A^{l-1} \\in \\mathbb{R}^{X_i \\times Y_i \\times C_i}` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator.
+
+    Attributes
+    ----------
+    data:
+        The parameter value. For binary layers this is the *latent*
+        full-precision tensor; binarisation happens in the layer forward.
+    grad:
+        Accumulated gradient, same shape as ``data`` (``None`` until the
+        first backward pass).
+    name:
+        Dotted path assigned when the parameter is registered.
+    latent_binary:
+        True for latent weights of binary layers; optimizers clip these to
+        ``[-1, 1]`` after each step (BinaryConnect-style) so the latent
+        magnitude cannot drift beyond the STE's pass-through window.
+    weight_decay:
+        Whether weight decay applies (disabled for batch-norm and biases).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "param",
+        latent_binary: bool = False,
+        weight_decay: bool = True,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self.latent_binary = bool(latent_binary)
+        self.weight_decay = bool(weight_decay)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulator (allocating on first use)."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "latent-binary " if self.latent_binary else ""
+        return f"Parameter({self.name}, {kind}shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and containers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`; ``backward``
+    receives the gradient of the loss w.r.t. the module output and must
+    return the gradient w.r.t. the module input, accumulating parameter
+    gradients along the way. Forward caches whatever backward needs on
+    ``self`` (cleared by :meth:`clear_cache`).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+
+    # -- registration -----------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        """Attach a parameter under ``name`` (also sets it as an attribute)."""
+        if name in self._parameters:
+            raise ValueError(f"parameter {name!r} already registered")
+        param.name = f"{type(self).__name__}.{name}"
+        self._parameters[name] = param
+        setattr(self, name, param)
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        """Attach a child module under ``name``."""
+        if name in self._modules:
+            raise ValueError(f"module {name!r} already registered")
+        self._modules[name] = module
+        setattr(self, name, module)
+        return module
+
+    # -- traversal ---------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, depth-first."""
+        out = list(self._parameters.values())
+        for child in self._modules.values():
+            out.extend(child.parameters())
+        return out
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    # -- mode --------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects batch-norm statistics)."""
+        self.training = bool(mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    # -- gradients ----------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def clear_cache(self) -> None:
+        """Drop cached forward tensors (subclasses override to free more)."""
+        for child in self._modules.values():
+            child.clear_cache()
+
+    # -- compute -------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- introspection -------------------------------------------------------
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape (excluding batch) this module produces for ``input_shape``.
+
+        Default: shape-preserving. Layers that change shape override this;
+        the hardware compiler and the summary printer rely on it.
+        """
+        return tuple(input_shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,153 @@
+"""Optimizers: SGD with momentum, and Adam.
+
+Both honour the two BNN-specific parameter flags:
+
+* ``latent_binary`` — after each update the latent weight is clipped to
+  ``[-1, 1]`` (BinaryConnect), keeping it inside the clipped-STE window;
+* ``weight_decay`` — decay is skipped for binary latent weights, biases
+  and batch-norm parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        weight_decay: float = 0.0,
+        clip_latent: bool = True,
+    ) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.params = params
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.clip_latent = bool(clip_latent)
+        self.steps = 0
+
+    def zero_grad(self) -> None:
+        """Reset gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def _decayed_grad(self, p: Parameter) -> np.ndarray:
+        """Gradient with L2 weight decay applied where configured."""
+        if p.grad is None:
+            raise RuntimeError(
+                f"parameter {p.name} has no gradient; "
+                "did you run backward before step()?"
+            )
+        grad = p.grad
+        if self.weight_decay > 0.0 and p.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        return grad
+
+    def _post_update(self, p: Parameter) -> None:
+        """Latent-weight clipping hook (runs after every parameter update)."""
+        if self.clip_latent and p.latent_binary:
+            np.clip(p.data, -1.0, 1.0, out=p.data)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        clip_latent: bool = True,
+    ) -> None:
+        super().__init__(params, lr, weight_decay, clip_latent)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update to every managed parameter (in place)."""
+        self.steps += 1
+        for p in self.params:
+            grad = self._decayed_grad(p)
+            if self.momentum > 0.0:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.data)
+                    self._velocity[id(p)] = v
+                v *= self.momentum
+                v -= self.lr * grad
+                p.data += v
+            else:
+                p.data -= self.lr * grad
+            self._post_update(p)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the optimizer used to train BinaryNet models.
+
+    The per-parameter adaptive step is particularly important for latent
+    binary weights, whose raw gradients are tiny relative to the ±1 scale.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        clip_latent: bool = True,
+    ) -> None:
+        super().__init__(params, lr, weight_decay, clip_latent)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one bias-corrected Adam update to every parameter."""
+        self.steps += 1
+        bc1 = 1.0 - self.beta1**self.steps
+        bc2 = 1.0 - self.beta2**self.steps
+        for p in self.params:
+            grad = self._decayed_grad(p)
+            m = self._m.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+                self._m[id(p)] = m
+                self._v[id(p)] = v
+            else:
+                v = self._v[id(p)]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            p.data -= self.lr * update
+            self._post_update(p)

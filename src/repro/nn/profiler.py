@@ -1,0 +1,173 @@
+"""Per-layer wall-clock profiling of a Sequential model.
+
+"No optimization without measuring" (the optimisation-workflow rule this
+codebase follows): before touching a kernel, find the layer that owns
+the time. :class:`LayerProfiler` runs a model forward (and optionally
+backward) while timing every layer, and reports per-layer milliseconds,
+share of total, and MAC counts — the software-side mirror of the
+hardware pipeline's per-stage initiation intervals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import BinaryConv2D, BinaryDense, Conv2D, Dense
+from repro.nn.sequential import Sequential
+from repro.utils.tables import render_table
+
+__all__ = ["LayerTiming", "ProfileResult", "LayerProfiler"]
+
+
+@dataclass
+class LayerTiming:
+    """Accumulated timing for one layer."""
+
+    name: str
+    kind: str
+    forward_s: float = 0.0
+    backward_s: float = 0.0
+    calls: int = 0
+    macs: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s
+
+
+@dataclass
+class ProfileResult:
+    """Per-layer timing table for one profiled run."""
+
+    timings: List[LayerTiming]
+    batch_size: int
+    repeats: int
+
+    def total_seconds(self) -> float:
+        return sum(t.total_s for t in self.timings)
+
+    def bottleneck(self) -> LayerTiming:
+        return max(self.timings, key=lambda t: t.total_s)
+
+    def macs_per_second(self) -> float:
+        total_macs = sum(t.macs for t in self.timings) * self.repeats
+        seconds = self.total_seconds()
+        return total_macs / seconds if seconds > 0 else 0.0
+
+    def render(self) -> str:
+        total = max(self.total_seconds(), 1e-12)
+        rows = []
+        for t in self.timings:
+            rows.append(
+                [
+                    t.name,
+                    t.kind,
+                    f"{t.forward_s * 1e3 / self.repeats:.2f}",
+                    f"{t.backward_s * 1e3 / self.repeats:.2f}",
+                    f"{t.total_s / total:.1%}",
+                    f"{t.macs:,}" if t.macs else "-",
+                ]
+            )
+        return render_table(
+            ["layer", "type", "fwd ms", "bwd ms", "share", "MACs/img"],
+            rows,
+            title=(
+                f"layer profile (batch={self.batch_size}, "
+                f"repeats={self.repeats})"
+            ),
+        )
+
+
+def _layer_macs(layer, input_shape: Tuple[int, ...]) -> int:
+    """Multiply-accumulates per image for compute layers, else 0."""
+    if isinstance(layer, Conv2D):  # incl. binary/xnor variants
+        out_shape = layer.output_shape(input_shape)
+        kh, kw = layer.kernel_size
+        return (
+            out_shape[0]
+            * out_shape[1]
+            * layer.out_channels
+            * kh
+            * kw
+            * layer.in_channels
+        )
+    if isinstance(layer, Dense):
+        return layer.in_features * layer.out_features
+    return 0
+
+
+class LayerProfiler:
+    """Times every layer of a Sequential model.
+
+    Timing wraps each layer's ``forward``/``backward`` calls directly
+    (no monkey-patching survives beyond the profiled call), so the
+    numbers include exactly the per-layer work and nothing else.
+    """
+
+    def __init__(self, model: Sequential) -> None:
+        if model.input_shape is None:
+            raise ValueError("profiling needs a model built with input_shape")
+        self.model = model
+
+    def profile(
+        self,
+        x: np.ndarray,
+        repeats: int = 3,
+        include_backward: bool = False,
+        rng_grad: Optional[np.ndarray] = None,
+    ) -> ProfileResult:
+        """Run ``repeats`` timed passes over ``x``.
+
+        With ``include_backward`` the model is put in training mode and
+        a unit (or supplied) output gradient is back-propagated; layer
+        parameter gradients are zeroed afterwards.
+        """
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        model = self.model
+        was_training = model.training
+        model.train(include_backward)
+        timings: Dict[str, LayerTiming] = {}
+        shape = tuple(model.input_shape)
+        for name in model.layer_names:
+            layer = model[name]
+            timings[name] = LayerTiming(
+                name=name,
+                kind=type(layer).__name__,
+                macs=_layer_macs(layer, shape),
+            )
+            shape = tuple(layer.output_shape(shape))
+        try:
+            for _ in range(repeats):
+                out = x
+                for name in model.layer_names:
+                    layer = model[name]
+                    start = time.perf_counter()
+                    out = layer.forward(out)
+                    timings[name].forward_s += time.perf_counter() - start
+                    timings[name].calls += 1
+                if include_backward:
+                    grad = (
+                        rng_grad
+                        if rng_grad is not None
+                        else np.ones_like(out, dtype=np.float32)
+                    )
+                    for name in reversed(model.layer_names):
+                        layer = model[name]
+                        start = time.perf_counter()
+                        grad = layer.backward(grad)
+                        timings[name].backward_s += time.perf_counter() - start
+            if include_backward:
+                model.zero_grad()
+        finally:
+            model.train(was_training)
+            model.clear_cache()
+        return ProfileResult(
+            timings=[timings[n] for n in model.layer_names],
+            batch_size=int(x.shape[0]),
+            repeats=repeats,
+        )

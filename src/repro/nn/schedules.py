@@ -1,0 +1,71 @@
+"""Learning-rate schedules.
+
+A schedule maps ``epoch -> multiplier``; the trainer applies
+``optimizer.lr = base_lr * schedule(epoch)`` at the start of each epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+__all__ = ["constant", "step_decay", "cosine_decay", "warmup", "get"]
+
+Schedule = Callable[[int], float]
+
+
+def constant() -> Schedule:
+    """No decay."""
+    return lambda epoch: 1.0
+
+
+def step_decay(drop_every: int, factor: float = 0.5) -> Schedule:
+    """Multiply the LR by ``factor`` every ``drop_every`` epochs."""
+    if drop_every <= 0:
+        raise ValueError(f"drop_every must be positive, got {drop_every}")
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"factor must be in (0, 1], got {factor}")
+    return lambda epoch: factor ** (epoch // drop_every)
+
+
+def cosine_decay(total_epochs: int, floor: float = 0.0) -> Schedule:
+    """Cosine annealing from 1 to ``floor`` over ``total_epochs``."""
+    if total_epochs <= 0:
+        raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+    if not 0.0 <= floor < 1.0:
+        raise ValueError(f"floor must be in [0, 1), got {floor}")
+
+    def schedule(epoch: int) -> float:
+        t = min(epoch, total_epochs) / total_epochs
+        return floor + (1.0 - floor) * 0.5 * (1.0 + math.cos(math.pi * t))
+
+    return schedule
+
+
+def warmup(warmup_epochs: int, after: Schedule | None = None) -> Schedule:
+    """Linear ramp from ~0 to 1 over ``warmup_epochs``, then ``after``."""
+    if warmup_epochs <= 0:
+        raise ValueError(f"warmup_epochs must be positive, got {warmup_epochs}")
+    after = after or constant()
+
+    def schedule(epoch: int) -> float:
+        if epoch < warmup_epochs:
+            return (epoch + 1) / warmup_epochs
+        return after(epoch - warmup_epochs)
+
+    return schedule
+
+
+def get(name_or_fn, **kwargs) -> Schedule:
+    """Build a schedule by name (``constant``/``step``/``cosine``)."""
+    if callable(name_or_fn):
+        return name_or_fn
+    if name_or_fn == "constant":
+        return constant()
+    if name_or_fn == "step":
+        return step_decay(**kwargs)
+    if name_or_fn == "cosine":
+        return cosine_decay(**kwargs)
+    raise ValueError(
+        f"unknown schedule {name_or_fn!r}; known: constant, step, cosine"
+    )

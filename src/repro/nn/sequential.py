@@ -1,0 +1,210 @@
+"""Sequential container with activation/gradient taps.
+
+Grad-CAM (§III-C) needs, for a chosen layer, both the forward activation
+and the gradient of a class logit w.r.t. that activation. A plain
+sequential forward/backward pass naturally produces both; this container
+exposes them through *taps* — layer names registered as observation
+points — without modifying or retraining the model (exactly the property
+the paper highlights for Grad-CAM).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.serialization import load_arrays, save_arrays
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """An ordered stack of named layers.
+
+    Layers may be passed as modules (auto-named ``<class><index>``) or as
+    ``(name, module)`` pairs. Names must be unique; they are the handles
+    used for Grad-CAM taps and by the hardware compiler's reports.
+    """
+
+    def __init__(self, layers: Iterable = (), input_shape: Optional[Tuple[int, ...]] = None) -> None:
+        super().__init__()
+        self.layer_names: List[str] = []
+        self.input_shape = tuple(input_shape) if input_shape is not None else None
+        for entry in layers:
+            if isinstance(entry, tuple):
+                name, module = entry
+                self.add(module, name=name)
+            else:
+                self.add(entry)
+
+    # -- construction ----------------------------------------------------------
+    def add(self, module: Module, name: Optional[str] = None) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        if not isinstance(module, Module):
+            raise TypeError(f"expected a Module, got {type(module).__name__}")
+        if name is None:
+            name = f"{type(module).__name__.lower()}{len(self.layer_names)}"
+        if name in self._modules:
+            raise ValueError(f"duplicate layer name {name!r}")
+        self.register_module(name, module)
+        self.layer_names.append(name)
+        module.train(self.training)
+        return self
+
+    @property
+    def layers(self) -> List[Module]:
+        """Layers in execution order."""
+        return [self._modules[n] for n in self.layer_names]
+
+    def __getitem__(self, name: str) -> Module:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KeyError(
+                f"no layer named {name!r}; available: {self.layer_names}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Execution index of the layer called ``name``."""
+        try:
+            return self.layer_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no layer named {name!r}; available: {self.layer_names}"
+            ) from None
+
+    # -- compute ------------------------------------------------------------------
+    def forward(
+        self, x: np.ndarray, taps: Sequence[str] = ()
+    ) -> np.ndarray:
+        """Run the stack; optionally record activations at ``taps``.
+
+        Tap activations are stored on ``self.tap_activations`` keyed by
+        layer name (the *output* of that layer).
+        """
+        self.tap_activations: Dict[str, np.ndarray] = {}
+        unknown = set(taps) - set(self.layer_names)
+        if unknown:
+            raise KeyError(f"unknown tap layers: {sorted(unknown)}")
+        out = x
+        for name in self.layer_names:
+            out = self._modules[name].forward(out)
+            if name in taps:
+                self.tap_activations[name] = out
+        return out
+
+    def backward(
+        self, grad_output: np.ndarray, taps: Sequence[str] = ()
+    ) -> np.ndarray:
+        """Backpropagate; optionally record gradients at ``taps``.
+
+        Tap gradients (``self.tap_gradients``) are gradients of the loss
+        w.r.t. the *output* of the named layer — the quantity Grad-CAM
+        needs.
+        """
+        self.tap_gradients: Dict[str, np.ndarray] = {}
+        unknown = set(taps) - set(self.layer_names)
+        if unknown:
+            raise KeyError(f"unknown tap layers: {sorted(unknown)}")
+        grad = grad_output
+        for name in reversed(self.layer_names):
+            if name in taps:
+                self.tap_gradients[name] = grad
+            grad = self._modules[name].backward(grad)
+        return grad
+
+    # -- introspection ---------------------------------------------------------------
+    def shapes(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Per-layer output shapes (excluding batch), from ``input_shape``."""
+        if self.input_shape is None:
+            raise ValueError("Sequential was built without input_shape")
+        shape = self.input_shape
+        out = []
+        for name in self.layer_names:
+            shape = self._modules[name].output_shape(shape)
+            out.append((name, tuple(shape)))
+        return out
+
+    def summary(self) -> str:
+        """Human-readable per-layer table: name, type, output shape, params."""
+        lines = [f"{'layer':<16s}{'type':<16s}{'output shape':<20s}{'params':>10s}"]
+        total = 0
+        shape = self.input_shape
+        for name in self.layer_names:
+            mod = self._modules[name]
+            if shape is not None:
+                shape = mod.output_shape(shape)
+                shape_str = str(tuple(shape))
+            else:
+                shape_str = "?"
+            count = sum(p.data.size for p in mod.parameters())
+            total += count
+            lines.append(
+                f"{name:<16s}{type(mod).__name__:<16s}{shape_str:<20s}{count:>10d}"
+            )
+        lines.append(f"total parameters: {total}")
+        return "\n".join(lines)
+
+    # -- persistence -----------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter paths to arrays (copies).
+
+        Includes batch-norm running statistics (suffix ``running_mean`` /
+        ``running_var``) so a restored model is inference-ready.
+        """
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for layer_name in self.layer_names:
+            mod = self._modules[layer_name]
+            if hasattr(mod, "running_mean"):
+                state[f"{layer_name}.running_mean"] = mod.running_mean.copy()
+                state[f"{layer_name}.running_var"] = mod.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters + running stats; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        expected = set(params)
+        for layer_name in self.layer_names:
+            if hasattr(self._modules[layer_name], "running_mean"):
+                expected.add(f"{layer_name}.running_mean")
+                expected.add(f"{layer_name}.running_var")
+        missing = expected - set(state)
+        extra = set(state) - expected
+        if missing or extra:
+            raise ValueError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, p in params.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint {value.shape}, "
+                    f"model {p.data.shape}"
+                )
+            p.data = value.copy()
+        for layer_name in self.layer_names:
+            mod = self._modules[layer_name]
+            if hasattr(mod, "running_mean"):
+                mod.running_mean = np.asarray(
+                    state[f"{layer_name}.running_mean"], dtype=np.float32
+                ).copy()
+                mod.running_var = np.asarray(
+                    state[f"{layer_name}.running_var"], dtype=np.float32
+                ).copy()
+
+    def save(self, path, metadata: Optional[dict] = None):
+        """Save a checkpoint (.npz) of all parameters and running stats."""
+        meta = dict(metadata or {})
+        meta.setdefault("layer_names", self.layer_names)
+        if self.input_shape is not None:
+            meta.setdefault("input_shape", list(self.input_shape))
+        return save_arrays(path, self.state_dict(), meta)
+
+    def load(self, path) -> dict:
+        """Restore from :meth:`save`; returns the checkpoint metadata."""
+        arrays, meta = load_arrays(path)
+        self.load_state_dict(arrays)
+        return meta

@@ -1,0 +1,225 @@
+"""Mini-batch training loop with metrics, early stopping and history.
+
+Implements the training protocol of §IV-A: mini-batch optimisation of a
+(binary) network, stopping early when learning saturates ("up to 300
+epochs, unless learning saturates earlier").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import losses as losses_mod
+from repro.nn.optim import Optimizer
+from repro.nn.schedules import Schedule, constant
+from repro.nn.sequential import Sequential
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["History", "EarlyStopping", "Trainer", "evaluate_accuracy", "predict_classes"]
+
+
+@dataclass
+class History:
+    """Per-epoch training trace."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def best_val_accuracy(self) -> float:
+        """Highest validation accuracy seen (0.0 if never validated)."""
+        return max(self.val_accuracy, default=0.0)
+
+
+@dataclass
+class EarlyStopping:
+    """Stop when the monitored value has not improved for ``patience`` epochs."""
+
+    patience: int = 10
+    min_delta: float = 1e-4
+    _best: float = field(default=-np.inf, init=False)
+    _stale: int = field(default=0, init=False)
+
+    def update(self, value: float) -> bool:
+        """Record ``value``; returns True when training should stop."""
+        if value > self._best + self.min_delta:
+            self._best = value
+            self._stale = 0
+            return False
+        self._stale += 1
+        return self._stale >= self.patience
+
+
+def predict_classes(
+    model: Sequential, x: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Argmax class prediction in inference mode, batched to bound memory."""
+    was_training = model.training
+    model.eval()
+    try:
+        preds = []
+        for start in range(0, len(x), batch_size):
+            logits = model.forward(x[start : start + batch_size])
+            preds.append(logits.argmax(axis=1))
+        return np.concatenate(preds) if preds else np.empty(0, dtype=np.intp)
+    finally:
+        model.train(was_training)
+
+
+def evaluate_accuracy(
+    model: Sequential, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> float:
+    """Top-1 accuracy in inference mode."""
+    if len(x) == 0:
+        raise ValueError("cannot evaluate on an empty set")
+    preds = predict_classes(model, x, batch_size)
+    return float((preds == np.asarray(y)).mean())
+
+
+class Trainer:
+    """Drives optimisation of a :class:`Sequential` classifier.
+
+    Parameters
+    ----------
+    model, optimizer:
+        The network and the optimizer managing its parameters.
+    loss:
+        Name (``"cross_entropy"``/``"squared_hinge"``) or callable
+        ``(logits, targets) -> (loss, grad)``.
+    schedule:
+        Learning-rate schedule (multiplier per epoch).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: Optimizer,
+        loss="cross_entropy",
+        schedule: Optional[Schedule] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = losses_mod.get(loss)
+        self.schedule = schedule or constant()
+        self.base_lr = optimizer.lr
+
+    def train_epoch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> Tuple[float, float]:
+        """One shuffled pass over the training data; returns (loss, accuracy)."""
+        n = len(x)
+        if n == 0:
+            raise ValueError("empty training set")
+        order = rng.permutation(n)
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0
+        seen = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            if len(idx) < 2:
+                continue  # batch-norm needs >1 sample; drop a trailing singleton
+            xb, yb = x[idx], y[idx]
+            self.optimizer.zero_grad()
+            logits = self.model.forward(xb)
+            loss, grad = self.loss_fn(logits, yb)
+            self.model.backward(grad)
+            self.optimizer.step()
+            total_loss += loss * len(idx)
+            total_correct += int((logits.argmax(axis=1) == yb).sum())
+            seen += len(idx)
+        if seen == 0:
+            raise ValueError(
+                f"no usable batches: {n} samples with batch_size {batch_size}"
+            )
+        return total_loss / seen, total_correct / seen
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        epochs: int,
+        batch_size: int = 64,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+        early_stopping: Optional[EarlyStopping] = None,
+        verbose: bool = False,
+        callback: Optional[Callable[[int, History], None]] = None,
+    ) -> History:
+        """Train for up to ``epochs`` epochs; returns the :class:`History`.
+
+        With ``early_stopping`` and a validation set, training halts when
+        validation accuracy saturates (the paper's stopping criterion).
+        """
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if batch_size < 2:
+            raise ValueError(f"batch_size must be >= 2, got {batch_size}")
+        gen = as_generator(rng)
+        history = History()
+        has_val = x_val is not None and y_val is not None
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            self.optimizer.lr = self.base_lr * self.schedule(epoch)
+            loss, acc = self.train_epoch(x_train, y_train, batch_size, gen)
+            history.train_loss.append(loss)
+            history.train_accuracy.append(acc)
+            history.learning_rate.append(self.optimizer.lr)
+            if has_val:
+                val_logits_acc = evaluate_accuracy(self.model, x_val, y_val)
+                val_loss = self._eval_loss(x_val, y_val)
+                history.val_accuracy.append(val_logits_acc)
+                history.val_loss.append(val_loss)
+            history.epoch_seconds.append(time.perf_counter() - start)
+            if verbose:
+                msg = (
+                    f"epoch {epoch + 1:3d}/{epochs}  "
+                    f"loss {loss:.4f}  acc {acc:.4f}"
+                )
+                if has_val:
+                    msg += (
+                        f"  val_loss {history.val_loss[-1]:.4f}"
+                        f"  val_acc {history.val_accuracy[-1]:.4f}"
+                    )
+                print(msg)
+            if callback is not None:
+                callback(epoch, history)
+            if early_stopping is not None and has_val:
+                if early_stopping.update(history.val_accuracy[-1]):
+                    break
+        self.model.eval()
+        return history
+
+    def _eval_loss(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> float:
+        """Mean loss over a dataset in inference mode."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            total = 0.0
+            for start in range(0, len(x), batch_size):
+                xb = x[start : start + batch_size]
+                yb = y[start : start + batch_size]
+                logits = self.model.forward(xb)
+                loss, _ = self.loss_fn(logits, yb)
+                total += loss * len(xb)
+            return total / len(x)
+        finally:
+            self.model.train(was_training)

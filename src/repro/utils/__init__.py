@@ -1,0 +1,17 @@
+"""Shared utilities: RNG plumbing, imaging, profiling, tables, checkpoints."""
+
+from repro.utils.rng import RngLike, as_generator, derive, spawn
+from repro.utils.profiling import OpCounter, Stopwatch, timed
+from repro.utils.tables import render_matrix, render_table
+
+__all__ = [
+    "RngLike",
+    "as_generator",
+    "derive",
+    "spawn",
+    "OpCounter",
+    "Stopwatch",
+    "timed",
+    "render_matrix",
+    "render_table",
+]

@@ -1,0 +1,246 @@
+"""Small image-processing toolkit used by the data generator and Grad-CAM.
+
+Images are ``float32`` arrays in ``[0, 1]`` with layout ``(H, W, 3)`` for
+RGB or ``(H, W)`` for scalar maps. Everything here is pure numpy/scipy and
+vectorised; no PIL/OpenCV dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "clip01",
+    "resize_bilinear",
+    "gaussian_blur",
+    "normalize01",
+    "overlay_heatmap",
+    "jet_colormap",
+    "fill_polygon",
+    "polygon_mask",
+    "draw_ellipse",
+    "ellipse_mask",
+    "rotate_image",
+    "to_uint8",
+    "from_uint8",
+]
+
+
+def clip01(image: np.ndarray) -> np.ndarray:
+    """Clip an image into the canonical [0, 1] range (returns a new array)."""
+    return np.clip(image, 0.0, 1.0)
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Convert a [0, 1] float image to uint8 [0, 255]."""
+    return (clip01(image) * 255.0 + 0.5).astype(np.uint8)
+
+
+def from_uint8(image: np.ndarray) -> np.ndarray:
+    """Convert a uint8 image to float32 in [0, 1]."""
+    return image.astype(np.float32) / 255.0
+
+
+def quantize_to_uint8_grid(image: np.ndarray) -> np.ndarray:
+    """Snap a [0, 1] float image onto the 256-level uint8 grid.
+
+    Camera sensors deliver uint8; producing dataset images already on
+    that grid makes the software float path and the accelerator's 8-bit
+    integer input layer see *identical* pixel values, which is what makes
+    the HW/SW equivalence checks meaningful.
+    """
+    return np.rint(clip01(image) * 255.0).astype(np.float32) / 255.0
+
+
+def resize_bilinear(image: np.ndarray, out_hw: Tuple[int, int]) -> np.ndarray:
+    """Resize ``(H, W[, C])`` image to ``out_hw`` with bilinear interpolation.
+
+    Uses align-corners=False convention (pixel centres), matching common
+    image libraries.
+    """
+    out_h, out_w = int(out_hw[0]), int(out_hw[1])
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"output size must be positive, got {(out_h, out_w)}")
+    in_h, in_w = image.shape[:2]
+    if (in_h, in_w) == (out_h, out_w):
+        return image.astype(np.float32, copy=True)
+    # Source coordinates of each output pixel centre.
+    ys = (np.arange(out_h, dtype=np.float64) + 0.5) * (in_h / out_h) - 0.5
+    xs = (np.arange(out_w, dtype=np.float64) + 0.5) * (in_w / out_w) - 0.5
+    ys = np.clip(ys, 0, in_h - 1)
+    xs = np.clip(xs, 0, in_w - 1)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = (ys - y0).astype(np.float32)[:, None]
+    wx = (xs - x0).astype(np.float32)[None, :]
+    if image.ndim == 3:
+        wy = wy[..., None]
+        wx = wx[..., None]
+    img = image.astype(np.float32)
+    top = img[y0][:, x0] * (1 - wx) + img[y0][:, x1] * wx
+    bot = img[y1][:, x0] * (1 - wx) + img[y1][:, x1] * wx
+    return top * (1 - wy) + bot * wy
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Gaussian-blur an image; channels are blurred independently."""
+    if sigma <= 0:
+        return image.astype(np.float32, copy=True)
+    if image.ndim == 3:
+        sigmas = (sigma, sigma, 0.0)
+    else:
+        sigmas = sigma
+    return ndimage.gaussian_filter(image.astype(np.float32), sigmas)
+
+
+def normalize01(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Min-max normalise ``x`` into [0, 1]; constant input maps to zeros."""
+    x = x.astype(np.float32)
+    lo, hi = float(x.min()), float(x.max())
+    if hi - lo < eps:
+        return np.zeros_like(x)
+    return (x - lo) / (hi - lo)
+
+
+def jet_colormap(values: np.ndarray) -> np.ndarray:
+    """Map [0, 1] scalars to RGB using a compact jet-like colormap."""
+    v = np.clip(values, 0.0, 1.0).astype(np.float32)
+    r = np.clip(1.5 - np.abs(4.0 * v - 3.0), 0.0, 1.0)
+    g = np.clip(1.5 - np.abs(4.0 * v - 2.0), 0.0, 1.0)
+    b = np.clip(1.5 - np.abs(4.0 * v - 1.0), 0.0, 1.0)
+    return np.stack([r, g, b], axis=-1)
+
+
+def overlay_heatmap(
+    image: np.ndarray, heatmap: np.ndarray, alpha: float = 0.45
+) -> np.ndarray:
+    """Overlay a scalar attention map on an RGB image (Grad-CAM style).
+
+    ``heatmap`` is resized to the image resolution, normalised to [0, 1],
+    colour-mapped and alpha-blended onto the image.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    h, w = image.shape[:2]
+    hm = resize_bilinear(heatmap.astype(np.float32), (h, w))
+    hm = normalize01(hm)
+    colored = jet_colormap(hm)
+    return clip01((1.0 - alpha) * image + alpha * colored)
+
+
+def polygon_mask(
+    shape_hw: Tuple[int, int], vertices: np.ndarray, supersample: int = 2
+) -> np.ndarray:
+    """Rasterise a polygon into a float coverage mask in [0, 1].
+
+    Vertices are ``(N, 2)`` in ``(x, y)`` pixel coordinates. Winding is by
+    the even-odd rule, evaluated at ``supersample``² points per pixel for
+    soft edges.
+    """
+    verts = np.asarray(vertices, dtype=np.float64)
+    if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+        raise ValueError(f"vertices must be (N>=3, 2), got {verts.shape}")
+    h, w = int(shape_hw[0]), int(shape_hw[1])
+    s = max(1, int(supersample))
+    # Sample point grid (pixel centres of the supersampled lattice).
+    ys = (np.arange(h * s) + 0.5) / s - 0.5
+    xs = (np.arange(w * s) + 0.5) / s - 0.5
+    px = xs[None, :]
+    py = ys[:, None]
+    inside = np.zeros((h * s, w * s), dtype=bool)
+    x0s, y0s = verts[:, 0], verts[:, 1]
+    x1s, y1s = np.roll(x0s, -1), np.roll(y0s, -1)
+    for x0, y0, x1, y1 in zip(x0s, y0s, x1s, y1s):
+        if y0 == y1:
+            continue
+        cond = (py >= min(y0, y1)) & (py < max(y0, y1))
+        t = (py - y0) / (y1 - y0)
+        x_at = x0 + t * (x1 - x0)
+        inside ^= cond & (px < x_at)
+    mask = inside.reshape(h, s, w, s).mean(axis=(1, 3))
+    return mask.astype(np.float32)
+
+
+def fill_polygon(
+    image: np.ndarray,
+    vertices: np.ndarray,
+    color: Sequence[float],
+    opacity: float = 1.0,
+) -> np.ndarray:
+    """Alpha-composite a filled polygon onto an RGB image in place."""
+    mask = polygon_mask(image.shape[:2], vertices)
+    return composite(image, mask, color, opacity)
+
+
+def ellipse_mask(
+    shape_hw: Tuple[int, int],
+    center_xy: Tuple[float, float],
+    radii_xy: Tuple[float, float],
+    angle: float = 0.0,
+    softness: float = 0.75,
+) -> np.ndarray:
+    """Anti-aliased ellipse coverage mask; ``angle`` in radians (CCW)."""
+    h, w = int(shape_hw[0]), int(shape_hw[1])
+    cx, cy = center_xy
+    rx, ry = radii_xy
+    if rx <= 0 or ry <= 0:
+        raise ValueError(f"radii must be positive, got {(rx, ry)}")
+    ys, xs = np.mgrid[0:h, 0:w]
+    dx = xs - cx
+    dy = ys - cy
+    c, s = np.cos(angle), np.sin(angle)
+    u = (c * dx + s * dy) / rx
+    v = (-s * dx + c * dy) / ry
+    r = np.sqrt(u * u + v * v)
+    # Distance-based soft edge roughly one ``softness`` pixel wide.
+    edge = softness / max(rx, ry)
+    return np.clip((1.0 - r) / max(edge, 1e-6) + 0.5, 0.0, 1.0).astype(np.float32)
+
+
+def draw_ellipse(
+    image: np.ndarray,
+    center_xy: Tuple[float, float],
+    radii_xy: Tuple[float, float],
+    color: Sequence[float],
+    angle: float = 0.0,
+    opacity: float = 1.0,
+) -> np.ndarray:
+    """Alpha-composite a filled ellipse onto an RGB image in place."""
+    mask = ellipse_mask(image.shape[:2], center_xy, radii_xy, angle)
+    return composite(image, mask, color, opacity)
+
+
+def composite(
+    image: np.ndarray,
+    mask: np.ndarray,
+    color: Sequence[float],
+    opacity: float = 1.0,
+) -> np.ndarray:
+    """Blend ``color`` into ``image`` weighted by ``mask * opacity`` (in place)."""
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"image must be (H, W, 3), got {image.shape}")
+    col = np.asarray(color, dtype=np.float32).reshape(1, 1, 3)
+    a = (mask * float(opacity))[..., None]
+    image *= 1.0 - a
+    image += a * col
+    return image
+
+
+def rotate_image(image: np.ndarray, degrees: float) -> np.ndarray:
+    """Rotate an image about its centre, filling borders by edge replication."""
+    if degrees == 0.0:
+        return image.astype(np.float32, copy=True)
+    axes = (1, 0)
+    return ndimage.rotate(
+        image.astype(np.float32),
+        angle=degrees,
+        axes=axes,
+        reshape=False,
+        order=1,
+        mode="nearest",
+    )

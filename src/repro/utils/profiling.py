@@ -1,0 +1,88 @@
+"""Lightweight wall-clock timers and arithmetic-operation counters.
+
+The hardware simulator reports cycle counts; the software side uses these
+helpers to report wall-clock and MAC-operation tallies in benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch", "OpCounter", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer keyed by section name."""
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulates across calls)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per entry for section ``name``."""
+        if name not in self.totals:
+            raise KeyError(f"no timings recorded for {name!r}")
+        return self.totals[name] / self.counts[name]
+
+    def report(self) -> str:
+        """Human-readable multi-line summary, slowest first."""
+        lines = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name:<32s} {self.totals[name]:10.4f}s "
+                f"({self.counts[name]} calls, {self.mean(name) * 1e3:9.3f} ms each)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class OpCounter:
+    """Tally of arithmetic operations, split by category.
+
+    Categories used in this library: ``"mac_fp"`` (float multiply-accumulate),
+    ``"mac_xnor"`` (binary XNOR+popcount MAC), ``"compare"`` (thresholds),
+    ``"or"`` (boolean max-pool).
+    """
+
+    ops: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, category: str, count: int) -> None:
+        """Accumulate ``count`` operations under ``category``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self.ops[category] = self.ops.get(category, 0) + int(count)
+
+    def total(self) -> int:
+        """Total operations across all categories."""
+        return sum(self.ops.values())
+
+    def merge(self, other: "OpCounter") -> "OpCounter":
+        """Accumulate another counter into this one and return self."""
+        for k, v in other.ops.items():
+            self.add(k, v)
+        return self
+
+
+@contextmanager
+def timed(label: str = "elapsed") -> Iterator[Dict[str, float]]:
+    """Time a block; the yielded dict gains ``label -> seconds`` on exit."""
+    out: Dict[str, float] = {}
+    start = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out[label] = time.perf_counter() - start

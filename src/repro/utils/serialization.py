@@ -1,0 +1,69 @@
+"""Model checkpoint serialisation.
+
+Checkpoints are plain ``.npz`` archives: every parameter tensor keyed by a
+``<layer_index>.<param_name>`` path, plus a JSON metadata blob describing
+the architecture so checkpoints are self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = ["save_arrays", "load_arrays", "CHECKPOINT_FORMAT_VERSION"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_META_KEY = "__meta_json__"
+
+
+def save_arrays(
+    path: Union[str, Path],
+    arrays: Mapping[str, np.ndarray],
+    metadata: Dict[str, Any] | None = None,
+) -> Path:
+    """Save named arrays plus a JSON metadata blob to ``path`` (.npz).
+
+    Returns the resolved path (with ``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = dict(metadata or {})
+    meta["format_version"] = CHECKPOINT_FORMAT_VERSION
+    payload = {k: np.asarray(v) for k, v in arrays.items()}
+    if _META_KEY in payload:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_arrays(path: Union[str, Path]):
+    """Load a checkpoint; returns ``(arrays: dict, metadata: dict)``.
+
+    Raises ``ValueError`` for checkpoints written by an incompatible
+    future format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        if _META_KEY in data.files:
+            meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+        else:
+            meta = {}
+    version = meta.get("format_version", 0)
+    if version > CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint format v{version} is newer than supported "
+            f"v{CHECKPOINT_FORMAT_VERSION}"
+        )
+    return arrays, meta

@@ -1,0 +1,92 @@
+"""ASCII table rendering for benchmark reports.
+
+Benchmarks regenerate the paper's tables/figures as text; this module keeps
+the formatting in one place so every report reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_matrix", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Render a cell: floats get 2–4 significant decimals, rest via str()."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render a boxed ASCII table with right-aligned numeric columns."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    out.append(sep)
+    for row in str_rows:
+        out.append(
+            "| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_matrix(
+    matrix,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str | None = None,
+    percent: bool = False,
+) -> str:
+    """Render a labelled 2-D matrix (e.g. a confusion matrix).
+
+    With ``percent=True`` each cell additionally shows its row-normalised
+    percentage, matching the paper's Fig. 2 presentation.
+    """
+    import numpy as np
+
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {m.shape}")
+    if m.shape[0] != len(row_labels) or m.shape[1] != len(col_labels):
+        raise ValueError(
+            f"labels {len(row_labels)}x{len(col_labels)} do not match "
+            f"matrix shape {m.shape}"
+        )
+    rows = []
+    row_sums = m.sum(axis=1, keepdims=True)
+    for i, label in enumerate(row_labels):
+        cells = []
+        for j in range(m.shape[1]):
+            val = m[i, j]
+            if percent:
+                pct = 100.0 * val / row_sums[i, 0] if row_sums[i, 0] else 0.0
+                cells.append(f"{int(val)} ({pct:.0f}%)")
+            else:
+                cells.append(format_cell(val))
+        rows.append([label, *cells])
+    return render_table(["true \\ pred", *col_labels], rows, title=title)

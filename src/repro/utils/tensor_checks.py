@@ -1,0 +1,78 @@
+"""Shape and dtype validation helpers.
+
+All layers and hardware units validate their inputs eagerly so that
+misconfigured models fail with a precise message at the offending layer
+rather than a broadcast error deep inside a GEMM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "require_ndim",
+    "require_shape",
+    "require_dtype",
+    "require_binary",
+    "as_pair",
+]
+
+
+def require_ndim(x: np.ndarray, ndim: int, name: str = "tensor") -> np.ndarray:
+    """Raise ``ValueError`` unless ``x`` has exactly ``ndim`` dimensions."""
+    if x.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-D, got shape {x.shape}")
+    return x
+
+
+def require_shape(
+    x: np.ndarray,
+    shape: Sequence[Optional[int]],
+    name: str = "tensor",
+) -> np.ndarray:
+    """Validate ``x.shape`` against a pattern; ``None`` entries are wildcards."""
+    if x.ndim != len(shape):
+        raise ValueError(
+            f"{name} must be {len(shape)}-D matching {tuple(shape)}, got {x.shape}"
+        )
+    for axis, (got, want) in enumerate(zip(x.shape, shape)):
+        if want is not None and got != want:
+            raise ValueError(
+                f"{name} axis {axis} must be {want}, got {got} (shape {x.shape})"
+            )
+    return x
+
+
+def require_dtype(
+    x: np.ndarray, dtypes: Sequence[type], name: str = "tensor"
+) -> np.ndarray:
+    """Raise ``TypeError`` unless ``x.dtype`` is one of ``dtypes``."""
+    if not any(np.issubdtype(x.dtype, d) for d in dtypes):
+        names = ", ".join(np.dtype(d).name for d in dtypes)
+        raise TypeError(f"{name} must have dtype in ({names}), got {x.dtype}")
+    return x
+
+
+def require_binary(x: np.ndarray, name: str = "tensor") -> np.ndarray:
+    """Raise ``ValueError`` unless every element of ``x`` is -1 or +1."""
+    bad = (x != 1) & (x != -1)
+    if bad.any():
+        example = x[bad].ravel()[0]
+        raise ValueError(
+            f"{name} must contain only -1/+1, found {example!r} "
+            f"({int(bad.sum())} offending elements)"
+        )
+    return x
+
+
+def as_pair(value, name: str = "value") -> Tuple[int, int]:
+    """Coerce an int or 2-sequence into an ``(int, int)`` pair."""
+    if isinstance(value, (int, np.integer)):
+        return int(value), int(value)
+    try:
+        a, b = value
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be an int or pair, got {value!r}") from exc
+    return int(a), int(b)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (datasets, trained models) are session-scoped and
+deliberately tiny: the goal of the fixtures is to exercise every code
+path, not to reach paper accuracy (the benchmarks do that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BinaryCoP, TrainingBudget
+from repro.data.dataset import DatasetSplits, build_masked_face_dataset
+from repro.data.generator import FaceSampleGenerator
+from repro.nn.sequential import Sequential
+from repro.testing import make_tiny_bnn, randomize_bn_stats
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_splits() -> DatasetSplits:
+    """A small but complete run of the §IV-A data pipeline."""
+    return build_masked_face_dataset(raw_size=1500, rng=7, augmented_copies=1)
+
+
+@pytest.fixture(scope="session")
+def sample_generator() -> FaceSampleGenerator:
+    return FaceSampleGenerator(image_size=32)
+
+
+
+
+
+
+@pytest.fixture()
+def tiny_bnn() -> Sequential:
+    model = make_tiny_bnn()
+    randomize_bn_stats(model)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_classifier(tiny_splits) -> BinaryCoP:
+    """An n-CNV trained for a handful of epochs — enough for every
+    downstream API (deploy, Grad-CAM, evaluation) to behave sensibly."""
+    clf = BinaryCoP("n-cnv", rng=0)
+    clf.fit(
+        tiny_splits,
+        TrainingBudget(epochs=10, early_stopping_patience=None),
+    )
+    return clf
+
+
+@pytest.fixture(scope="session")
+def grid_images(rng) -> np.ndarray:
+    """Images on the exact uint8 grid (the deployment input domain)."""
+    q = rng.integers(0, 256, size=(6, 32, 32, 3))
+    return (q / 255.0).astype(np.float32)

@@ -1,0 +1,140 @@
+"""Tests for the Table I architectures."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import (
+    ARCHITECTURES,
+    GRADCAM_LAYER,
+    architecture_summary,
+    build_architecture,
+    build_fp32_cnv,
+    table1_folding,
+)
+from repro.hw.compiler import compile_model
+from repro.nn.layers import BinaryConv2D, BinaryDense, Conv2D, Dense
+from repro.testing import randomize_bn_stats
+
+
+class TestTable1Shapes:
+    def test_cnv_layer_dims(self):
+        """Table I column 1: CNV channel progression."""
+        summary = architecture_summary("cnv")
+        dims = [(c_in, c_out) for _, c_in, c_out in summary["layers"]]
+        assert dims == [
+            (3, 64), (64, 64), (64, 128), (128, 128), (128, 256), (256, 256),
+            (256, 512), (512, 512), (512, 4),
+        ]
+
+    def test_ncnv_layer_dims(self):
+        summary = architecture_summary("n-cnv")
+        dims = [(c_in, c_out) for _, c_in, c_out in summary["layers"]]
+        assert dims == [
+            (3, 16), (16, 16), (16, 32), (32, 32), (32, 64), (64, 64),
+            (64, 128), (128, 128), (128, 4),
+        ]
+
+    def test_ucnv_layer_dims(self):
+        """µ-CNV drops conv3_2; FC1 fan-in grows to 3*3*64 = 576."""
+        summary = architecture_summary("u-cnv")
+        dims = [(c_in, c_out) for _, c_in, c_out in summary["layers"]]
+        assert dims == [
+            (3, 16), (16, 16), (16, 32), (32, 32), (32, 64),
+            (576, 128), (128, 4),
+        ]
+        assert summary["fc_fan_in"] == 576
+
+    def test_ucnv_memory_larger_than_ncnv(self):
+        """The §IV-B trade-off: fewer layers but more weight bits."""
+        assert (
+            architecture_summary("u-cnv")["weight_bits"]
+            > architecture_summary("n-cnv")["weight_bits"]
+        )
+
+    def test_model_shapes_match_summary(self):
+        for name in ("cnv", "n-cnv", "u-cnv"):
+            model = build_architecture(name)
+            shapes = dict(model.shapes())
+            assert shapes[model.layer_names[-1]] == (4,)
+
+    def test_cnv_spatial_progression(self):
+        shapes = dict(build_architecture("cnv").shapes())
+        assert shapes["conv1_1"] == (30, 30, 64)
+        assert shapes["pool1"] == (14, 14, 64)
+        assert shapes["conv2_2"] == (10, 10, 128)
+        assert shapes["pool2"] == (5, 5, 128)
+        assert shapes["conv3_2"] == (1, 1, 256)
+        assert shapes["flatten"] == (256,)
+
+    def test_gradcam_layer_exists_everywhere(self):
+        for name in ARCHITECTURES:
+            model = build_architecture(name)
+            assert GRADCAM_LAYER in model.layer_names
+
+
+class TestFolding:
+    @pytest.mark.parametrize("name", ["cnv", "n-cnv", "u-cnv"])
+    def test_table1_folding_is_legal(self, name):
+        """PE divides rows and SIMD divides cols for every MVTU —
+        verified by actually compiling with Table I dimensioning."""
+        model = build_architecture(name, rng=0)
+        randomize_bn_stats(model)
+        model.eval()
+        acc = compile_model(model, table1_folding(name))
+        assert acc.folding() == table1_folding(name)
+
+    def test_cnv_folding_values(self):
+        f = table1_folding("cnv")
+        assert f.pe == (16, 32, 16, 16, 4, 1, 1, 1, 4)
+        assert f.simd == (3, 32, 32, 32, 32, 32, 4, 8, 1)
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_architecture("resnet")
+        with pytest.raises(ValueError, match="folding"):
+            table1_folding("fp32-cnv")
+        with pytest.raises(ValueError, match="unknown"):
+            architecture_summary("vgg")
+
+
+class TestLayerKinds:
+    def test_bnn_uses_binary_layers(self):
+        model = build_architecture("cnv")
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        denses = [l for l in model.layers if isinstance(l, Dense)]
+        assert all(isinstance(l, BinaryConv2D) for l in convs)
+        assert all(isinstance(l, BinaryDense) for l in denses)
+
+    def test_fp32_uses_float_layers(self):
+        model = build_fp32_cnv()
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        assert convs and not any(isinstance(l, BinaryConv2D) for l in convs)
+
+    def test_fp32_width_scale(self):
+        model = build_fp32_cnv(width_scale=0.25)
+        assert dict(model.shapes())["conv1_1"] == (30, 30, 16)
+        # Output classes unaffected by scaling.
+        assert dict(model.shapes())[model.layer_names[-1]] == (4,)
+
+    def test_parameter_counts(self):
+        """CNV ≈ 1.54M binary weights (~188 KiB packed)."""
+        cnv_bits = architecture_summary("cnv")["weight_bits"]
+        assert cnv_bits == 1_539_776
+        assert architecture_summary("n-cnv")["weight_bits"] == 96_944
+        assert architecture_summary("u-cnv")["weight_bits"] == 109_232
+
+    def test_forward_shapes(self):
+        x = np.zeros((2, 32, 32, 3), dtype=np.float32)
+        for name in ARCHITECTURES:
+            model = build_architecture(name)
+            if any(hasattr(l, "running_mean") for l in model.layers):
+                randomize_bn_stats(model)
+            model.eval()
+            assert model.forward(x).shape == (2, 4), name
+
+    def test_deterministic_init(self):
+        a = build_architecture("n-cnv", rng=3)
+        b = build_architecture("n-cnv", rng=3)
+        np.testing.assert_array_equal(
+            a["conv1_1"].weight.data, b["conv1_1"].weight.data
+        )

@@ -1,0 +1,213 @@
+"""Tests for the BinaryCoP classifier API, Grad-CAM and generalization
+studies, plus the end-to-end integration path (train -> deploy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BinaryCoP, TrainingBudget
+from repro.core.gradcam import GradCAM, attention_band_profile
+from repro.core.generalization import GENERALIZATION_PANELS, run_study
+from repro.data.generator import FaceSampleGenerator, SampleSpec
+from repro.data.mask_model import WearClass
+
+
+class TestTrainingBudget:
+    def test_presets(self):
+        assert TrainingBudget.paper().epochs == 300
+        assert TrainingBudget.smoke().epochs <= 5
+        assert TrainingBudget.laptop().epochs < TrainingBudget.paper().epochs
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="epochs"):
+            TrainingBudget(epochs=0)
+        with pytest.raises(ValueError, match="learning_rate"):
+            TrainingBudget(learning_rate=-1.0)
+
+
+class TestBinaryCoPBasics:
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="unknown"):
+            BinaryCoP("lenet")
+
+    def test_is_binary_flag(self):
+        assert BinaryCoP("n-cnv").is_binary
+        assert not BinaryCoP("fp32-cnv").is_binary
+
+    def test_fp32_not_deployable(self):
+        with pytest.raises(ValueError, match="not deployable"):
+            BinaryCoP("fp32-cnv").deploy()
+
+
+class TestTrainedClassifier:
+    """Uses the session-scoped smoke-trained n-CNV."""
+
+    def test_training_learned_something(self, trained_tiny_classifier, tiny_splits):
+        metrics = trained_tiny_classifier.evaluate(tiny_splits.test)
+        assert metrics["accuracy"] > 0.4  # far above 25% chance
+
+    def test_history_recorded(self, trained_tiny_classifier):
+        assert trained_tiny_classifier.history is not None
+        assert trained_tiny_classifier.history.epochs >= 1
+
+    def test_predict_shapes(self, trained_tiny_classifier, tiny_splits):
+        preds = trained_tiny_classifier.predict(tiny_splits.test.images[:10])
+        assert preds.shape == (10,)
+        single = trained_tiny_classifier.predict(tiny_splits.test.images[0])
+        assert single.shape == (1,)
+
+    def test_confusion_consistent_with_evaluate(
+        self, trained_tiny_classifier, tiny_splits
+    ):
+        cm = trained_tiny_classifier.confusion(tiny_splits.test)
+        metrics = trained_tiny_classifier.evaluate(tiny_splits.test)
+        assert cm.overall_accuracy() == pytest.approx(metrics["accuracy"])
+
+    def test_save_load_roundtrip(self, trained_tiny_classifier, tiny_splits, tmp_path):
+        path = trained_tiny_classifier.save(tmp_path / "clf")
+        restored = BinaryCoP.load(path)
+        assert restored.architecture == trained_tiny_classifier.architecture
+        np.testing.assert_array_equal(
+            restored.predict(tiny_splits.test.images[:16]),
+            trained_tiny_classifier.predict(tiny_splits.test.images[:16]),
+        )
+
+    def test_load_rejects_unknown_architecture(self, tmp_path):
+        from repro.utils.serialization import save_arrays
+
+        path = save_arrays(tmp_path / "bad", {"x": np.zeros(1)}, {"architecture": "gpt"})
+        with pytest.raises(ValueError, match="known architecture"):
+            BinaryCoP.load(path)
+
+    def test_deploy_agrees_with_software(self, trained_tiny_classifier, tiny_splits):
+        """End-to-end: Table I folding, integer datapath == float path."""
+        acc = trained_tiny_classifier.deploy()
+        images = tiny_splits.test.images[:32]
+        sw = trained_tiny_classifier.predict(images)
+        hw = acc.predict(images)
+        assert (sw == hw).mean() >= 0.97
+
+    def test_deploy_custom_folding(self, trained_tiny_classifier):
+        from repro.hw.compiler import FoldingConfig
+
+        folding = FoldingConfig(pe=(1,) * 9, simd=(1,) * 9)
+        acc = trained_tiny_classifier.deploy(folding=folding, name="slow")
+        assert acc.name == "slow"
+        assert acc.folding() == folding
+
+
+class TestGradCAM:
+    def test_heatmap_contract(self, trained_tiny_classifier, tiny_splits):
+        result = trained_tiny_classifier.gradcam(tiny_splits.test.images[0])
+        assert result.heatmap.shape == (10, 10)  # conv2_2 output for 32x32
+        assert result.heatmap.min() >= 0.0
+        assert result.heatmap.max() <= 1.0 + 1e-6
+        assert result.layer == "conv2_2"
+
+    def test_target_class_override(self, trained_tiny_classifier, tiny_splits):
+        img = tiny_splits.test.images[1]
+        r = trained_tiny_classifier.gradcam(img, target_class=2)
+        assert r.target_class == 2
+
+    def test_default_target_is_prediction(self, trained_tiny_classifier, tiny_splits):
+        img = tiny_splits.test.images[2]
+        r = trained_tiny_classifier.gradcam(img)
+        assert r.target_class == r.predicted_class
+
+    def test_different_classes_different_maps(
+        self, trained_tiny_classifier, tiny_splits
+    ):
+        img = tiny_splits.test.images[3]
+        maps = [
+            trained_tiny_classifier.gradcam(img, target_class=c).heatmap
+            for c in range(4)
+        ]
+        diffs = [np.abs(maps[0] - m).max() for m in maps[1:]]
+        assert max(diffs) > 0.0
+
+    def test_model_state_restored(self, trained_tiny_classifier, tiny_splits):
+        model = trained_tiny_classifier.model
+        model.eval()
+        trained_tiny_classifier.gradcam(tiny_splits.test.images[0])
+        assert not model.training  # Grad-CAM must not leave training mode on
+
+    def test_gradcam_does_not_change_predictions(
+        self, trained_tiny_classifier, tiny_splits
+    ):
+        images = tiny_splits.test.images[:8]
+        before = trained_tiny_classifier.predict(images)
+        trained_tiny_classifier.gradcam(images[0])
+        after = trained_tiny_classifier.predict(images)
+        np.testing.assert_array_equal(before, after)
+
+    def test_overlay_shape(self, trained_tiny_classifier, tiny_splits):
+        img = tiny_splits.test.images[0]
+        r = trained_tiny_classifier.gradcam(img)
+        overlay = r.overlay(img)
+        assert overlay.shape == img.shape
+        assert overlay.min() >= 0.0 and overlay.max() <= 1.0
+
+    def test_unknown_layer_rejected(self, trained_tiny_classifier):
+        with pytest.raises(KeyError, match="not in model"):
+            GradCAM(trained_tiny_classifier.model, layer="conv9_9")
+
+    def test_batch_input_rejected(self, trained_tiny_classifier, tiny_splits):
+        cam = GradCAM(trained_tiny_classifier.model)
+        with pytest.raises(ValueError, match="single"):
+            cam.compute(tiny_splits.test.images[:2])
+
+    def test_invalid_target_class(self, trained_tiny_classifier, tiny_splits):
+        with pytest.raises(ValueError, match="out of range"):
+            trained_tiny_classifier.gradcam(tiny_splits.test.images[0], target_class=9)
+
+
+class TestAttentionBands:
+    def test_profile_sums_to_one(self, trained_tiny_classifier):
+        gen = FaceSampleGenerator()
+        sample = gen.generate_one(0, SampleSpec(wear_class=WearClass.CORRECT))
+        result = trained_tiny_classifier.gradcam(sample.image)
+        profile = attention_band_profile(result, sample)
+        assert sum(profile.values()) == pytest.approx(1.0, abs=1e-5)
+        assert set(profile) == {
+            "background",
+            "forehead_eyes",
+            "nose",
+            "mouth",
+            "chin_neck",
+        }
+
+    def test_zero_heatmap_gives_zero_profile(self, trained_tiny_classifier):
+        gen = FaceSampleGenerator()
+        sample = gen.generate_one(1)
+        result = trained_tiny_classifier.gradcam(sample.image)
+        result.heatmap[:] = 0.0
+        profile = attention_band_profile(result, sample)
+        assert all(v == 0.0 for v in profile.values())
+
+
+class TestGeneralizationStudy:
+    def test_panels_defined(self):
+        assert set(GENERALIZATION_PANELS) == {
+            "fig7_age",
+            "fig8_hair_headgear",
+            "fig9_manipulation",
+        }
+
+    def test_run_study_contract(self, trained_tiny_classifier):
+        result = run_study(
+            trained_tiny_classifier.model,
+            "fig7_age",
+            model_name="tiny",
+            samples_per_case=3,
+            rng=0,
+        )
+        assert result.cases == ["infant", "adult", "elderly"]
+        assert all(0.0 <= result.accuracy[c] <= 1.0 for c in result.cases)
+        assert "panel" in result.report() or "fig7_age" in result.report()
+
+    def test_unknown_panel(self, trained_tiny_classifier):
+        with pytest.raises(ValueError, match="unknown panel"):
+            run_study(trained_tiny_classifier.model, "fig99")
+
+    def test_samples_validation(self, trained_tiny_classifier):
+        with pytest.raises(ValueError, match="positive"):
+            run_study(trained_tiny_classifier.model, "fig7_age", samples_per_case=0)

@@ -1,0 +1,115 @@
+"""Tests for the deployment scenarios and the model zoo cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import TrainingBudget
+from repro.core.deployment import CrowdAnalyzer, GateMonitor
+from repro.core.zoo import dataset_cached, trained_classifier
+from repro.data.mask_model import CLASS_NAMES, WearClass
+
+
+@pytest.fixture(scope="module")
+def accelerator(trained_tiny_classifier):
+    return trained_tiny_classifier.deploy()
+
+
+class TestGateMonitor:
+    def test_event_logging(self, accelerator, tiny_splits):
+        gate = GateMonitor(accelerator)
+        for t, img in enumerate(tiny_splits.test.images[:6]):
+            event = gate.process_subject(img, timestamp_s=float(t))
+            assert event.predicted_class in WearClass
+            assert event.admitted == (event.predicted_class == WearClass.CORRECT)
+        assert len(gate.events) == 6
+        assert 0.0 <= gate.admission_rate() <= 1.0
+
+    def test_admission_rate_requires_events(self, accelerator):
+        with pytest.raises(ValueError, match="no subjects"):
+            GateMonitor(accelerator).admission_rate()
+
+    def test_average_power_near_idle(self, accelerator):
+        """The paper's gate scenario: ~1.6 W."""
+        gate = GateMonitor(accelerator)
+        avg = gate.average_power_w(subjects_per_hour=1000)
+        assert avg == pytest.approx(1.6, abs=0.05)
+
+    def test_power_grows_with_traffic(self, accelerator):
+        gate = GateMonitor(accelerator)
+        low = gate.average_power_w(subjects_per_hour=10)
+        high = gate.average_power_w(subjects_per_hour=3_000_000)
+        assert high > low
+
+
+class TestCrowdAnalyzer:
+    def test_statistics(self, accelerator, tiny_splits):
+        crowd = CrowdAnalyzer(accelerator)
+        stats = crowd.analyze(tiny_splits.test.images[:20])
+        assert stats.frames_processed == 20
+        assert sum(stats.class_counts.values()) == 20
+        assert set(stats.class_counts) == set(CLASS_NAMES)
+        assert 0.0 <= stats.compliance_rate <= 1.0
+        assert stats.effective_fps > 0
+
+    def test_report_mentions_compliance(self, accelerator, tiny_splits):
+        stats = CrowdAnalyzer(accelerator).analyze(tiny_splits.test.images[:8])
+        assert "compliance" in stats.report()
+
+    def test_rejects_single_image(self, accelerator, tiny_splits):
+        with pytest.raises(ValueError, match="batch"):
+            CrowdAnalyzer(accelerator).analyze(tiny_splits.test.images[0])
+
+    def test_throughput_scales_with_batch(self, accelerator, tiny_splits):
+        crowd = CrowdAnalyzer(accelerator)
+        small = crowd.analyze(tiny_splits.test.images[:4])
+        large = crowd.analyze(tiny_splits.test.images[:40])
+        # Larger batches amortise the pipeline fill -> higher effective FPS.
+        assert large.effective_fps > small.effective_fps
+
+    def test_compliance_requires_faces(self, accelerator):
+        from repro.core.deployment import CrowdStatistics
+
+        stats = CrowdStatistics(
+            class_counts={n: 0 for n in CLASS_NAMES},
+            frames_processed=0,
+            wall_seconds_modelled=1.0,
+        )
+        with pytest.raises(ValueError, match="no faces"):
+            stats.compliance_rate
+
+
+class TestZoo:
+    def test_dataset_cached_memoises(self):
+        a = dataset_cached(raw_size=80, rng=5, augmented_copies=0)
+        b = dataset_cached(raw_size=80, rng=5, augmented_copies=0)
+        assert a is b
+
+    def test_trained_classifier_caches_to_disk(self, tmp_path):
+        splits = dataset_cached(raw_size=80, rng=5, augmented_copies=0)
+        budget = TrainingBudget(epochs=1, early_stopping_patience=None)
+        kwargs = dict(
+            splits=splits,
+            budget=budget,
+            cache_dir=tmp_path,
+            dataset_key={"test": 1},
+        )
+        clf1 = trained_classifier("u-cnv", **kwargs)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        clf2 = trained_classifier("u-cnv", **kwargs)
+        np.testing.assert_array_equal(
+            clf1.model["conv1_1"].weight.data, clf2.model["conv1_1"].weight.data
+        )
+        assert len(list(tmp_path.glob("*.npz"))) == 1  # no retrain
+
+    def test_different_budget_different_cache_key(self, tmp_path):
+        splits = dataset_cached(raw_size=80, rng=5, augmented_copies=0)
+        for epochs in (1, 2):
+            trained_classifier(
+                "u-cnv",
+                splits=splits,
+                budget=TrainingBudget(epochs=epochs, early_stopping_patience=None),
+                cache_dir=tmp_path,
+                dataset_key={"test": 2},
+            )
+        assert len(list(tmp_path.glob("*.npz"))) == 2

@@ -1,0 +1,123 @@
+"""Tests for interpolated mask placement and boundary-sweep analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_analysis import (
+    BoundarySweep,
+    boundary_sweep,
+    render_sweep_table,
+)
+from repro.data.keypoints import sample_keypoints
+from repro.data.mask_model import WearClass, place_mask_interpolated
+
+
+class TestPlaceMaskInterpolated:
+    @pytest.mark.parametrize("wear", list(WearClass))
+    @pytest.mark.parametrize("t", [0.0, 0.5, 1.0])
+    def test_class_geometry_holds_at_all_positions(self, wear, t):
+        """The placement stays inside its class band along the sweep."""
+        kp = sample_keypoints(3)
+        p = place_mask_interpolated(kp, wear, t)
+        if wear in (WearClass.CORRECT, WearClass.CHIN_EXPOSED):
+            assert p.top_y <= kp.nose_tip[1] + 1e-6
+        else:
+            assert p.top_y > kp.nose_tip[1]
+        if wear == WearClass.CHIN_EXPOSED:
+            assert p.bottom_y < kp.chin_tip[1]
+        else:
+            assert p.bottom_y >= kp.chin_tip[1]
+        if wear == WearClass.NOSE_MOUTH_EXPOSED:
+            assert p.top_y > kp.mouth_center[1]
+
+    @pytest.mark.parametrize("wear", list(WearClass))
+    def test_monotone_toward_boundary(self, wear):
+        """The class-defining edge moves monotonically with position."""
+        kp = sample_keypoints(5)
+        placements = [
+            place_mask_interpolated(kp, wear, t) for t in (0.0, 0.3, 0.7, 1.0)
+        ]
+        if wear == WearClass.CHIN_EXPOSED:
+            edges = [p.bottom_y for p in placements]
+        else:
+            edges = [p.top_y for p in placements]
+        diffs = np.diff(edges)
+        if wear in (WearClass.NOSE_EXPOSED, WearClass.NOSE_MOUTH_EXPOSED):
+            assert (diffs <= 0).all()  # edge rises toward the boundary above
+        else:
+            assert (diffs >= 0).all()  # edge descends toward the boundary below
+
+    def test_deterministic(self):
+        kp = sample_keypoints(7)
+        a = place_mask_interpolated(kp, WearClass.CORRECT, 0.4)
+        b = place_mask_interpolated(kp, WearClass.CORRECT, 0.4)
+        assert a == b
+
+    def test_position_validation(self):
+        kp = sample_keypoints(0)
+        with pytest.raises(ValueError, match="position"):
+            place_mask_interpolated(kp, WearClass.CORRECT, 1.5)
+
+
+class TestBoundarySweep:
+    def test_contract(self, trained_tiny_classifier):
+        sweep = boundary_sweep(
+            trained_tiny_classifier,
+            WearClass.NOSE_EXPOSED,
+            positions=(0.0, 1.0),
+            subjects_per_point=4,
+            rng=0,
+        )
+        assert sweep.positions == [0.0, 1.0]
+        assert all(0.0 <= a <= 1.0 for a in sweep.accuracy)
+        assert sweep.subjects_per_point == 4
+
+    def test_same_subjects_across_positions(self, trained_tiny_classifier):
+        """The sweep is paired: re-running yields identical curves."""
+        kwargs = dict(
+            positions=(0.0, 0.5), subjects_per_point=3, rng=9
+        )
+        a = boundary_sweep(trained_tiny_classifier, WearClass.CORRECT, **kwargs)
+        b = boundary_sweep(trained_tiny_classifier, WearClass.CORRECT, **kwargs)
+        assert a.accuracy == b.accuracy
+
+    def test_sharpness_helpers(self):
+        sweep = BoundarySweep(
+            wear_class=WearClass.CORRECT,
+            positions=[0.0, 1.0],
+            accuracy=[0.9, 0.6],
+            subjects_per_point=8,
+        )
+        assert sweep.interior_accuracy() == 0.9
+        assert sweep.boundary_accuracy() == 0.6
+        assert sweep.sharpness() == pytest.approx(0.3)
+
+    def test_render_table(self):
+        sweeps = [
+            BoundarySweep(WearClass.CORRECT, [0.0, 1.0], [1.0, 0.5], 4),
+            BoundarySweep(WearClass.NOSE_EXPOSED, [0.0, 1.0], [0.9, 0.7], 4),
+        ]
+        out = render_sweep_table(sweeps)
+        assert "t=0.00" in out and "drop" in out and "Correct" in out
+
+    def test_render_table_grid_mismatch(self):
+        sweeps = [
+            BoundarySweep(WearClass.CORRECT, [0.0, 1.0], [1.0, 0.5], 4),
+            BoundarySweep(WearClass.NOSE_EXPOSED, [0.0, 0.5], [0.9, 0.7], 4),
+        ]
+        with pytest.raises(ValueError, match="position grid"):
+            render_sweep_table(sweeps)
+        with pytest.raises(ValueError, match="at least one"):
+            render_sweep_table([])
+
+    def test_validation(self, trained_tiny_classifier):
+        with pytest.raises(TypeError, match="predict"):
+            boundary_sweep(object(), WearClass.CORRECT)
+        with pytest.raises(ValueError, match="subjects_per_point"):
+            boundary_sweep(
+                trained_tiny_classifier, WearClass.CORRECT, subjects_per_point=0
+            )
+        with pytest.raises(ValueError, match="positions"):
+            boundary_sweep(
+                trained_tiny_classifier, WearClass.CORRECT, positions=(2.0,)
+            )

@@ -1,0 +1,102 @@
+"""Tests for evaluation utilities (confusion matrix / accuracy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import ConfusionMatrix, accuracy, confusion_matrix
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy(np.empty(0), np.empty(0))
+
+
+class TestConfusionMatrix:
+    def _cm(self):
+        preds = np.array([0, 0, 1, 1, 2, 3, 3, 0])
+        labels = np.array([0, 0, 1, 2, 2, 3, 3, 3])
+        return confusion_matrix(preds, labels)
+
+    def test_counts(self):
+        cm = self._cm()
+        assert cm.counts[0, 0] == 2  # two correct class-0
+        assert cm.counts[2, 1] == 1  # one N+M predicted as Nose
+        assert cm.counts[3, 0] == 1
+        assert cm.counts.sum() == 8
+
+    def test_overall_accuracy(self):
+        assert self._cm().overall_accuracy() == pytest.approx(6 / 8)
+
+    def test_per_class_recall(self):
+        recall = self._cm().per_class_recall()
+        assert recall["Correct"] == pytest.approx(1.0)
+        assert recall["N+M"] == pytest.approx(0.5)
+        assert recall["Chin"] == pytest.approx(2 / 3)
+
+    def test_per_class_precision(self):
+        precision = self._cm().per_class_precision()
+        assert precision["Correct"] == pytest.approx(2 / 3)
+        assert precision["Nose"] == pytest.approx(0.5)
+
+    def test_per_class_f1(self):
+        f1 = self._cm().per_class_f1()
+        # Correct: recall 1.0, precision 2/3 -> F1 = 0.8.
+        assert f1["Correct"] == pytest.approx(0.8)
+        # Nose: recall 1.0, precision 0.5 -> F1 = 2/3.
+        assert f1["Nose"] == pytest.approx(2 / 3)
+
+    def test_macro_f1_bounds(self):
+        cm = self._cm()
+        macro = cm.macro_f1()
+        f1 = cm.per_class_f1()
+        assert min(f1.values()) <= macro <= max(f1.values())
+
+    def test_f1_nan_for_absent_class(self):
+        cm = ConfusionMatrix(np.array([[3, 0], [0, 0]]), class_names=("a", "b"))
+        f1 = cm.per_class_f1()
+        assert f1["a"] == pytest.approx(1.0)
+        assert np.isnan(f1["b"])
+        assert cm.macro_f1() == pytest.approx(1.0)  # nan-aware mean
+
+    def test_row_normalised(self):
+        rn = self._cm().row_normalised()
+        np.testing.assert_allclose(rn.sum(axis=1), 1.0)
+
+    def test_row_normalised_empty_class(self):
+        cm = ConfusionMatrix(np.array([[2, 0], [0, 0]]), class_names=("a", "b"))
+        rn = cm.row_normalised()
+        np.testing.assert_array_equal(rn[1], 0.0)
+
+    def test_dominant_confusion(self):
+        cm = ConfusionMatrix(
+            np.array([[5, 3], [1, 9]]), class_names=("a", "b")
+        )
+        assert cm.dominant_confusion() == ("a", "b", 3)
+
+    def test_render_contains_percentages(self):
+        out = self._cm().render()
+        assert "100%" in out and "Correct" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            ConfusionMatrix(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="names"):
+            ConfusionMatrix(np.zeros((2, 2)), class_names=("only-one",))
+        with pytest.raises(ValueError, match="out of range"):
+            confusion_matrix(np.array([5]), np.array([0]))
+        with pytest.raises(ValueError, match="empty"):
+            ConfusionMatrix(np.zeros((4, 4))).overall_accuracy()
+
+    def test_perfect_diagonal(self):
+        preds = labels = np.array([0, 1, 2, 3] * 5)
+        cm = confusion_matrix(preds, labels)
+        assert cm.overall_accuracy() == 1.0
+        assert np.trace(cm.counts) == 20

@@ -1,0 +1,91 @@
+"""Tests for the demographic-parity (fairness) evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import FACTOR_COHORTS, FairnessReport, evaluate_fairness
+
+
+class TestFairnessReport:
+    def _report(self):
+        return FairnessReport(
+            factor="skin_tone",
+            cohort_accuracy={"a": 0.9, "b": 0.7, "c": 0.8},
+            samples_per_cohort=10,
+        )
+
+    def test_disparity(self):
+        r = self._report()
+        assert r.disparity == pytest.approx(0.2)
+        assert r.worst == ("b", 0.7)
+        assert r.best == ("a", 0.9)
+
+    def test_mean(self):
+        assert self._report().mean_accuracy() == pytest.approx(0.8)
+
+    def test_render(self):
+        out = self._report().render()
+        assert "disparity" in out and "skin_tone" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="cohort"):
+            FairnessReport(factor="x", cohort_accuracy={}, samples_per_cohort=1)
+
+
+class TestFactorCohorts:
+    def test_factor_catalog(self):
+        assert set(FACTOR_COHORTS) == {
+            "skin_tone",
+            "age_group",
+            "hair_color",
+            "mask_type",
+        }
+
+    def test_skin_cohort_count_matches_palette(self):
+        from repro.data.attributes import SKIN_TONES
+
+        assert len(FACTOR_COHORTS["skin_tone"]()) == len(SKIN_TONES)
+
+    def test_cohorts_differ_only_in_factor(self):
+        for factor, builder in FACTOR_COHORTS.items():
+            cohorts = builder()
+            assert len(cohorts) >= 2
+            names = [name for name, _ in cohorts]
+            assert len(set(names)) == len(names)
+
+
+class TestEvaluateFairness:
+    def test_contract(self, trained_tiny_classifier):
+        report = evaluate_fairness(
+            trained_tiny_classifier.model, "age_group", samples_per_cohort=8, rng=0
+        )
+        assert set(report.cohort_accuracy) == {"infant", "adult", "elderly"}
+        assert all(0.0 <= a <= 1.0 for a in report.cohort_accuracy.values())
+        assert 0.0 <= report.disparity <= 1.0
+
+    def test_trained_model_above_chance_everywhere(self, trained_tiny_classifier):
+        report = evaluate_fairness(
+            trained_tiny_classifier.model, "mask_type", samples_per_cohort=12, rng=1
+        )
+        # Every mask-type cohort should classify above the 25% chance
+        # level even for this lightly trained model.
+        assert report.worst[1] > 0.25
+
+    def test_deterministic(self, trained_tiny_classifier):
+        a = evaluate_fairness(
+            trained_tiny_classifier.model, "age_group", samples_per_cohort=4, rng=5
+        )
+        b = evaluate_fairness(
+            trained_tiny_classifier.model, "age_group", samples_per_cohort=4, rng=5
+        )
+        assert a.cohort_accuracy == b.cohort_accuracy
+
+    def test_unknown_factor(self, trained_tiny_classifier):
+        with pytest.raises(ValueError, match="unknown factor"):
+            evaluate_fairness(trained_tiny_classifier.model, "zodiac_sign")
+
+    def test_samples_validation(self, trained_tiny_classifier):
+        with pytest.raises(ValueError, match=">= 4"):
+            evaluate_fairness(
+                trained_tiny_classifier.model, "age_group", samples_per_cohort=2
+            )

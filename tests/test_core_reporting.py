@@ -1,0 +1,62 @@
+"""Tests for the markdown experiment-report builder."""
+
+import pytest
+
+from repro.core.reporting import ExperimentReport, ReportSection, build_report
+
+
+class TestReportPrimitives:
+    def test_section_render_level(self):
+        s = ReportSection(title="T", body="body text")
+        assert s.render().startswith("## T")
+        assert s.render(level=3).startswith("### T")
+
+    def test_report_render_order(self):
+        r = ExperimentReport(title="R")
+        r.add("first", "a").add("second", "b")
+        out = r.render()
+        assert out.index("first") < out.index("second")
+        assert out.startswith("# R")
+
+    def test_save(self, tmp_path):
+        r = ExperimentReport(title="R").add("s", "b")
+        path = r.save(tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert "# R" in path.read_text()
+
+
+class TestBuildReport:
+    def test_empty_classifiers_rejected(self, tiny_splits):
+        with pytest.raises(ValueError, match="at least one"):
+            build_report({}, tiny_splits)
+
+    def test_full_report_sections(self, trained_tiny_classifier, tiny_splits):
+        report = build_report(
+            {"n-cnv": trained_tiny_classifier},
+            tiny_splits,
+            fairness_samples=4,
+            fairness_model="n-cnv",
+        )
+        text = report.render()
+        titles = [s.title for s in report.sections]
+        assert any("Dataset" in t for t in titles)
+        assert any("accuracy" in t.lower() for t in titles)
+        assert any("Table II" in t for t in titles)
+        assert any("Confusion" in t for t in titles)
+        assert any("Deployment" in t for t in titles)
+        assert any("Fairness" in t for t in titles)
+        assert any("Table I" in t for t in titles)
+        # Core regenerated facts appear in the body.
+        assert "20,425" in text  # n-CNV Table II LUTs
+        assert "0.9394" in text  # paper n-CNV accuracy
+        assert "bottleneck" in text
+        assert "disparity" in text
+
+    def test_report_without_fairness_model(self, trained_tiny_classifier, tiny_splits):
+        report = build_report(
+            {"n-cnv": trained_tiny_classifier},
+            tiny_splits,
+            fairness_model="cnv",  # not in the classifier dict
+        )
+        titles = [s.title for s in report.sections]
+        assert not any("Fairness" in t for t in titles)

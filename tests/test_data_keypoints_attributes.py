@@ -1,0 +1,172 @@
+"""Tests for the key-point skeleton and attribute sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.attributes import (
+    HAIR_COLORS,
+    MASK_COLORS,
+    SKIN_TONES,
+    FaceAttributes,
+    MaskAttributes,
+    sample_attributes,
+    sample_mask_attributes,
+)
+from repro.data.keypoints import FaceKeypoints, sample_keypoints
+
+
+class TestSampleKeypoints:
+    def test_deterministic(self):
+        a = sample_keypoints(0)
+        b = sample_keypoints(0)
+        assert a.as_dict() == b.as_dict()
+
+    def test_vertical_ordering_invariant(self):
+        for seed in range(40):
+            kp = sample_keypoints(seed)
+            assert kp.forehead_top[1] < kp.eye_line_y
+            assert kp.eye_line_y < kp.nose_bridge[1]
+            assert kp.nose_bridge[1] < kp.nose_tip[1]
+            assert kp.nose_tip[1] < kp.mouth_center[1]
+            assert kp.mouth_center[1] < kp.chin_tip[1]
+
+    def test_landmarks_inside_canvas(self):
+        for seed in range(20):
+            kp = sample_keypoints(seed, canvas=64)
+            for name, (x, y) in kp.as_dict().items():
+                assert 0 <= x <= 64, f"{name} x out of canvas"
+                assert 0 <= y <= 64, f"{name} y out of canvas"
+
+    def test_age_groups_change_proportions(self):
+        infants = [sample_keypoints(s, age_group="infant") for s in range(10)]
+        elderly = [sample_keypoints(s, age_group="elderly") for s in range(10)]
+        # Infants have wider (rounder) faces relative to height.
+        infant_ratio = np.mean([k.face_rx / k.face_ry for k in infants])
+        elderly_ratio = np.mean([k.face_rx / k.face_ry for k in elderly])
+        assert infant_ratio > elderly_ratio
+
+    def test_unknown_age_group(self):
+        with pytest.raises(ValueError, match="age_group"):
+            sample_keypoints(0, age_group="teen")
+
+    def test_band_helpers_ordered(self):
+        kp = sample_keypoints(3)
+        assert kp.nose_tip[1] < kp.below_nose_y() < kp.mouth_center[1]
+        assert kp.mouth_center[1] < kp.below_mouth_y() < kp.chin_tip[1]
+        assert kp.mouth_center[1] < kp.above_chin_y() < kp.chin_tip[1]
+
+
+class TestFaceKeypointsValidation:
+    def test_disordered_landmarks_rejected(self):
+        with pytest.raises(ValueError, match="disordered"):
+            FaceKeypoints(
+                canvas=64,
+                face_center=(32, 32),
+                face_rx=16,
+                face_ry=20,
+                left_eye=(24, 40),  # below the nose -> invalid
+                right_eye=(40, 40),
+                nose_bridge=(32, 30),
+                nose_tip=(32, 36),
+                mouth_center=(32, 44),
+                chin_tip=(32, 50),
+                jaw_left=(18, 44),
+                jaw_right=(46, 44),
+                forehead_top=(32, 12),
+            )
+
+    def test_bad_radii_rejected(self):
+        with pytest.raises(ValueError, match="radii"):
+            FaceKeypoints(
+                canvas=64,
+                face_center=(32, 32),
+                face_rx=0,
+                face_ry=20,
+                left_eye=(24, 28),
+                right_eye=(40, 28),
+                nose_bridge=(32, 31),
+                nose_tip=(32, 38),
+                mouth_center=(32, 44),
+                chin_tip=(32, 51),
+                jaw_left=(18, 44),
+                jaw_right=(46, 44),
+                forehead_top=(32, 12),
+            )
+
+
+class TestAttributes:
+    def test_deterministic(self):
+        assert sample_attributes(5) == sample_attributes(5)
+
+    def test_overrides_pin_factors(self):
+        attrs = sample_attributes(
+            0,
+            age_group="elderly",
+            headgear="cap",
+            sunglasses=True,
+            face_paint=True,
+            double_mask=True,
+        )
+        assert attrs.age_group == "elderly"
+        assert attrs.headgear == "cap"
+        assert attrs.sunglasses
+        assert attrs.face_paint is not None
+        assert attrs.double_mask
+
+    def test_hair_color_override(self):
+        attrs = sample_attributes(0, hair_color=HAIR_COLORS[6])
+        assert attrs.hair_color == HAIR_COLORS[6]
+
+    def test_diversity_over_seeds(self):
+        skins = {sample_attributes(s).skin_tone for s in range(40)}
+        ages = {sample_attributes(s).age_group for s in range(40)}
+        assert len(skins) > 10
+        assert ages == {"infant", "adult", "elderly"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="age_group"):
+            FaceAttributes(age_group="ancient")
+        with pytest.raises(ValueError, match="hair_style"):
+            FaceAttributes(hair_style="mohawk")
+        with pytest.raises(ValueError, match="headgear"):
+            FaceAttributes(headgear="crown")
+
+    def test_palettes_are_valid_colors(self):
+        for palette in (SKIN_TONES, HAIR_COLORS, MASK_COLORS):
+            for color in palette:
+                assert len(color) == 3
+                assert all(0.0 <= c <= 1.0 for c in color)
+
+
+class TestMaskAttributes:
+    def test_sampling_valid(self):
+        for seed in range(30):
+            m = sample_mask_attributes(seed)
+            assert m.mask_type in ("surgical", "cloth", "ffp2")
+            assert 0 <= m.pleats <= 5
+            assert all(0.0 <= c <= 1.0 for c in m.color)
+
+    def test_only_surgical_has_pleats(self):
+        for seed in range(50):
+            m = sample_mask_attributes(seed)
+            if m.mask_type != "surgical":
+                assert m.pleats == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mask_type"):
+            MaskAttributes(mask_type="bandana")
+        with pytest.raises(ValueError, match="pleats"):
+            MaskAttributes(pleats=9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), canvas=st.sampled_from([48, 64, 96]))
+def test_keypoints_scale_with_canvas(seed, canvas):
+    """Property: the skeleton scales with the canvas and stays ordered."""
+    kp = sample_keypoints(seed, canvas=canvas)
+    assert kp.canvas == canvas
+    assert 0 < kp.face_rx < canvas / 2
+    assert kp.chin_tip[1] <= canvas
+    assert kp.forehead_top[1] >= 0

@@ -1,0 +1,210 @@
+"""Tests for the deformable mask model and the face renderer.
+
+The mask placement tests check the *geometric class definitions* — the
+property the whole classification task rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.attributes import MaskAttributes, sample_attributes
+from repro.data.face_renderer import render_face
+from repro.data.keypoints import sample_keypoints
+from repro.data.mask_model import (
+    CLASS_NAMES,
+    MaskPlacement,
+    WearClass,
+    composite_mask,
+    place_mask,
+)
+
+
+class TestWearClass:
+    def test_four_classes(self):
+        assert len(WearClass) == 4
+        assert len(CLASS_NAMES) == 4
+
+    def test_values_stable(self):
+        # The integer coding is part of the dataset contract (Fig. 2 axes).
+        assert WearClass.CORRECT == 0
+        assert WearClass.NOSE_EXPOSED == 1
+        assert WearClass.NOSE_MOUTH_EXPOSED == 2
+        assert WearClass.CHIN_EXPOSED == 3
+
+
+class TestPlaceMask:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_correct_covers_nose_mouth_chin(self, seed):
+        kp = sample_keypoints(seed)
+        p = place_mask(kp, WearClass.CORRECT, rng=seed)
+        assert p.top_y <= kp.nose_tip[1], "nose must be covered"
+        assert p.bottom_y >= kp.chin_tip[1], "chin must be covered"
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_nose_exposed_geometry(self, seed):
+        kp = sample_keypoints(seed)
+        p = place_mask(kp, WearClass.NOSE_EXPOSED, rng=seed)
+        assert p.top_y > kp.nose_tip[1], "nose must be exposed"
+        assert p.top_y < kp.mouth_center[1], "mouth must be covered"
+        assert p.bottom_y >= kp.chin_tip[1], "chin must be covered"
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_nose_mouth_exposed_geometry(self, seed):
+        kp = sample_keypoints(seed)
+        p = place_mask(kp, WearClass.NOSE_MOUTH_EXPOSED, rng=seed)
+        assert p.top_y > kp.mouth_center[1], "mouth must be exposed"
+        assert p.bottom_y >= kp.chin_tip[1], "chin must be covered"
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_chin_exposed_geometry(self, seed):
+        kp = sample_keypoints(seed)
+        p = place_mask(kp, WearClass.CHIN_EXPOSED, rng=seed)
+        assert p.top_y <= kp.nose_tip[1], "nose must be covered"
+        assert p.bottom_y < kp.chin_tip[1], "chin must be exposed"
+        assert p.bottom_y > kp.mouth_center[1], "mouth must be covered"
+
+    def test_placement_jitters_within_class(self):
+        kp = sample_keypoints(0)
+        tops = {place_mask(kp, WearClass.CORRECT, rng=s).top_y for s in range(10)}
+        assert len(tops) > 5  # not a fixed pixel row
+
+    def test_accepts_plain_int(self):
+        kp = sample_keypoints(0)
+        p = place_mask(kp, 2, rng=0)
+        assert p.wear_class == WearClass.NOSE_MOUTH_EXPOSED
+
+
+class TestMaskPlacementValidation:
+    def test_inverted_span_rejected(self):
+        with pytest.raises(ValueError, match="below top"):
+            MaskPlacement(
+                top_y=40,
+                bottom_y=30,
+                top_half_width=10,
+                bottom_half_width=8,
+                center_x=32,
+                wear_class=WearClass.CORRECT,
+            )
+
+    def test_bad_widths_rejected(self):
+        with pytest.raises(ValueError, match="widths"):
+            MaskPlacement(
+                top_y=30,
+                bottom_y=40,
+                top_half_width=0,
+                bottom_half_width=8,
+                center_x=32,
+                wear_class=WearClass.CORRECT,
+            )
+
+
+class TestRenderFace:
+    def test_shape_and_range(self):
+        kp = sample_keypoints(0)
+        attrs = sample_attributes(0)
+        img = render_face(kp, attrs, rng=0)
+        assert img.shape == (64, 64, 3)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic(self):
+        kp = sample_keypoints(1)
+        attrs = sample_attributes(1)
+        a = render_face(kp, attrs, rng=9)
+        b = render_face(kp, attrs, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_face_region_is_skin_toned(self):
+        kp = sample_keypoints(2)
+        attrs = sample_attributes(2, sunglasses=False, face_paint=False)
+        img = render_face(kp, attrs, rng=0)
+        cx, cy = kp.face_center
+        # A cheek pixel (between eye line and nose, off-centre).
+        cheek_y = int((kp.eye_line_y + kp.nose_tip[1]) / 2)
+        cheek_x = int(cx + kp.face_rx * 0.55)
+        pixel = img[cheek_y, cheek_x]
+        skin = np.asarray(attrs.skin_tone)
+        assert np.abs(pixel - skin).max() < 0.3
+
+    def test_sunglasses_darken_eyes(self):
+        kp = sample_keypoints(3)
+        plain = sample_attributes(3, sunglasses=False)
+        shaded = sample_attributes(3, sunglasses=True)
+        img_plain = render_face(kp, plain, rng=0)
+        img_shaded = render_face(kp, shaded, rng=0)
+        ex, ey = int(kp.left_eye[0]), int(kp.left_eye[1])
+        assert img_shaded[ey, ex].mean() < img_plain[ey, ex].mean()
+
+    def test_different_subjects_differ(self):
+        img1 = render_face(sample_keypoints(4), sample_attributes(4), rng=0)
+        img2 = render_face(sample_keypoints(5), sample_attributes(5), rng=0)
+        assert np.abs(img1 - img2).mean() > 0.01
+
+
+class TestCompositeMask:
+    def _setup(self, seed=0, wear=WearClass.CORRECT):
+        kp = sample_keypoints(seed)
+        attrs = sample_attributes(seed)
+        img = render_face(kp, attrs, rng=seed)
+        placement = place_mask(kp, wear, rng=seed)
+        return kp, attrs, img, placement
+
+    def test_mask_pixels_take_mask_color(self):
+        kp, attrs, img, placement = self._setup()
+        mask_attrs = MaskAttributes(color=(1.0, 0.0, 0.0), texture_noise=0.0)
+        composite_mask(img, kp, placement, mask_attrs, rng=0)
+        my = int((placement.top_y + placement.bottom_y) / 2)
+        mx = int(placement.center_x)
+        assert img[my, mx, 0] > 0.6 and img[my, mx, 1] < 0.4
+
+    def test_mask_does_not_touch_forehead(self):
+        kp, attrs, img, placement = self._setup()
+        before = img.copy()
+        composite_mask(img, kp, placement, MaskAttributes(strap_visible=False), rng=0)
+        fy = int(kp.forehead_top[1] + 2)
+        fx = int(kp.face_center[0])
+        np.testing.assert_array_equal(img[fy, fx], before[fy, fx])
+
+    def test_double_mask_layers_second_color(self):
+        kp, attrs, img, placement = self._setup(seed=1)
+        mask_attrs = MaskAttributes(color=(0.0, 0.0, 1.0), texture_noise=0.0)
+        composite_mask(
+            img,
+            kp,
+            placement,
+            mask_attrs,
+            rng=0,
+            double_mask=True,
+            second_color=(1.0, 1.0, 0.0),
+        )
+        my = int((placement.top_y + placement.bottom_y) / 2)
+        mx = int(placement.center_x)
+        # Second (yellow) mask dominates the centre.
+        assert img[my, mx, 0] > 0.7 and img[my, mx, 2] < 0.4
+
+    def test_image_stays_in_range(self):
+        kp, attrs, img, placement = self._setup(seed=2)
+        composite_mask(img, kp, placement, MaskAttributes(texture_noise=0.05), rng=0)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 5000), wear=st.sampled_from(list(WearClass)))
+def test_mask_span_class_property(seed, wear):
+    """Property: every sampled placement satisfies its class geometry."""
+    kp = sample_keypoints(seed % 100)
+    p = place_mask(kp, wear, rng=seed)
+    if wear in (WearClass.CORRECT, WearClass.CHIN_EXPOSED):
+        assert p.top_y <= kp.nose_tip[1]
+    else:
+        assert p.top_y > kp.nose_tip[1]
+    if wear == WearClass.CHIN_EXPOSED:
+        assert p.bottom_y < kp.chin_tip[1]
+    else:
+        assert p.bottom_y >= kp.chin_tip[1]
+    if wear == WearClass.NOSE_MOUTH_EXPOSED:
+        assert p.top_y > kp.mouth_center[1]
+    elif wear == WearClass.NOSE_EXPOSED:
+        assert p.top_y < kp.mouth_center[1]

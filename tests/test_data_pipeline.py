@@ -1,0 +1,293 @@
+"""Tests for the generator, balancing, augmentation and dataset pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.augmentation import (
+    Augmenter,
+    add_gaussian_noise,
+    adjust_brightness,
+    adjust_contrast,
+    horizontal_flip,
+    rotate,
+)
+from repro.data.balancing import (
+    RAW_CLASS_PROBABILITIES,
+    balance_by_subsampling,
+    class_distribution,
+)
+from repro.data.dataset import (
+    Dataset,
+    build_masked_face_dataset,
+    iterate_minibatches,
+)
+from repro.data.generator import FaceSampleGenerator, SampleSpec
+from repro.data.mask_model import WearClass
+
+
+class TestGenerator:
+    def test_sample_contract(self):
+        g = FaceSampleGenerator(image_size=32)
+        s = g.generate_one(0)
+        assert s.image.shape == (32, 32, 3)
+        assert s.image.dtype == np.float32
+        assert 0.0 <= s.image.min() and s.image.max() <= 1.0
+        assert s.label in WearClass
+
+    def test_images_on_uint8_grid(self):
+        s = FaceSampleGenerator().generate_one(1)
+        scaled = s.image * 255.0
+        np.testing.assert_allclose(scaled, np.rint(scaled), atol=1e-4)
+
+    def test_deterministic(self):
+        g = FaceSampleGenerator()
+        a = g.generate_one(7)
+        b = g.generate_one(7)
+        np.testing.assert_array_equal(a.image, b.image)
+        assert a.label == b.label
+
+    def test_spec_pins_class(self):
+        g = FaceSampleGenerator()
+        for seed in range(8):
+            s = g.generate_one(seed, SampleSpec(wear_class=WearClass.CHIN_EXPOSED))
+            assert s.label == WearClass.CHIN_EXPOSED
+
+    def test_batch_shapes(self):
+        X, y = FaceSampleGenerator().generate_batch(12, rng=0)
+        assert X.shape == (12, 32, 32, 3)
+        assert y.shape == (12,)
+        assert y.dtype == np.int64
+
+    def test_batch_class_probabilities(self):
+        X, y = FaceSampleGenerator().generate_batch(
+            300, rng=0, class_probabilities=(1.0, 0.0, 0.0, 0.0)
+        )
+        assert set(y) == {0}
+
+    def test_raw_imbalance_reproduced(self):
+        _, y = FaceSampleGenerator().generate_batch(
+            600, rng=0, class_probabilities=RAW_CLASS_PROBABILITIES
+        )
+        counts = np.bincount(y, minlength=4) / len(y)
+        assert counts[0] > 0.4 and counts[1] > 0.3
+        assert counts[2] < 0.12 and counts[3] < 0.12
+
+    def test_bad_probabilities_rejected(self):
+        g = FaceSampleGenerator()
+        with pytest.raises(ValueError, match="class_probabilities"):
+            g.generate_batch(4, rng=0, class_probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_render_smaller_than_output_rejected(self):
+        with pytest.raises(ValueError, match="render_size"):
+            FaceSampleGenerator(image_size=64, render_size=32)
+
+    def test_nonpositive_batch_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FaceSampleGenerator().generate_batch(0)
+
+
+class TestBalancing:
+    def _data(self, counts):
+        labels = np.concatenate([np.full(n, c) for c, n in enumerate(counts)])
+        images = np.arange(len(labels), dtype=np.float32).reshape(-1, 1, 1, 1)
+        images = np.broadcast_to(images, (len(labels), 2, 2, 3)).copy()
+        return images, labels
+
+    def test_balances_to_smallest(self):
+        images, labels = self._data([100, 80, 10, 12])
+        xb, yb = balance_by_subsampling(images, labels, rng=0)
+        counts = class_distribution(yb)
+        assert set(counts.values()) == {10}
+
+    def test_explicit_target(self):
+        images, labels = self._data([50, 50, 20, 20])
+        _, yb = balance_by_subsampling(images, labels, rng=0, target_per_class=15)
+        assert set(class_distribution(yb).values()) == {15}
+
+    def test_target_above_minimum_rejected(self):
+        images, labels = self._data([50, 50, 20, 20])
+        with pytest.raises(ValueError, match="exceeds"):
+            balance_by_subsampling(images, labels, rng=0, target_per_class=25)
+
+    def test_output_shuffled(self):
+        images, labels = self._data([30, 30, 30, 30])
+        _, yb = balance_by_subsampling(images, labels, rng=0)
+        # A sorted output would have long runs; shuffled output should not.
+        runs = np.diff(yb) == 0
+        assert runs.mean() < 0.9
+
+    def test_images_follow_labels(self):
+        images, labels = self._data([20, 20, 5, 5])
+        xb, yb = balance_by_subsampling(images, labels, rng=0)
+        # The image payload encodes the original index; check consistency.
+        for img, label in zip(xb, yb):
+            original_index = int(img[0, 0, 0])
+            assert labels[original_index] == label
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            balance_by_subsampling(np.zeros((3, 2, 2, 3)), np.zeros(4, dtype=int))
+
+    def test_class_distribution_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            class_distribution(np.array([0, 5]), num_classes=4)
+
+
+class TestAugmentationOps:
+    @pytest.fixture()
+    def img(self):
+        return np.random.default_rng(0).random((8, 8, 3)).astype(np.float32)
+
+    def test_contrast_identity(self, img):
+        np.testing.assert_allclose(adjust_contrast(img, 1.0), img, atol=1e-6)
+
+    def test_contrast_zero_collapses_to_mean(self, img):
+        out = adjust_contrast(img, 0.0)
+        expected = np.broadcast_to(img.mean(axis=(0, 1)), img.shape)
+        np.testing.assert_allclose(out, expected, atol=1e-5)
+
+    def test_brightness_shifts(self, img):
+        out = adjust_brightness(img * 0.5, 0.1)
+        np.testing.assert_allclose(out, img * 0.5 + 0.1, atol=1e-6)
+
+    def test_noise_statistics(self):
+        img = np.full((64, 64, 3), 0.5, dtype=np.float32)
+        out = add_gaussian_noise(img, 0.05, rng=0)
+        assert abs((out - img).std() - 0.05) < 0.01
+
+    def test_noise_zero_copy(self, img):
+        out = add_gaussian_noise(img, 0.0)
+        np.testing.assert_array_equal(out, img)
+        assert out is not img
+
+    def test_flip_involution(self, img):
+        np.testing.assert_array_equal(horizontal_flip(horizontal_flip(img)), img)
+
+    def test_rotate_preserves_shape(self, img):
+        assert rotate(img, 10.0).shape == img.shape
+
+    def test_negative_sigma_rejected(self, img):
+        with pytest.raises(ValueError, match="sigma"):
+            add_gaussian_noise(img, -0.1)
+
+    def test_negative_contrast_rejected(self, img):
+        with pytest.raises(ValueError, match="non-negative"):
+            adjust_contrast(img, -1.0)
+
+
+class TestAugmenter:
+    def test_output_contract(self):
+        img = np.random.default_rng(1).random((16, 16, 3)).astype(np.float32)
+        aug = Augmenter()
+        out = aug(img, rng=0)
+        assert out.shape == img.shape
+        assert out.dtype == np.float32
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out is not img
+
+    def test_stays_on_uint8_grid(self):
+        img = np.random.default_rng(2).random((8, 8, 3)).astype(np.float32)
+        out = Augmenter()(img, rng=3)
+        scaled = out * 255.0
+        np.testing.assert_allclose(scaled, np.rint(scaled), atol=1e-4)
+
+    def test_deterministic_given_rng(self):
+        img = np.random.default_rng(3).random((8, 8, 3)).astype(np.float32)
+        a = Augmenter()(img, rng=11)
+        b = Augmenter()(img, rng=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch(self):
+        imgs = np.random.default_rng(4).random((5, 8, 8, 3)).astype(np.float32)
+        out = Augmenter().augment_batch(imgs, rng=0)
+        assert out.shape == imgs.shape
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError, match="p_flip"):
+            Augmenter(p_flip=1.5)
+
+
+class TestDatasetAndSplits:
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Dataset(np.zeros((3, 4, 4, 3)), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError, match="N, H, W, 3"):
+            Dataset(np.zeros((3, 4, 4, 1)), np.zeros(3, dtype=np.int64))
+
+    def test_subset(self):
+        ds = Dataset(np.arange(48, dtype=np.float32).reshape(4, 2, 2, 3) / 48,
+                     np.array([0, 1, 2, 3]))
+        sub = ds.subset(np.array([1, 3]))
+        np.testing.assert_array_equal(sub.labels, [1, 3])
+
+    def test_build_pipeline_balanced(self, tiny_splits):
+        counts = tiny_splits.train.class_counts()
+        values = np.array(list(counts.values()), dtype=float)
+        assert values.min() > 0
+        # Balanced within a factor ~2 (augmentation doubles uniformly).
+        assert values.max() / values.min() < 2.0
+
+    def test_build_pipeline_unbalanced_keeps_skew(self):
+        splits = build_masked_face_dataset(
+            raw_size=300, rng=3, balance=False, augment=False
+        )
+        total = {c: 0 for c in range(4)}
+        for ds in (splits.train, splits.val, splits.test):
+            for c, n in ds.class_counts().items():
+                total[c] += n
+        assert total[0] > total[2] and total[0] > total[3]
+
+    def test_augmentation_grows_train_only(self):
+        plain = build_masked_face_dataset(raw_size=300, rng=4, augment=False)
+        augd = build_masked_face_dataset(
+            raw_size=300, rng=4, augment=True, augmented_copies=1
+        )
+        assert len(augd.train) == 2 * len(plain.train)
+        assert len(augd.val) == len(plain.val)
+        assert len(augd.test) == len(plain.test)
+
+    def test_split_fractions_validated(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            build_masked_face_dataset(
+                raw_size=50, rng=0, split_fractions=(0.5, 0.5, 0.5)
+            )
+
+    def test_summary_mentions_all_splits(self, tiny_splits):
+        s = tiny_splits.summary()
+        assert "train" in s and "val" in s and "test" in s
+
+    def test_deterministic_pipeline(self):
+        a = build_masked_face_dataset(raw_size=120, rng=9)
+        b = build_masked_face_dataset(raw_size=120, rng=9)
+        np.testing.assert_array_equal(a.train.images, b.train.images)
+        np.testing.assert_array_equal(a.test.labels, b.test.labels)
+
+
+class TestMinibatches:
+    def _dataset(self, n=20):
+        return Dataset(
+            np.zeros((n, 2, 2, 3), dtype=np.float32),
+            np.arange(n, dtype=np.int64) % 4,
+        )
+
+    def test_covers_everything(self):
+        ds = self._dataset(20)
+        seen = sum(len(y) for _, y in iterate_minibatches(ds, 6, rng=0))
+        assert seen == 20
+
+    def test_drop_last(self):
+        ds = self._dataset(20)
+        batches = list(iterate_minibatches(ds, 6, rng=0, drop_last=True))
+        assert all(len(y) == 6 for _, y in batches)
+        assert len(batches) == 3
+
+    def test_no_shuffle_is_ordered(self):
+        ds = self._dataset(8)
+        _, y = next(iterate_minibatches(ds, 4, shuffle=False))
+        np.testing.assert_array_equal(y, [0, 1, 2, 3])
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            next(iterate_minibatches(self._dataset(), 0))

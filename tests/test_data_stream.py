@@ -1,0 +1,132 @@
+"""Tests for gate-camera approach streams and the speed-gate simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import SampleSpec
+from repro.data.mask_model import WearClass
+from repro.data.stream import (
+    GateTrigger,
+    SpeedGateSimulator,
+    render_approach_sequence,
+)
+
+
+class TestApproachSequence:
+    def test_contract(self):
+        seq = render_approach_sequence(rng=0, n_frames=8, frame_size=32)
+        assert len(seq) == 8
+        for frame in seq.frames:
+            assert frame.image.shape == (32, 32, 3)
+            assert 0.0 <= frame.image.min() and frame.image.max() <= 1.0
+            assert 0.0 < frame.face_fraction <= 1.0
+
+    def test_face_grows_monotonically(self):
+        seq = render_approach_sequence(rng=1)
+        fractions = [f.face_fraction for f in seq.frames]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[0] == pytest.approx(0.25, abs=0.05)
+        assert fractions[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_drift_decays(self):
+        """Lateral offset at the end is smaller than the worst early one."""
+        seq = render_approach_sequence(rng=2, lateral_jitter=0.4)
+        offsets = [f.center_offset for f in seq.frames]
+        assert offsets[-1] <= max(offsets) + 1e-9
+        assert offsets[-1] < 0.1
+
+    def test_spec_controls_class(self):
+        seq = render_approach_sequence(
+            rng=3, spec=SampleSpec(wear_class=WearClass.NOSE_EXPOSED)
+        )
+        assert seq.label == WearClass.NOSE_EXPOSED
+
+    def test_deterministic(self):
+        a = render_approach_sequence(rng=4)
+        b = render_approach_sequence(rng=4)
+        np.testing.assert_array_equal(a.frames[3].image, b.frames[3].image)
+
+    def test_face_crop_matches_tile(self):
+        seq = render_approach_sequence(rng=5)
+        last = seq.frames[-1]
+        crop = last.face_crop(32)
+        # At full approach the crop is (nearly) the original sample.
+        assert np.abs(crop - seq.sample.image).mean() < 0.05
+
+    def test_crop_requires_box(self):
+        from repro.data.stream import StreamFrame
+
+        frame = StreamFrame(
+            image=np.zeros((8, 8, 3), dtype=np.float32),
+            face_fraction=0.5,
+            center_offset=0.0,
+            frame_index=0,
+        )
+        with pytest.raises(ValueError, match="face box"):
+            frame.face_crop()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_frames"):
+            render_approach_sequence(rng=0, n_frames=1)
+        with pytest.raises(ValueError, match="fraction"):
+            render_approach_sequence(rng=0, start_fraction=0.9, end_fraction=0.5)
+
+
+class TestGateTrigger:
+    def test_fires_late_in_approach(self):
+        trigger = GateTrigger(min_fraction=0.75, max_offset=0.12)
+        seq = render_approach_sequence(rng=6)
+        frame = trigger.first_trigger(seq)
+        assert frame is not None
+        assert frame.face_fraction >= 0.75
+        # Early frames must not fire.
+        assert not trigger.should_fire(seq.frames[0])
+
+    def test_strict_trigger_may_not_fire(self):
+        trigger = GateTrigger(min_fraction=1.0, max_offset=0.0)
+        seq = render_approach_sequence(rng=7, end_fraction=0.8)
+        assert trigger.first_trigger(seq) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_fraction"):
+            GateTrigger(min_fraction=0.0)
+        with pytest.raises(ValueError, match="max_offset"):
+            GateTrigger(max_offset=-0.1)
+
+
+class TestSpeedGateSimulator:
+    def test_end_to_end(self, trained_tiny_classifier):
+        sim = SpeedGateSimulator(trained_tiny_classifier)
+        for i in range(6):
+            decision = sim.process_subject(rng=100 + i)
+            assert decision.truth in WearClass
+            if decision.triggered:
+                assert decision.predicted in WearClass
+        assert 0.0 <= sim.trigger_rate() <= 1.0
+        if any(d.triggered for d in sim.decisions):
+            assert 0.0 <= sim.accuracy() <= 1.0
+
+    def test_duty_cycle_is_low(self, trained_tiny_classifier):
+        """One classification per ~12-frame approach => ~8% duty."""
+        sim = SpeedGateSimulator(trained_tiny_classifier)
+        for i in range(5):
+            sim.process_subject(rng=i)
+        assert sim.duty_cycle() < 0.2
+
+    def test_accelerator_as_classifier(self, trained_tiny_classifier):
+        sim = SpeedGateSimulator(trained_tiny_classifier.deploy())
+        decision = sim.process_subject(rng=0)
+        assert decision.triggered
+
+    def test_requires_predict(self):
+        with pytest.raises(TypeError, match="predict"):
+            SpeedGateSimulator(object())
+
+    def test_stats_need_subjects(self, trained_tiny_classifier):
+        sim = SpeedGateSimulator(trained_tiny_classifier)
+        with pytest.raises(ValueError, match="no subjects"):
+            sim.trigger_rate()
+        with pytest.raises(ValueError, match="no subjects"):
+            sim.duty_cycle()
+        with pytest.raises(ValueError, match="no triggered"):
+            sim.accuracy()

@@ -1,0 +1,164 @@
+"""Tests for bit-packing and XNOR+popcount kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.bitpack import WORD_BITS, PackedBits, pack_bits, popcount, unpack_bits
+from repro.hw.xnor_kernels import (
+    bipolar_from_popcount,
+    xnor_dot_popcount,
+    xnor_matmul_popcount,
+)
+from repro.nn.binary_ops import sign
+
+
+def random_bipolar(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return sign(rng.standard_normal(shape)).astype(np.float32)
+
+
+class TestPackBits:
+    def test_roundtrip_small(self):
+        x = np.array([[1, -1, 1, 1, -1]], dtype=np.float32)
+        packed = pack_bits(x)
+        np.testing.assert_array_equal(unpack_bits(packed), x)
+
+    def test_word_count(self):
+        assert pack_bits(np.ones((2, 64))).n_words == 1
+        assert pack_bits(np.ones((2, 65))).n_words == 2
+        assert pack_bits(np.ones((2, 128))).n_words == 2
+
+    def test_tail_bits_zero(self):
+        x = -np.ones((1, 70), dtype=np.float32)  # all bits 0
+        x[0, :5] = 1.0
+        packed = pack_bits(x)
+        # Second word covers bits 64..69: only zeros beyond nbits.
+        assert packed.words[0, 1] == 0
+
+    def test_bool_input(self):
+        x = np.array([True, False, True])
+        packed = pack_bits(x[None])
+        np.testing.assert_array_equal(
+            unpack_bits(packed, dtype=bool), x[None]
+        )
+
+    def test_memory_footprint_x32(self):
+        """The paper's headline: ~x32 smaller than float32 storage."""
+        x = random_bipolar((64, 1152))
+        packed = pack_bits(x)
+        float_bytes = x.astype(np.float32).nbytes
+        assert float_bytes / packed.nbytes() == 32.0
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError, match=r"-1/\+1"):
+            pack_bits(np.array([[0.5, 1.0]]))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError, match="scalar"):
+            pack_bits(np.float32(1.0))
+
+    def test_packed_validation(self):
+        with pytest.raises(TypeError, match="uint64"):
+            PackedBits(words=np.zeros((1, 1), dtype=np.int64), nbits=3)
+        with pytest.raises(ValueError, match="words"):
+            PackedBits(words=np.zeros((1, 3), dtype=np.uint64), nbits=64)
+
+    def test_shape_property(self):
+        packed = pack_bits(np.ones((3, 5, 70)))
+        assert packed.shape == (3, 5, 70)
+        assert packed.words.shape == (3, 5, 2)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        np.testing.assert_array_equal(popcount(words), [0, 1, 2, 64])
+
+    def test_dtype_guard(self):
+        with pytest.raises(TypeError, match="uint64"):
+            popcount(np.zeros(3, dtype=np.int64))
+
+
+class TestXnorDot:
+    def test_matches_float_dot(self):
+        a = random_bipolar((4, 100), seed=1)
+        b = random_bipolar((4, 100), seed=2)
+        p = xnor_dot_popcount(pack_bits(a), pack_bits(b))
+        expected_dot = (a * b).sum(axis=1)
+        np.testing.assert_array_equal(2 * p - 100, expected_dot.astype(np.int64))
+
+    def test_bit_length_mismatch(self):
+        with pytest.raises(ValueError, match="bit lengths"):
+            xnor_dot_popcount(pack_bits(np.ones((1, 4))), pack_bits(np.ones((1, 5))))
+
+    def test_self_dot_is_full_match(self):
+        a = random_bipolar((3, 77), seed=3)
+        p = xnor_dot_popcount(pack_bits(a), pack_bits(a))
+        np.testing.assert_array_equal(p, 77)
+
+
+class TestXnorMatmul:
+    def test_matches_float_gemm(self):
+        a = random_bipolar((10, 130), seed=4)
+        w = random_bipolar((7, 130), seed=5)
+        p = xnor_matmul_popcount(pack_bits(a), pack_bits(w))
+        expected = (a @ w.T).astype(np.int64)
+        np.testing.assert_array_equal(bipolar_from_popcount(p, 130), expected)
+
+    def test_popcount_bounds(self):
+        a = random_bipolar((6, 90), seed=6)
+        w = random_bipolar((5, 90), seed=7)
+        p = xnor_matmul_popcount(pack_bits(a), pack_bits(w))
+        assert p.min() >= 0 and p.max() <= 90
+
+    def test_blocking_consistency(self, monkeypatch):
+        """Results must not depend on the internal block size."""
+        import repro.hw.xnor_kernels as xk
+
+        a = random_bipolar((33, 200), seed=8)
+        w = random_bipolar((9, 200), seed=9)
+        full = xnor_matmul_popcount(pack_bits(a), pack_bits(w))
+        monkeypatch.setattr(xk, "_BLOCK_ELEMS", 64)
+        blocked = xnor_matmul_popcount(pack_bits(a), pack_bits(w))
+        np.testing.assert_array_equal(full, blocked)
+
+    def test_dimension_guards(self):
+        with pytest.raises(ValueError, match="2-D"):
+            xnor_matmul_popcount(pack_bits(np.ones((2, 2, 8))), pack_bits(np.ones((2, 8))))
+        with pytest.raises(ValueError, match="fan-in"):
+            xnor_matmul_popcount(pack_bits(np.ones((2, 8))), pack_bits(np.ones((2, 9))))
+
+    def test_bipolar_from_popcount_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            bipolar_from_popcount(np.array([1]), 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(1, 8),
+    n=st.integers(1, 8),
+    f=st.integers(1, 200),
+    seed=st.integers(0, 10_000),
+)
+def test_xnor_gemm_equals_float_gemm_property(m, n, f, seed):
+    """Property: XNOR+popcount GEMM == float GEMM of ±1 matrices, exactly."""
+    rng = np.random.default_rng(seed)
+    a = sign(rng.standard_normal((m, f))).astype(np.float32)
+    w = sign(rng.standard_normal((n, f))).astype(np.float32)
+    p = xnor_matmul_popcount(pack_bits(a), pack_bits(w))
+    np.testing.assert_array_equal(2 * p - f, (a @ w.T).astype(np.int64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    nbits=st.integers(1, 300),
+    seed=st.integers(0, 10_000),
+)
+def test_pack_unpack_roundtrip_property(rows, nbits, seed):
+    """Property: unpack(pack(x)) == x for any bipolar tensor."""
+    rng = np.random.default_rng(seed)
+    x = sign(rng.standard_normal((rows, nbits))).astype(np.float32)
+    np.testing.assert_array_equal(unpack_bits(pack_bits(x)), x)

@@ -1,0 +1,118 @@
+"""Tests for activation-buffer planning and the device-fit optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import build_architecture, table1_folding
+from repro.hw.buffers import BufferPlan, StageBuffer, plan_buffers
+from repro.hw.compiler import FoldingConfig, compile_model
+from repro.hw.devices import Z7010, Z7020, Device
+from repro.hw.dse import optimize_for_device
+from repro.testing import make_tiny_bnn, randomize_bn_stats
+
+
+@pytest.fixture(scope="module")
+def tiny_acc():
+    m = make_tiny_bnn()
+    randomize_bn_stats(m)
+    m.eval()
+    return compile_model(m, FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1)))
+
+
+@pytest.fixture(scope="module")
+def ncnv_acc():
+    m = build_architecture("n-cnv", rng=0)
+    randomize_bn_stats(m)
+    m.eval()
+    return compile_model(m, table1_folding("n-cnv"))
+
+
+class TestBufferPlan:
+    def test_every_stage_planned(self, ncnv_acc):
+        plan = plan_buffers(ncnv_acc)
+        assert [b.stage for b in plan.buffers] == [
+            s.name for s in ncnv_acc.stages
+        ]
+
+    def test_first_layer_line_buffer_is_8bit(self, ncnv_acc):
+        plan = plan_buffers(ncnv_acc)
+        first = plan.buffers[0]
+        # (K-1) rows * 32 px + K px, 3 channels x 8 bits.
+        assert first.line_buffer_bits == (2 * 32 + 3) * 3 * 8
+
+    def test_binary_layers_use_1bit_lines(self, ncnv_acc):
+        plan = plan_buffers(ncnv_acc)
+        conv1_2 = plan.buffers[1]
+        # conv1_2 input: 30x30x16 binary -> (2*30 + 3) * 16 bits.
+        assert conv1_2.line_buffer_bits == (2 * 30 + 3) * 16
+
+    def test_fc_stages_have_no_line_buffer(self, ncnv_acc):
+        plan = plan_buffers(ncnv_acc)
+        for buf in plan.buffers:
+            if buf.stage.startswith("fc"):
+                assert buf.line_buffer_bits == 0
+
+    def test_last_stage_has_no_fifo(self, ncnv_acc):
+        plan = plan_buffers(ncnv_acc)
+        assert plan.buffers[-1].fifo_bits == 0
+
+    def test_fifo_depth_minimum_two(self, tiny_acc):
+        plan = plan_buffers(tiny_acc)
+        for buf in plan.buffers[:-1]:
+            assert buf.fifo_depth_words >= 2
+
+    def test_totals_consistent(self, ncnv_acc):
+        plan = plan_buffers(ncnv_acc)
+        assert plan.total_bits() == sum(b.total_bits for b in plan.buffers)
+        assert plan.total_bram_blocks() == sum(
+            b.bram_blocks() for b in plan.buffers
+        )
+
+    def test_report_mentions_totals(self, ncnv_acc):
+        report = plan_buffers(ncnv_acc).report()
+        assert "total:" in report and "BRAM18" in report
+
+    def test_buffers_are_small_vs_weights(self, ncnv_acc):
+        """Sanity: activation buffering is a small fraction of weights
+        for these topologies (which is why Table II tracks weights)."""
+        plan = plan_buffers(ncnv_acc)
+        assert plan.total_bits() < ncnv_acc.weight_bits()
+
+
+class TestOptimizeForDevice:
+    def test_result_fits_and_is_fast(self):
+        model = make_tiny_bnn()
+        randomize_bn_stats(model)
+        model.eval()
+        point = optimize_for_device(model, Z7010)
+        assert point is not None
+        assert point.fits_device
+        # The chosen point must beat the slowest (fully folded) design.
+        slow = optimize_for_device(
+            model, Z7010, min_target=3_999_999, max_target=4_000_000
+        )
+        assert point.fps_analytic >= slow.fps_analytic
+
+    def test_ncnv_fits_z7020_with_headroom(self):
+        model = build_architecture("n-cnv", rng=0)
+        randomize_bn_stats(model)
+        model.eval()
+        point = optimize_for_device(model, Z7020)
+        assert point is not None and point.fits_device
+        # Matched-throughput DSE should find a point at least as fast as
+        # Table I's hand dimensioning (12,346 FPS analytic).
+        assert point.fps_analytic >= 12_000
+
+    def test_impossible_device_returns_none(self):
+        model = build_architecture("cnv", rng=0)
+        randomize_bn_stats(model)
+        model.eval()
+        matchbox = Device(
+            name="matchbox", luts=1000, flip_flops=2000, bram36=1, dsp48=1
+        )
+        assert optimize_for_device(model, matchbox) is None
+
+    def test_range_validation(self):
+        model = make_tiny_bnn()
+        with pytest.raises(ValueError, match="target range"):
+            optimize_for_device(model, Z7020, min_target=0)

@@ -1,0 +1,280 @@
+"""Tests for pipeline timing, resources, power, devices and DSE."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import build_architecture, table1_folding
+from repro.hw.compiler import FoldingConfig, compile_model
+from repro.hw.devices import DEVICES, Z7010, Z7020, Device, fit_report
+from repro.hw.dse import (
+    DesignPoint,
+    balance_folding,
+    divisors,
+    explore,
+    legal_foldings,
+    pareto_frontier,
+)
+from repro.hw.pipeline import (
+    MEASURED_EFFICIENCY,
+    analyze_pipeline,
+    simulate_stream,
+)
+from repro.hw.power import IDLE_POWER_W, PowerModel
+from repro.hw.resources import TABLE2_CALIBRATION, estimate_resources
+from repro.testing import make_tiny_bnn, randomize_bn_stats
+
+
+@pytest.fixture(scope="module")
+def prototype_accelerators():
+    """The three paper prototypes with plausible BN stats, compiled."""
+    out = {}
+    for name in ("cnv", "n-cnv", "u-cnv"):
+        model = build_architecture(name, rng=0)
+        randomize_bn_stats(model, seed=1)
+        model.eval()
+        out[name] = compile_model(model, table1_folding(name), name=name)
+    return out
+
+
+class TestPipelineTiming:
+    def test_ncnv_throughput_matches_paper(self, prototype_accelerators):
+        """The paper's headline: ~6400 FPS for n-CNV at 100 MHz."""
+        timing = analyze_pipeline(prototype_accelerators["n-cnv"], 100.0)
+        assert 6000 <= timing.fps_calibrated <= 6800
+        # Analytic bound is about 2x the measured rate.
+        assert 11000 <= timing.fps_analytic <= 14000
+
+    def test_ncnv_bottleneck_is_first_conv(self, prototype_accelerators):
+        timing = analyze_pipeline(prototype_accelerators["n-cnv"])
+        assert timing.bottleneck[0] == "conv1_1"
+
+    def test_cnv_slower_than_ncnv(self, prototype_accelerators):
+        fps = {
+            name: analyze_pipeline(acc).fps_analytic
+            for name, acc in prototype_accelerators.items()
+        }
+        assert fps["n-cnv"] > fps["cnv"]
+        assert fps["n-cnv"] > fps["u-cnv"]
+
+    def test_latency_is_sum_of_intervals(self, prototype_accelerators):
+        timing = analyze_pipeline(prototype_accelerators["n-cnv"])
+        assert timing.latency_cycles == sum(ii for _, ii in timing.stage_intervals)
+
+    def test_clock_scales_throughput(self, prototype_accelerators):
+        acc = prototype_accelerators["n-cnv"]
+        f100 = analyze_pipeline(acc, 100.0).fps_analytic
+        f200 = analyze_pipeline(acc, 200.0).fps_analytic
+        assert abs(f200 - 2 * f100) < 1e-6
+
+    def test_report_mentions_bottleneck(self, prototype_accelerators):
+        report = analyze_pipeline(prototype_accelerators["n-cnv"]).report()
+        assert "bottleneck" in report and "FPS" in report
+
+    def test_validation(self, prototype_accelerators):
+        acc = prototype_accelerators["n-cnv"]
+        with pytest.raises(ValueError, match="clock"):
+            analyze_pipeline(acc, 0.0)
+        with pytest.raises(ValueError, match="efficiency"):
+            analyze_pipeline(acc, 100.0, efficiency=0.0)
+
+
+class TestSimulateStream:
+    def test_converges_to_analytic_rate(self, prototype_accelerators):
+        acc = prototype_accelerators["n-cnv"]
+        timing = analyze_pipeline(acc)
+        sim = simulate_stream(acc, num_images=100)
+        assert sim["fps"] == pytest.approx(timing.fps_analytic, rel=0.15)
+
+    def test_monotone_schedule(self, prototype_accelerators):
+        sim = simulate_stream(prototype_accelerators["u-cnv"], num_images=10)
+        start, finish = sim["start"], sim["finish"]
+        assert (finish > start).all()
+        # Images exit in order, stages process in order.
+        assert (np.diff(finish[:, -1]) > 0).all()
+        assert (np.diff(finish[0, :]) > 0).all()
+
+    def test_single_image_latency(self, prototype_accelerators):
+        acc = prototype_accelerators["n-cnv"]
+        sim = simulate_stream(acc, num_images=1)
+        assert sim["total_cycles"] == analyze_pipeline(acc).latency_cycles
+
+    def test_validation(self, prototype_accelerators):
+        with pytest.raises(ValueError, match="positive"):
+            simulate_stream(prototype_accelerators["n-cnv"], 0)
+
+
+class TestResources:
+    def test_table2_lut_exact(self, prototype_accelerators):
+        """The LUT model reproduces Table II exactly for all prototypes."""
+        for name, acc in prototype_accelerators.items():
+            res = estimate_resources(acc, dsp_offload=(name == "u-cnv"))
+            assert res.lut == pytest.approx(TABLE2_CALIBRATION[name]["lut"], abs=1.0)
+
+    def test_table2_bram_within_tolerance(self, prototype_accelerators):
+        for name, acc in prototype_accelerators.items():
+            res = estimate_resources(acc)
+            paper = TABLE2_CALIBRATION[name]["bram"]
+            assert res.bram36 == pytest.approx(paper, rel=0.35), name
+
+    def test_dsp_counts(self, prototype_accelerators):
+        cnv = estimate_resources(prototype_accelerators["cnv"])
+        assert cnv.dsp == 24  # exact Table II value
+        ucnv = estimate_resources(prototype_accelerators["u-cnv"], dsp_offload=True)
+        assert ucnv.dsp == 27  # exact Table II value
+
+    def test_memory_footprint_ordering(self, prototype_accelerators):
+        """§IV-B: µ-CNV has a *larger* weight footprint than n-CNV."""
+        n = prototype_accelerators["n-cnv"].weight_bits()
+        u = prototype_accelerators["u-cnv"].weight_bits()
+        c = prototype_accelerators["cnv"].weight_bits()
+        assert u > n
+        assert c > u
+
+    def test_per_stage_breakdown_sums(self, prototype_accelerators):
+        from repro.hw.resources import LUT_BASE
+
+        res = estimate_resources(prototype_accelerators["n-cnv"])
+        assert res.lut == pytest.approx(LUT_BASE + sum(res.per_stage_lut))
+        assert res.bram36 == pytest.approx(sum(res.per_stage_bram))
+
+    def test_report_string(self, prototype_accelerators):
+        res = estimate_resources(prototype_accelerators["u-cnv"], dsp_offload=True)
+        assert "offload" in res.report()
+
+
+class TestDevices:
+    def test_only_ucnv_fits_z7010(self, prototype_accelerators):
+        """§IV-B: µ-CNV is synthesizable on the constrained Z7010."""
+        fits = {}
+        for name, acc in prototype_accelerators.items():
+            res = estimate_resources(acc, dsp_offload=(name == "u-cnv"))
+            fits[name] = Z7010.fits(res.lut, res.bram36, res.dsp)
+        assert fits == {"cnv": False, "n-cnv": False, "u-cnv": True}
+
+    def test_all_fit_z7020(self, prototype_accelerators):
+        for name, acc in prototype_accelerators.items():
+            res = estimate_resources(acc, dsp_offload=(name == "u-cnv"))
+            assert Z7020.fits(res.lut, res.bram36, res.dsp), name
+
+    def test_utilisation(self):
+        util = Z7020.utilisation(26600, 70, 110)
+        assert util["lut"] == pytest.approx(0.5)
+        assert util["bram36"] == pytest.approx(0.5)
+        assert util["dsp"] == pytest.approx(0.5)
+
+    def test_fit_report_lines(self):
+        lines = fit_report(lut=20000, bram36=10, dsp=20)
+        assert len(lines) == len(DEVICES)
+        assert any("FITS" in line for line in lines)
+        assert any("does not fit" in line for line in lines)
+
+    def test_device_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            Device(name="bad", luts=0, flip_flops=1, bram36=1, dsp48=1)
+
+
+class TestPower:
+    def test_idle_matches_paper(self):
+        """§IV-B: idle power ~1.6 W for all prototypes."""
+        assert IDLE_POWER_W == pytest.approx(1.6)
+
+    def test_active_power_plausible(self, prototype_accelerators):
+        model = PowerModel()
+        for name, acc in prototype_accelerators.items():
+            res = estimate_resources(acc)
+            report = model.estimate(res, clock_mhz=100.0)
+            assert report.idle_w == pytest.approx(1.6)
+            assert 1.7 < report.active_w < 3.0, name
+
+    def test_gate_mode_near_idle(self, prototype_accelerators):
+        """A single gate is idle almost always -> average ≈ 1.6 W."""
+        model = PowerModel()
+        res = estimate_resources(prototype_accelerators["n-cnv"])
+        avg = model.gate_mode_average_w(
+            res, classifications_per_hour=600, classification_us=500.0
+        )
+        assert avg == pytest.approx(IDLE_POWER_W, abs=0.01)
+
+    def test_utilization_scales_dynamic(self, prototype_accelerators):
+        model = PowerModel()
+        res = estimate_resources(prototype_accelerators["cnv"])
+        half = model.estimate(res, utilization=0.5)
+        full = model.estimate(res, utilization=1.0)
+        assert half.dynamic_w == pytest.approx(full.dynamic_w / 2)
+
+    def test_energy_per_classification(self, prototype_accelerators):
+        model = PowerModel()
+        res = estimate_resources(prototype_accelerators["n-cnv"])
+        report = model.estimate(res)
+        mj = report.energy_per_classification_mj(6400.0)
+        assert 0.1 < mj < 1.0  # sub-millijoule per frame
+
+    def test_validation(self, prototype_accelerators):
+        model = PowerModel()
+        res = estimate_resources(prototype_accelerators["n-cnv"])
+        with pytest.raises(ValueError, match="utilization"):
+            model.estimate(res, utilization=2.0)
+        with pytest.raises(ValueError, match="positive"):
+            model.estimate(res, clock_mhz=0.0)
+        with pytest.raises(ValueError, match="fps"):
+            model.estimate(res).energy_per_classification_mj(0.0)
+
+
+class TestDSE:
+    def test_divisors(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    def test_legal_foldings_respect_constraints(self):
+        pairs = legal_foldings(64, 27, max_pe=16, max_simd=9)
+        assert all(64 % pe == 0 and 27 % simd == 0 for pe, simd in pairs)
+        assert all(pe <= 16 and simd <= 9 for pe, simd in pairs)
+        assert (16, 9) in pairs
+
+    def test_balance_folding_meets_target(self):
+        model = make_tiny_bnn()
+        randomize_bn_stats(model)
+        model.eval()
+        folding = balance_folding(model, target_cycles=2000)
+        acc = compile_model(model, folding)
+        # Every MVTU (not necessarily SWU) meets the target.
+        for stage in acc.stages:
+            assert (
+                stage.mvtu.cycles_per_image(stage.vectors_per_image) <= 2000
+            ), stage.name
+
+    def test_tighter_target_costs_more(self):
+        model = make_tiny_bnn()
+        randomize_bn_stats(model)
+        model.eval()
+        loose = balance_folding(model, target_cycles=50_000)
+        tight = balance_folding(model, target_cycles=500)
+        cost = lambda f: sum(p * s for p, s in zip(f.pe, f.simd))
+        assert cost(tight) > cost(loose)
+
+    def test_explore_and_pareto(self):
+        model = make_tiny_bnn()
+        randomize_bn_stats(model)
+        model.eval()
+        points = explore(model, [200, 1000, 5000, 50_000], device=Z7020)
+        assert points
+        frontier = pareto_frontier(points)
+        assert frontier
+        # Frontier is sorted by fps desc and has no dominated points.
+        fps = [p.fps_analytic for p in frontier]
+        assert fps == sorted(fps, reverse=True)
+        for p in frontier:
+            assert not any(q.dominates(p) for q in frontier if q is not p)
+
+    def test_dominates(self):
+        a = DesignPoint(None, fps_analytic=100, bottleneck=("x", 1), lut=10, bram36=0, dsp=0)
+        b = DesignPoint(None, fps_analytic=50, bottleneck=("x", 1), lut=20, bram36=0, dsp=0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_balance_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            balance_folding(make_tiny_bnn(), target_cycles=0)

@@ -1,0 +1,151 @@
+"""Tests for batch-norm -> integer-threshold folding.
+
+The central claim (§III-A): thresholding is *exactly* equivalent to
+batch-norm followed by sign(). The property tests sweep random batch-norm
+affines and verify the folded thresholds agree with the float64 predicate
+at every accumulator value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.thresholding import (
+    ThresholdSpec,
+    apply_thresholds,
+    fold_batchnorm_sign,
+    fold_popcount_domain,
+)
+
+
+def float_reference(acc, scale, shift, acc_to_real=1.0):
+    """The defining predicate: sign(scale*(acc*acc_to_real)+shift) == +1."""
+    return scale * (acc.astype(np.float64) * acc_to_real) + shift >= 0.0
+
+
+class TestFoldBasics:
+    def test_positive_scale_simple(self):
+        # sign(2*acc - 5): true iff acc >= 2.5 -> threshold 3.
+        spec = fold_batchnorm_sign(
+            np.array([2.0]), np.array([-5.0]), acc_min=-10, acc_max=10
+        )
+        assert spec.thresholds[0] == 3
+        assert not spec.flipped[0]
+
+    def test_negative_scale_flips(self):
+        # sign(-1*acc + 2.5): true iff acc <= 2.5 -> flipped threshold 2.
+        spec = fold_batchnorm_sign(
+            np.array([-1.0]), np.array([2.5]), acc_min=-10, acc_max=10
+        )
+        assert spec.flipped[0]
+        assert spec.thresholds[0] == 2
+
+    def test_boundary_inclusive(self):
+        # sign(acc - 4) with acc == 4 -> BN output 0 -> sign(0) = +1.
+        spec = fold_batchnorm_sign(
+            np.array([1.0]), np.array([-4.0]), acc_min=0, acc_max=10
+        )
+        out = apply_thresholds(np.array([[3], [4], [5]]), spec)
+        np.testing.assert_array_equal(out[:, 0], [False, True, True])
+
+    def test_zero_scale_positive_shift_always_on(self):
+        spec = fold_batchnorm_sign(
+            np.array([0.0]), np.array([0.5]), acc_min=0, acc_max=5
+        )
+        acc = np.arange(6)[:, None]
+        assert apply_thresholds(acc, spec).all()
+
+    def test_zero_scale_negative_shift_always_off(self):
+        spec = fold_batchnorm_sign(
+            np.array([0.0]), np.array([-0.5]), acc_min=0, acc_max=5
+        )
+        acc = np.arange(6)[:, None]
+        assert not apply_thresholds(acc, spec).any()
+
+    def test_zero_scale_zero_shift_is_plus_one(self):
+        # sign(0) = +1 by Eq. 1.
+        spec = fold_batchnorm_sign(
+            np.array([0.0]), np.array([0.0]), acc_min=0, acc_max=5
+        )
+        assert apply_thresholds(np.array([[0]]), spec).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="1-D"):
+            fold_batchnorm_sign(np.zeros((2, 2)), np.zeros((2, 2)), 0, 1)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            ThresholdSpec(
+                thresholds=np.zeros(1, dtype=np.int64),
+                flipped=np.zeros(1, dtype=bool),
+                acc_min=5,
+                acc_max=1,
+            )
+
+    def test_apply_channel_mismatch(self):
+        spec = fold_batchnorm_sign(np.ones(3), np.zeros(3), 0, 4)
+        with pytest.raises(ValueError, match="channels"):
+            apply_thresholds(np.zeros((2, 4), dtype=np.int64), spec)
+
+    def test_storage_bits_positive(self):
+        spec = fold_popcount_domain(np.ones(8), np.zeros(8), fan_in=576)
+        assert spec.storage_bits() > 8
+
+
+class TestPopcountDomain:
+    def test_matches_bipolar_batchnorm_sign(self):
+        rng = np.random.default_rng(0)
+        fan_in = 64
+        scale = rng.uniform(-2, 2, 16)
+        shift = rng.normal(0, 3, 16)
+        spec = fold_popcount_domain(scale, shift, fan_in)
+        p = rng.integers(0, fan_in + 1, size=(50, 16))
+        got = apply_thresholds(p, spec)
+        bipolar = 2 * p - fan_in
+        expected = float_reference(bipolar, scale, shift)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_fan_in_validation(self):
+        with pytest.raises(ValueError, match="fan_in"):
+            fold_popcount_domain(np.ones(2), np.zeros(2), 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    channels=st.integers(1, 8),
+    fan_in=st.integers(1, 600),
+)
+def test_popcount_threshold_exactness_property(seed, channels, fan_in):
+    """Property: threshold output == float64 BN+sign at EVERY popcount."""
+    rng = np.random.default_rng(seed)
+    scale = rng.uniform(-3, 3, channels)
+    # Occasionally zero a scale to exercise the constant-channel path.
+    if seed % 7 == 0:
+        scale[0] = 0.0
+    shift = rng.normal(0, fan_in / 4, channels)
+    spec = fold_popcount_domain(scale, shift, fan_in)
+    p = np.arange(fan_in + 1)[:, None].repeat(channels, axis=1)
+    got = apply_thresholds(p, spec)
+    expected = float_reference(2 * p - fan_in, scale, shift)
+    np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    acc_bound=st.integers(1, 2000),
+)
+def test_integer_domain_exactness_property(seed, acc_bound):
+    """Property: 8-bit-layer thresholds exact over the full integer range."""
+    rng = np.random.default_rng(seed)
+    scale = rng.uniform(-2, 2, 3)
+    shift = rng.normal(0, 2, 3)
+    spec = fold_batchnorm_sign(
+        scale, shift, acc_min=-acc_bound, acc_max=acc_bound, acc_to_real=1.0 / 255
+    )
+    acc = rng.integers(-acc_bound, acc_bound + 1, size=(64, 3))
+    got = apply_thresholds(acc, spec)
+    expected = float_reference(acc, scale, shift, acc_to_real=1.0 / 255)
+    np.testing.assert_array_equal(got, expected)

@@ -1,0 +1,189 @@
+"""Tests for the hardware units: MVTU, SWU, OR-pooling."""
+
+import numpy as np
+import pytest
+
+from repro.hw.bitpack import pack_bits
+from repro.hw.maxpool_unit import MaxPoolUnit, MaxPoolUnitConfig
+from repro.hw.mvtu import MVTU, MVTUConfig
+from repro.hw.swu import SlidingWindowUnit, SWUConfig
+from repro.hw.thresholding import fold_popcount_domain
+from repro.nn.binary_ops import sign
+from repro.nn.functional import im2col
+
+
+def bipolar(shape, seed=0):
+    return sign(np.random.default_rng(seed).standard_normal(shape)).astype(np.float32)
+
+
+class TestMVTUConfig:
+    def test_folding_arithmetic(self):
+        cfg = MVTUConfig("l", rows=64, cols=27, pe=16, simd=3)
+        assert cfg.neuron_fold == 4
+        assert cfg.synapse_fold == 9
+        assert cfg.total_fold == 36
+        assert cfg.weight_bits == 64 * 27
+
+    def test_pe_must_divide_rows(self):
+        with pytest.raises(ValueError, match="does not divide rows"):
+            MVTUConfig("l", rows=10, cols=8, pe=3, simd=2)
+
+    def test_simd_must_divide_cols(self):
+        with pytest.raises(ValueError, match="does not divide cols"):
+            MVTUConfig("l", rows=8, cols=10, pe=2, simd=3)
+
+    def test_input_bits_validated(self):
+        with pytest.raises(ValueError, match="input_bits"):
+            MVTUConfig("l", rows=4, cols=4, pe=1, simd=1, input_bits=4)
+
+
+class TestMVTUBinary:
+    def _unit(self, rows=8, cols=32, seed=0, thresholds=True):
+        w = bipolar((rows, cols), seed)
+        if thresholds:
+            rng = np.random.default_rng(seed + 1)
+            spec = fold_popcount_domain(
+                rng.uniform(-1, 1, rows), rng.normal(0, 2, rows), cols
+            )
+            cfg = MVTUConfig("mv", rows=rows, cols=cols, pe=1, simd=1)
+            return MVTU(cfg, w, spec), w
+        cfg = MVTUConfig(
+            "mv", rows=rows, cols=cols, pe=1, simd=1, has_threshold=False
+        )
+        return MVTU(cfg, w, None), w
+
+    def test_accumulators_match_float(self):
+        unit, w = self._unit()
+        x = bipolar((5, 32), seed=3)
+        p = unit.compute_accumulators(pack_bits(x))
+        np.testing.assert_array_equal(2 * p - 32, (x @ w.T).astype(np.int64))
+
+    def test_execute_with_threshold_is_boolean(self):
+        unit, _ = self._unit()
+        out = unit.execute(pack_bits(bipolar((4, 32), 5)))
+        assert out.dtype == bool
+        assert out.shape == (4, 8)
+
+    def test_execute_without_threshold_is_bipolar(self):
+        unit, w = self._unit(thresholds=False)
+        x = bipolar((4, 32), 6)
+        out = unit.execute(pack_bits(x))
+        np.testing.assert_array_equal(out, (x @ w.T).astype(np.int64))
+
+    def test_rejects_wrong_fan_in(self):
+        unit, _ = self._unit()
+        with pytest.raises(ValueError, match="fan-in"):
+            unit.execute(pack_bits(bipolar((2, 16))))
+
+    def test_rejects_unpacked_input(self):
+        unit, _ = self._unit()
+        with pytest.raises(TypeError, match="PackedBits"):
+            unit.execute(bipolar((2, 32)))
+
+    def test_rejects_non_bipolar_weights(self):
+        cfg = MVTUConfig("mv", rows=2, cols=4, pe=1, simd=1)
+        spec = fold_popcount_domain(np.ones(2), np.zeros(2), 4)
+        with pytest.raises(ValueError, match="bipolar"):
+            MVTU(cfg, np.zeros((2, 4)), spec)
+
+    def test_threshold_count_checked(self):
+        cfg = MVTUConfig("mv", rows=4, cols=8, pe=1, simd=1)
+        spec = fold_popcount_domain(np.ones(3), np.zeros(3), 8)
+        with pytest.raises(ValueError, match="thresholds"):
+            MVTU(cfg, bipolar((4, 8)), spec)
+
+    def test_cycles(self):
+        cfg = MVTUConfig("mv", rows=64, cols=144, pe=16, simd=16)
+        spec = fold_popcount_domain(np.ones(64), np.zeros(64), 144)
+        unit = MVTU(cfg, bipolar((64, 144)), spec)
+        assert unit.cycles_per_vector() == 4 * 9
+        assert unit.cycles_per_image(784) == 784 * 36
+        with pytest.raises(ValueError, match="positive"):
+            unit.cycles_per_image(0)
+
+    def test_ops_per_image(self):
+        cfg = MVTUConfig("mv", rows=4, cols=8, pe=1, simd=1, has_threshold=False)
+        unit = MVTU(cfg, bipolar((4, 8)), None)
+        assert unit.ops_per_image(10) == 2 * 4 * 8 * 10
+
+
+class TestMVTUFixedPoint:
+    def test_integer_macs(self):
+        w = bipolar((4, 12), seed=1)
+        cfg = MVTUConfig(
+            "first", rows=4, cols=12, pe=1, simd=1, input_bits=8, has_threshold=False
+        )
+        unit = MVTU(cfg, w, None)
+        x = np.random.default_rng(2).integers(0, 256, (3, 12))
+        acc = unit.execute(x)
+        np.testing.assert_array_equal(acc, x.astype(np.int64) @ w.astype(np.int64).T)
+
+    def test_rejects_float_input(self):
+        cfg = MVTUConfig(
+            "first", rows=2, cols=4, pe=1, simd=1, input_bits=8, has_threshold=False
+        )
+        unit = MVTU(cfg, bipolar((2, 4)), None)
+        with pytest.raises(TypeError, match="integer"):
+            unit.execute(np.zeros((1, 4), dtype=np.float32))
+
+
+class TestSWU:
+    def test_matches_im2col(self):
+        x = bipolar((2, 6, 6, 4), seed=0)
+        swu = SlidingWindowUnit(SWUConfig("swu", in_hw=(6, 6), channels=4, simd=4))
+        rows = swu.execute(x)
+        ref = im2col(x, (3, 3)).reshape(2 * 16, 36)
+        np.testing.assert_array_equal(rows, ref.astype(np.int64))
+
+    def test_boolean_input(self):
+        x = np.random.default_rng(1).random((1, 5, 5, 2)) > 0.5
+        swu = SlidingWindowUnit(SWUConfig("swu", in_hw=(5, 5), channels=2, simd=2))
+        rows = swu.execute(x)
+        assert rows.dtype == np.int64
+        assert set(np.unique(rows)) <= {0, 1}
+
+    def test_cycles(self):
+        swu = SlidingWindowUnit(SWUConfig("swu", in_hw=(32, 32), channels=3, simd=3))
+        # 30*30 windows, 27/3 = 9 cycles per window.
+        assert swu.cycles_per_image() == 900 * 9
+
+    def test_simd_must_divide_window(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            SWUConfig("swu", in_hw=(6, 6), channels=3, simd=4)
+
+    def test_shape_validation(self):
+        swu = SlidingWindowUnit(SWUConfig("swu", in_hw=(6, 6), channels=4, simd=4))
+        with pytest.raises(ValueError, match="does not match"):
+            swu.execute(np.zeros((1, 5, 6, 4)))
+
+
+class TestMaxPoolUnit:
+    def test_or_equals_max_of_binary(self):
+        """§III-B: OR pooling == max pooling on binarised maps."""
+        rng = np.random.default_rng(0)
+        bits = rng.random((3, 8, 8, 5)) > 0.5
+        unit = MaxPoolUnit(MaxPoolUnitConfig("p", in_hw=(8, 8), channels=5))
+        got = unit.execute(bits)
+        bipolar_map = np.where(bits, 1.0, -1.0)
+        from repro.nn.layers import MaxPool2D
+
+        pooled = MaxPool2D(2).forward(bipolar_map.astype(np.float32))
+        np.testing.assert_array_equal(got, pooled > 0)
+
+    def test_all_zero_window_stays_zero(self):
+        bits = np.zeros((1, 4, 4, 1), dtype=bool)
+        unit = MaxPoolUnit(MaxPoolUnitConfig("p", in_hw=(4, 4), channels=1))
+        assert not unit.execute(bits).any()
+
+    def test_requires_boolean(self):
+        unit = MaxPoolUnit(MaxPoolUnitConfig("p", in_hw=(4, 4), channels=1))
+        with pytest.raises(TypeError, match="boolean"):
+            unit.execute(np.zeros((1, 4, 4, 1), dtype=np.float32))
+
+    def test_non_tiling_rejected(self):
+        with pytest.raises(ValueError, match="does not tile"):
+            MaxPoolUnitConfig("p", in_hw=(5, 4), channels=1)
+
+    def test_cycles(self):
+        unit = MaxPoolUnit(MaxPoolUnitConfig("p", in_hw=(8, 8), channels=3))
+        assert unit.cycles_per_image() == 16

@@ -1,0 +1,185 @@
+"""Unit tests for repro.utils.imaging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import imaging
+
+
+class TestClipAndConvert:
+    def test_clip01_bounds(self):
+        img = np.array([-0.5, 0.2, 1.7], dtype=np.float32)
+        out = imaging.clip01(img)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_uint8_roundtrip(self):
+        img = np.linspace(0, 1, 256, dtype=np.float32).reshape(16, 16)
+        back = imaging.from_uint8(imaging.to_uint8(img))
+        assert np.abs(back - img).max() <= 1.0 / 255.0 + 1e-6
+
+    def test_quantize_to_uint8_grid_idempotent(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((8, 8, 3)).astype(np.float32)
+        q1 = imaging.quantize_to_uint8_grid(img)
+        q2 = imaging.quantize_to_uint8_grid(q1)
+        np.testing.assert_array_equal(q1, q2)
+
+    def test_quantize_values_on_grid(self):
+        img = np.array([[0.123, 0.9999]], dtype=np.float32)
+        q = imaging.quantize_to_uint8_grid(img)
+        assert np.allclose(q * 255.0, np.rint(q * 255.0))
+
+
+class TestResize:
+    def test_identity_size(self):
+        img = np.random.default_rng(0).random((10, 12, 3)).astype(np.float32)
+        out = imaging.resize_bilinear(img, (10, 12))
+        np.testing.assert_array_equal(out, img)
+        assert out is not img  # copy, not view
+
+    def test_constant_image_stays_constant(self):
+        img = np.full((16, 16, 3), 0.3, dtype=np.float32)
+        out = imaging.resize_bilinear(img, (7, 9))
+        np.testing.assert_allclose(out, 0.3, atol=1e-6)
+
+    def test_downsample_shape(self):
+        img = np.zeros((64, 64, 3), dtype=np.float32)
+        assert imaging.resize_bilinear(img, (32, 32)).shape == (32, 32, 3)
+
+    def test_grayscale_supported(self):
+        img = np.zeros((8, 8), dtype=np.float32)
+        assert imaging.resize_bilinear(img, (4, 4)).shape == (4, 4)
+
+    def test_mean_preserved_approximately(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((32, 32)).astype(np.float32)
+        out = imaging.resize_bilinear(img, (16, 16))
+        assert abs(out.mean() - img.mean()) < 0.05
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            imaging.resize_bilinear(np.zeros((4, 4)), (0, 4))
+
+
+class TestNormalizeAndColormap:
+    def test_normalize_range(self):
+        x = np.array([3.0, 5.0, 7.0])
+        out = imaging.normalize01(x)
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_normalize_constant_is_zero(self):
+        np.testing.assert_array_equal(imaging.normalize01(np.full(5, 2.0)), 0.0)
+
+    def test_jet_extremes(self):
+        rgb = imaging.jet_colormap(np.array([0.0, 1.0]))
+        # low values blue-ish, high values red-ish
+        assert rgb[0, 2] > rgb[0, 0]
+        assert rgb[1, 0] > rgb[1, 2]
+
+    def test_jet_shape(self):
+        assert imaging.jet_colormap(np.zeros((5, 5))).shape == (5, 5, 3)
+
+
+class TestOverlay:
+    def test_overlay_shape_and_range(self):
+        img = np.zeros((16, 16, 3), dtype=np.float32)
+        hm = np.random.default_rng(0).random((4, 4)).astype(np.float32)
+        out = imaging.overlay_heatmap(img, hm, alpha=0.5)
+        assert out.shape == (16, 16, 3)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_alpha_zero_is_identity(self):
+        img = np.random.default_rng(0).random((8, 8, 3)).astype(np.float32)
+        out = imaging.overlay_heatmap(img, np.ones((2, 2)), alpha=0.0)
+        np.testing.assert_allclose(out, img, atol=1e-6)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            imaging.overlay_heatmap(np.zeros((4, 4, 3)), np.zeros((2, 2)), alpha=1.5)
+
+
+class TestPolygon:
+    def test_full_canvas_square(self):
+        verts = np.array([(-1, -1), (9, -1), (9, 9), (-1, 9)])
+        mask = imaging.polygon_mask((8, 8), verts)
+        np.testing.assert_allclose(mask, 1.0)
+
+    def test_half_plane_triangle(self):
+        # Big triangle covering the lower-left half.
+        verts = np.array([(0, 0), (0, 16), (16, 16)])
+        mask = imaging.polygon_mask((16, 16), verts)
+        assert mask[14, 1] > 0.9  # deep inside
+        assert mask[1, 14] < 0.1  # outside
+
+    def test_coverage_fraction_reasonable(self):
+        verts = np.array([(2, 2), (6, 2), (6, 6), (2, 6)])  # 4x4 square in 8x8
+        mask = imaging.polygon_mask((8, 8), verts)
+        assert abs(mask.sum() - 16.0) < 2.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError, match="N>=3"):
+            imaging.polygon_mask((8, 8), np.array([(0, 0), (1, 1)]))
+
+    def test_fill_polygon_paints(self):
+        img = np.zeros((8, 8, 3), dtype=np.float32)
+        verts = np.array([(-1, -1), (9, -1), (9, 9), (-1, 9)])
+        imaging.fill_polygon(img, verts, (1.0, 0.0, 0.0))
+        assert img[4, 4, 0] > 0.99 and img[4, 4, 1] < 0.01
+
+
+class TestEllipse:
+    def test_center_inside(self):
+        mask = imaging.ellipse_mask((16, 16), (8, 8), (5, 3))
+        assert mask[8, 8] == 1.0
+
+    def test_outside_zero(self):
+        mask = imaging.ellipse_mask((16, 16), (8, 8), (3, 3))
+        assert mask[0, 0] == 0.0
+
+    def test_rotation_changes_shape(self):
+        a = imaging.ellipse_mask((16, 16), (8, 8), (6, 2), angle=0.0)
+        b = imaging.ellipse_mask((16, 16), (8, 8), (6, 2), angle=np.pi / 2)
+        assert a[8, 13] > 0.5 and b[8, 13] < 0.5  # on the long axis of a only
+
+    def test_rejects_nonpositive_radii(self):
+        with pytest.raises(ValueError, match="positive"):
+            imaging.ellipse_mask((8, 8), (4, 4), (0, 2))
+
+    def test_draw_ellipse_composites(self):
+        img = np.zeros((16, 16, 3), dtype=np.float32)
+        imaging.draw_ellipse(img, (8, 8), (4, 4), (0.0, 1.0, 0.0))
+        assert img[8, 8, 1] > 0.99
+
+
+class TestRotate:
+    def test_zero_rotation_identity(self):
+        img = np.random.default_rng(0).random((8, 8, 3)).astype(np.float32)
+        np.testing.assert_array_equal(imaging.rotate_image(img, 0.0), img)
+
+    def test_shape_preserved(self):
+        img = np.zeros((12, 12, 3), dtype=np.float32)
+        assert imaging.rotate_image(img, 15.0).shape == img.shape
+
+    def test_360_rotation_close_to_identity(self):
+        img = np.random.default_rng(1).random((16, 16)).astype(np.float32)
+        out = imaging.rotate_image(img, 360.0)
+        assert np.abs(out - img).mean() < 0.05
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    h=st.integers(4, 20),
+    w=st.integers(4, 20),
+    oh=st.integers(2, 24),
+    ow=st.integers(2, 24),
+)
+def test_resize_output_within_input_range(h, w, oh, ow):
+    """Bilinear interpolation never over/undershoots the input range."""
+    rng = np.random.default_rng(h * 100 + w)
+    img = rng.random((h, w)).astype(np.float32)
+    out = imaging.resize_bilinear(img, (oh, ow))
+    assert out.shape == (oh, ow)
+    assert out.min() >= img.min() - 1e-5
+    assert out.max() <= img.max() + 1e-5

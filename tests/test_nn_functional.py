@@ -1,0 +1,155 @@
+"""Tests for repro.nn.functional: im2col/col2im, pooling windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestConvOutputHW:
+    def test_valid_conv(self):
+        assert F.conv_output_hw((32, 32), (3, 3), (1, 1), (0, 0)) == (30, 30)
+
+    def test_padding(self):
+        assert F.conv_output_hw((32, 32), (3, 3), (1, 1), (1, 1)) == (32, 32)
+
+    def test_stride(self):
+        assert F.conv_output_hw((8, 8), (2, 2), (2, 2), (0, 0)) == (4, 4)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            F.conv_output_hw((2, 2), (3, 3), (1, 1), (0, 0))
+
+
+class TestIm2col:
+    def test_known_patch(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        cols = F.im2col(x, (3, 3))
+        assert cols.shape == (1, 2, 2, 9)
+        # Top-left window is rows 0-2, cols 0-2 (channel-fastest order is
+        # trivial with C=1).
+        np.testing.assert_array_equal(
+            cols[0, 0, 0], [0, 1, 2, 4, 5, 6, 8, 9, 10]
+        )
+
+    def test_channel_fastest_ordering(self):
+        # Two channels: patch layout must be (kh, kw, C).
+        x = np.zeros((1, 3, 3, 2), dtype=np.float32)
+        x[0, 0, 0, 0] = 10.0
+        x[0, 0, 0, 1] = 20.0
+        cols = F.im2col(x, (3, 3))
+        assert cols[0, 0, 0, 0] == 10.0
+        assert cols[0, 0, 0, 1] == 20.0
+
+    def test_matches_naive_conv(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 6, 7, 3)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+        cols = F.im2col(x, (3, 3))
+        out = cols.reshape(-1, 27) @ w.reshape(27, 4)
+        out = out.reshape(2, 4, 5, 4)
+        # Naive reference.
+        ref = np.zeros_like(out)
+        for n in range(2):
+            for i in range(4):
+                for j in range(5):
+                    patch = x[n, i : i + 3, j : j + 3, :]
+                    for co in range(4):
+                        ref[n, i, j, co] = (patch * w[:, :, :, co]).sum()
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_padding_value(self):
+        x = np.ones((1, 2, 2, 1), dtype=np.float32)
+        cols = F.im2col(x, (3, 3), padding=(1, 1), pad_value=0.0)
+        assert cols.shape == (1, 2, 2, 9)
+        assert cols[0, 0, 0, 0] == 0.0  # padded corner
+
+    def test_rejects_non_nhwc(self):
+        with pytest.raises(ValueError, match="NHWC"):
+            F.im2col(np.zeros((4, 4)), (3, 3))
+
+
+class TestCol2im:
+    def test_adjoint_property(self):
+        """<im2col(x), y> == <x, col2im(y)> — exact transposition."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 7, 6, 3)).astype(np.float64)
+        cols = F.im2col(x, (3, 3))
+        y = rng.standard_normal(cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * F.col2im(y, x.shape, (3, 3))).sum()
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_adjoint_with_stride_padding(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 9, 9, 2)).astype(np.float64)
+        kernel, stride, padding = (3, 3), (2, 2), (1, 1)
+        cols = F.im2col(x, kernel, stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * F.col2im(y, x.shape, kernel, stride, padding)).sum()
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_overlap_accumulates(self):
+        # All-ones cols: each input pixel receives one contribution per
+        # window covering it.
+        cols = np.ones((1, 2, 2, 9), dtype=np.float32)
+        out = F.col2im(cols, (1, 4, 4, 1), (3, 3))
+        assert out[0, 0, 0, 0] == 1.0  # corner covered by 1 window
+        assert out[0, 1, 1, 0] == 4.0  # centre covered by all 4
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            F.col2im(np.zeros((1, 2, 2, 9)), (1, 5, 5, 2), (3, 3))
+
+
+class TestPoolWindows:
+    def test_shapes(self):
+        x = np.zeros((2, 8, 8, 3), dtype=np.float32)
+        w = F.pool_windows(x, (2, 2), (2, 2))
+        assert w.shape == (2, 4, 4, 4, 3)
+
+    def test_max_matches_naive(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 4, 4, 2)).astype(np.float32)
+        w = F.pool_windows(x, (2, 2), (2, 2))
+        out = w.max(axis=3)
+        assert out[0, 0, 0, 0] == x[0, :2, :2, 0].max()
+        assert out[0, 1, 1, 1] == x[0, 2:, 2:, 1].max()
+
+    def test_rejects_non_tiling(self):
+        with pytest.raises(ValueError, match="does not tile"):
+            F.pool_windows(np.zeros((1, 5, 4, 1)), (2, 2), (2, 2))
+
+    def test_unpool_adjoint(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((2, 6, 6, 3)).astype(np.float64)
+        w = F.pool_windows(x, (2, 2), (2, 2))
+        g = rng.standard_normal(w.shape)
+        lhs = (w * g).sum()
+        rhs = (x * F.unpool_windows(g, x.shape, (2, 2), (2, 2))).sum()
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_unpool_overlapping_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            F.unpool_windows(np.zeros((1, 2, 2, 4, 1)), (1, 4, 4, 1), (2, 2), (1, 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    h=st.integers(3, 10),
+    w=st.integers(3, 10),
+    c=st.integers(1, 4),
+    n=st.integers(1, 3),
+)
+def test_im2col_col2im_adjoint_property(h, w, c, n):
+    """Property: col2im is the exact adjoint of im2col for 3x3 kernels."""
+    rng = np.random.default_rng(h * 1000 + w * 100 + c * 10 + n)
+    x = rng.standard_normal((n, h, w, c))
+    cols = F.im2col(x, (3, 3))
+    y = rng.standard_normal(cols.shape)
+    lhs = (cols * y).sum()
+    rhs = (x * F.col2im(y, x.shape, (3, 3))).sum()
+    assert abs(lhs - rhs) < 1e-8 * max(1.0, abs(lhs))

@@ -1,0 +1,336 @@
+"""Layer-level tests: shapes, gradchecks, binary semantics, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.nn.binary_ops import sign, ste_grad
+from repro.nn.gradcheck import check_layer_input_grad, check_layer_param_grads
+from repro.nn.layers import (
+    BatchNorm,
+    BinaryConv2D,
+    BinaryDense,
+    Conv2D,
+    Dense,
+    Flatten,
+    HardTanh,
+    MaxPool2D,
+    ReLU,
+    SignActivation,
+)
+from repro.nn.module import Parameter
+
+
+@pytest.fixture()
+def x_img():
+    return np.random.default_rng(0).standard_normal((2, 8, 8, 3)).astype(np.float32)
+
+
+@pytest.fixture()
+def x_flat():
+    return np.random.default_rng(1).standard_normal((4, 10)).astype(np.float32)
+
+
+class TestBinaryOps:
+    def test_sign_zero_maps_to_plus_one(self):
+        np.testing.assert_array_equal(
+            sign(np.array([-2.0, 0.0, 3.0])), [-1.0, 1.0, 1.0]
+        )
+
+    def test_sign_output_dtype(self):
+        assert sign(np.zeros(3, dtype=np.float64)).dtype == np.float32
+
+    def test_identity_ste_passthrough(self):
+        g = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        x = np.array([5.0, -5.0, 0.1], dtype=np.float32)
+        np.testing.assert_array_equal(ste_grad(g, x, "identity"), g)
+
+    def test_clipped_ste_masks_saturated(self):
+        g = np.ones(4, dtype=np.float32)
+        x = np.array([-2.0, -1.0, 1.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(ste_grad(g, x, "clipped"), [0, 1, 1, 0])
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown STE"):
+            ste_grad(np.zeros(1), np.zeros(1), "magic")
+
+
+class TestConv2D:
+    def test_output_shape(self, x_img):
+        conv = Conv2D(3, 5, kernel_size=3, rng=0)
+        assert conv.forward(x_img).shape == (2, 6, 6, 5)
+        assert conv.output_shape((8, 8, 3)) == (6, 6, 5)
+
+    def test_gradcheck(self, x_img):
+        conv = Conv2D(3, 4, kernel_size=3, rng=0)
+        check_layer_input_grad(conv, x_img)
+        check_layer_param_grads(conv, x_img)
+
+    def test_bias(self, x_img):
+        conv = Conv2D(3, 4, use_bias=True, rng=0)
+        conv.bias.data[:] = 5.0
+        conv2 = Conv2D(3, 4, use_bias=False, rng=0)
+        conv2.weight.data = conv.weight.data.copy()
+        np.testing.assert_allclose(
+            conv.forward(x_img), conv2.forward(x_img) + 5.0, atol=1e-5
+        )
+
+    def test_padding_same_spatial(self, x_img):
+        conv = Conv2D(3, 4, kernel_size=3, padding=1, rng=0)
+        assert conv.forward(x_img).shape == (2, 8, 8, 4)
+
+    def test_stride_two(self, x_img):
+        conv = Conv2D(3, 4, kernel_size=3, stride=2, rng=0)
+        check_layer_input_grad(conv, x_img)
+
+    def test_wrong_channels_rejected(self, x_img):
+        conv = Conv2D(5, 4, rng=0)
+        with pytest.raises(ValueError, match="expected"):
+            conv.forward(x_img)
+
+    def test_backward_without_forward(self):
+        conv = Conv2D(3, 4, rng=0)
+        with pytest.raises(RuntimeError, match="backward"):
+            conv.backward(np.zeros((1, 6, 6, 4), dtype=np.float32))
+
+    def test_eval_mode_skips_cache(self, x_img):
+        conv = Conv2D(3, 4, rng=0)
+        conv.eval()
+        conv.forward(x_img)
+        assert conv._cache is None
+
+    def test_nonpositive_channels_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Conv2D(0, 4)
+
+
+class TestBinaryConv2D:
+    def test_effective_weight_is_bipolar(self):
+        conv = BinaryConv2D(3, 4, rng=0)
+        w = conv.effective_weight()
+        assert set(np.unique(w)) <= {-1.0, 1.0}
+
+    def test_forward_uses_binarized_weights(self, x_img):
+        conv = BinaryConv2D(3, 4, rng=0)
+        ref = Conv2D(3, 4, rng=0)
+        ref.weight.data = sign(conv.weight.data)
+        np.testing.assert_allclose(conv.forward(x_img), ref.forward(x_img), atol=1e-5)
+
+    def test_latent_binary_flag(self):
+        conv = BinaryConv2D(3, 4, rng=0)
+        assert conv.weight.latent_binary
+        assert not conv.weight.weight_decay
+
+    def test_ste_clips_weight_gradient(self, x_img):
+        conv = BinaryConv2D(3, 4, rng=0, ste="clipped")
+        conv.weight.data[0, 0, 0, 0] = 2.0  # saturated latent weight
+        conv.forward(x_img)
+        conv.backward(np.ones((2, 6, 6, 4), dtype=np.float32))
+        assert conv.weight.grad[0, 0, 0, 0] == 0.0
+        assert np.abs(conv.weight.grad).sum() > 0.0
+
+    def test_scale_invariance_of_latent_weights(self, x_img):
+        """Binarisation makes the forward invariant to latent magnitude."""
+        conv = BinaryConv2D(3, 4, rng=0)
+        out1 = conv.forward(x_img)
+        conv.weight.data *= 0.3
+        out2 = conv.forward(x_img)
+        np.testing.assert_allclose(out1, out2, atol=1e-5)
+
+
+class TestDense:
+    def test_shapes(self, x_flat):
+        d = Dense(10, 7, rng=0)
+        assert d.forward(x_flat).shape == (4, 7)
+        assert d.output_shape((10,)) == (7,)
+
+    def test_gradcheck(self, x_flat):
+        d = Dense(10, 5, rng=0)
+        check_layer_input_grad(d, x_flat)
+        check_layer_param_grads(d, x_flat)
+
+    def test_gradcheck_with_bias(self, x_flat):
+        d = Dense(10, 5, use_bias=True, rng=0)
+        check_layer_param_grads(d, x_flat)
+
+    def test_wrong_fan_in(self, x_flat):
+        with pytest.raises(ValueError, match="expected"):
+            Dense(11, 5, rng=0).forward(x_flat)
+
+    def test_output_shape_validation(self):
+        with pytest.raises(ValueError, match="expects"):
+            Dense(10, 5).output_shape((11,))
+
+
+class TestBinaryDense:
+    def test_integer_logits_on_binary_input(self):
+        d = BinaryDense(16, 4, rng=0)
+        x = sign(np.random.default_rng(2).standard_normal((3, 16))).astype(np.float32)
+        out = d.forward(x)
+        np.testing.assert_array_equal(out, np.rint(out))
+        # Parity: dot of two ±1 vectors of even length is even.
+        assert np.all(out.astype(int) % 2 == 0)
+
+    def test_logit_bound_is_fan_in(self):
+        d = BinaryDense(16, 4, rng=0)
+        x = sign(np.random.default_rng(3).standard_normal((8, 16))).astype(np.float32)
+        assert np.abs(d.forward(x)).max() <= 16
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, x_img):
+        bn = BatchNorm(3)
+        out = bn.forward(x_img * 3.0 + 5.0)
+        np.testing.assert_allclose(out.mean(axis=(0, 1, 2)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 1, 2)), 1.0, atol=1e-3)
+
+    def test_gradcheck(self, x_img):
+        bn = BatchNorm(3)
+        check_layer_input_grad(bn, x_img, eps=1e-2, atol=1e-3, rtol=1e-2)
+        check_layer_param_grads(bn, x_img, eps=1e-2, atol=1e-3, rtol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm(2, momentum=0.5)
+        for _ in range(50):
+            x = rng.normal(3.0, 2.0, (64, 2)).astype(np.float32)
+            bn.forward(x)
+        np.testing.assert_allclose(bn.running_mean, 3.0, atol=0.3)
+        np.testing.assert_allclose(np.sqrt(bn.running_var), 2.0, atol=0.3)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm(2)
+        bn.running_mean[:] = 10.0
+        bn.running_var[:] = 4.0
+        bn.eval()
+        out = bn.forward(np.full((1, 2), 10.0, dtype=np.float32))
+        np.testing.assert_allclose(out, 0.0, atol=1e-3)
+
+    def test_eval_backward_is_affine(self):
+        bn = BatchNorm(2)
+        bn.running_var[:] = 4.0
+        bn.gamma.data[:] = 3.0
+        bn.eval()
+        x = np.random.default_rng(0).standard_normal((5, 2)).astype(np.float32)
+        bn.forward(x)
+        g = np.ones_like(x)
+        dx = bn.backward(g)
+        np.testing.assert_allclose(dx, 3.0 / np.sqrt(4.0 + bn.eps), rtol=1e-5)
+
+    def test_fused_scale_shift_matches_eval_forward(self):
+        bn = BatchNorm(3)
+        gen = np.random.default_rng(5)
+        bn.running_mean = gen.normal(0, 1, 3).astype(np.float32)
+        bn.running_var = gen.uniform(0.5, 2, 3).astype(np.float32)
+        bn.gamma.data = gen.uniform(0.5, 1.5, 3).astype(np.float32)
+        bn.beta.data = gen.normal(0, 1, 3).astype(np.float32)
+        bn.eval()
+        x = gen.standard_normal((4, 3)).astype(np.float32)
+        scale, shift = bn.fused_scale_shift()
+        np.testing.assert_allclose(bn.forward(x), x * scale + shift, atol=1e-5)
+
+    def test_single_sample_training_rejected(self):
+        bn = BatchNorm(3)
+        with pytest.raises(ValueError, match="more than one sample"):
+            bn.forward(np.zeros((1, 3), dtype=np.float32))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            BatchNorm(3).forward(np.zeros((2, 4), dtype=np.float32))
+
+    def test_non_affine(self, x_img):
+        bn = BatchNorm(3, affine=False)
+        assert bn.parameters() == []
+        out = bn.forward(x_img)
+        np.testing.assert_allclose(out.mean(axis=(0, 1, 2)), 0.0, atol=1e-4)
+
+
+class TestMaxPool:
+    def test_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_gradcheck(self):
+        # Distinct, well-separated values: finite differences at argmax
+        # ties are undefined, so the input must be tie-free within eps.
+        rng = np.random.default_rng(0)
+        vals = np.linspace(-1.0, 1.0, 2 * 8 * 8 * 3, dtype=np.float64)
+        x = rng.permuted(vals).reshape(2, 8, 8, 3).astype(np.float32)
+        check_layer_input_grad(MaxPool2D(2), x)
+
+    def test_gradient_routes_to_argmax(self):
+        x = np.zeros((1, 2, 2, 1), dtype=np.float32)
+        x[0, 1, 0, 0] = 9.0
+        mp = MaxPool2D(2)
+        mp.forward(x)
+        dx = mp.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+        assert dx[0, 1, 0, 0] == 1.0
+        assert dx.sum() == 1.0
+
+    def test_overlapping_rejected(self):
+        with pytest.raises(NotImplementedError):
+            MaxPool2D(2, stride=1)
+
+    def test_output_shape(self):
+        assert MaxPool2D(2).output_shape((8, 8, 5)) == (4, 4, 5)
+
+
+class TestActivations:
+    def test_sign_activation_binary_output(self, x_img):
+        out = SignActivation().forward(x_img)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_sign_ste_backward(self, x_img):
+        act = SignActivation()
+        act.forward(x_img)
+        g = np.ones_like(x_img)
+        dx = act.backward(g)
+        np.testing.assert_array_equal(dx, (np.abs(x_img) <= 1.0).astype(np.float32))
+
+    def test_relu_gradcheck(self, x_img):
+        # Finite differences at the kink (x = 0) are undefined; push every
+        # element at least 0.05 away from it.
+        x = np.where(np.abs(x_img) < 0.05, 0.5, x_img).astype(np.float32)
+        check_layer_input_grad(ReLU(), x)
+
+    def test_hardtanh_gradcheck(self, x_img):
+        # Same treatment for the kinks at ±1 (scaled input keeps values
+        # inside, away-from-kink filter handles x = 0 irrelevance).
+        x = (x_img * 0.4).astype(np.float32)
+        x = np.where(np.abs(np.abs(x) - 1.0) < 0.05, 0.5, x).astype(np.float32)
+        check_layer_input_grad(HardTanh(), x)
+
+    def test_hardtanh_saturates(self):
+        out = HardTanh().forward(np.array([-5.0, 0.3, 5.0], dtype=np.float32))
+        np.testing.assert_allclose(out, [-1.0, 0.3, 1.0], atol=1e-6)
+
+    def test_backward_requires_forward(self):
+        for layer in (SignActivation(), ReLU(), HardTanh()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros(3, dtype=np.float32))
+
+
+class TestFlatten:
+    def test_roundtrip(self, x_img):
+        f = Flatten()
+        out = f.forward(x_img)
+        assert out.shape == (2, 8 * 8 * 3)
+        back = f.backward(out)
+        np.testing.assert_array_equal(back, x_img)
+
+    def test_output_shape(self):
+        assert Flatten().output_shape((4, 4, 8)) == (128,)
+
+
+class TestParameter:
+    def test_grad_accumulation(self):
+        p = Parameter(np.zeros((2, 2)))
+        p.accumulate_grad(np.ones((2, 2)))
+        p.accumulate_grad(np.ones((2, 2)))
+        np.testing.assert_array_equal(p.grad, 2.0)
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_shape_mismatch(self):
+        p = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            p.accumulate_grad(np.ones(3))

@@ -1,0 +1,272 @@
+"""Tests for losses, optimizers and LR schedules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import losses
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.schedules import constant, cosine_decay, get, step_decay, warmup
+
+
+def numeric_loss_grad(fn, logits, targets, eps=1e-5):
+    grad = np.zeros_like(logits, dtype=np.float64)
+    l64 = logits.astype(np.float64)
+    for idx in np.ndindex(*logits.shape):
+        orig = l64[idx]
+        l64[idx] = orig + eps
+        f_plus, _ = fn(l64, targets)
+        l64[idx] = orig - eps
+        f_minus, _ = fn(l64, targets)
+        l64[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        p = losses.softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-7)
+
+    def test_stability_with_huge_logits(self):
+        p = losses.softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(p).all()
+        np.testing.assert_allclose(p[0], [1.0, 0.0], atol=1e-7)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(0).standard_normal((3, 5))
+        np.testing.assert_allclose(
+            losses.log_softmax(logits), np.log(losses.softmax(logits)), atol=1e-7
+        )
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = losses.cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-4
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((4, 4))
+        loss, _ = losses.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert abs(loss - math.log(4)) < 1e-6
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((5, 4))
+        targets = rng.integers(0, 4, 5)
+        _, grad = losses.cross_entropy(logits, targets)
+        numeric = numeric_loss_grad(losses.cross_entropy, logits, targets)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_gradient_with_label_smoothing(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((4, 3))
+        targets = rng.integers(0, 3, 4)
+        fn = lambda l, t: losses.cross_entropy(l, t, label_smoothing=0.1)
+        _, grad = fn(logits, targets)
+        np.testing.assert_allclose(
+            grad, numeric_loss_grad(fn, logits, targets), atol=1e-6
+        )
+
+    def test_gradient_rows_sum_to_zero(self):
+        logits = np.random.default_rng(3).standard_normal((6, 4))
+        _, grad = losses.cross_entropy(logits, np.zeros(6, dtype=int))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-7)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            losses.cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError, match="class indices"):
+            losses.cross_entropy(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError, match="label_smoothing"):
+            losses.cross_entropy(np.zeros((1, 2)), np.array([0]), label_smoothing=1.0)
+
+
+class TestSquaredHinge:
+    def test_zero_when_margins_met(self):
+        logits = np.array([[2.0, -2.0]])
+        loss, grad = losses.squared_hinge(logits, np.array([0]))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        logits = rng.standard_normal((5, 4)) * 0.5
+        targets = rng.integers(0, 4, 5)
+        _, grad = losses.squared_hinge(logits, targets)
+        numeric = numeric_loss_grad(losses.squared_hinge, logits, targets)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError, match="margin"):
+            losses.squared_hinge(np.zeros((1, 2)), np.array([0]), margin=0.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert losses.get("cross_entropy") is losses.cross_entropy
+        assert losses.get(losses.squared_hinge) is losses.squared_hinge
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            losses.get("mse")
+
+
+def quadratic_param(start=5.0):
+    """Parameter minimising f(w) = 0.5 * w^2 (gradient = w)."""
+    return Parameter(np.full(3, start, dtype=np.float32))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        for _ in range(100):
+            p.zero_grad()
+            p.accumulate_grad(p.data.copy())
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        trajectories = {}
+        for momentum in (0.0, 0.9):
+            p = quadratic_param()
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                p.zero_grad()
+                p.accumulate_grad(p.data.copy())
+                opt.step()
+            trajectories[momentum] = float(np.abs(p.data).max())
+        assert trajectories[0.9] < trajectories[0.0]
+
+    def test_weight_decay_respects_flag(self):
+        decayed = Parameter(np.ones(2, dtype=np.float32), weight_decay=True)
+        exempt = Parameter(np.ones(2, dtype=np.float32), weight_decay=False)
+        opt = SGD([decayed, exempt], lr=0.1, momentum=0.0, weight_decay=1.0)
+        for p in (decayed, exempt):
+            p.accumulate_grad(np.zeros(2, dtype=np.float32))
+        opt.step()
+        assert np.all(decayed.data < 1.0)
+        np.testing.assert_array_equal(exempt.data, 1.0)
+
+    def test_latent_clipping(self):
+        p = Parameter(np.array([0.95], dtype=np.float32), latent_binary=True)
+        opt = SGD([p], lr=1.0, momentum=0.0)
+        p.accumulate_grad(np.array([-1.0], dtype=np.float32))
+        opt.step()  # would move to 1.95 without clipping
+        assert p.data[0] == 1.0
+
+    def test_missing_grad_raises(self):
+        opt = SGD([quadratic_param()], lr=0.1)
+        with pytest.raises(RuntimeError, match="no gradient"):
+            opt.step()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError, match="learning rate"):
+            SGD([quadratic_param()], lr=0.0)
+        with pytest.raises(ValueError, match="momentum"):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.zero_grad()
+            p.accumulate_grad(p.data.copy())
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_first_step_is_lr_sized(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.accumulate_grad(np.array([4.0], dtype=np.float32))
+        opt.step()
+        # Bias correction makes the first update ≈ lr * sign(grad).
+        assert abs(p.data[0] - 0.9) < 1e-3
+
+    def test_latent_clipping(self):
+        p = Parameter(np.array([0.999], dtype=np.float32), latent_binary=True)
+        opt = Adam([p], lr=1.0)
+        p.accumulate_grad(np.array([-1.0], dtype=np.float32))
+        opt.step()
+        assert p.data[0] <= 1.0
+
+    def test_betas_validation(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam([quadratic_param()], betas=(1.0, 0.999))
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = constant()
+        assert s(0) == s(100) == 1.0
+
+    def test_step_decay(self):
+        s = step_decay(drop_every=10, factor=0.5)
+        assert s(0) == 1.0 and s(9) == 1.0
+        assert s(10) == 0.5 and s(20) == 0.25
+
+    def test_cosine_endpoints(self):
+        s = cosine_decay(total_epochs=100, floor=0.1)
+        assert abs(s(0) - 1.0) < 1e-9
+        assert abs(s(100) - 0.1) < 1e-9
+        assert s(200) == s(100)  # clamped past the horizon
+
+    def test_cosine_monotone_decreasing(self):
+        s = cosine_decay(50)
+        values = [s(e) for e in range(51)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_ramps(self):
+        s = warmup(5)
+        assert s(0) == pytest.approx(0.2)
+        assert s(4) == pytest.approx(1.0)
+        assert s(10) == 1.0
+
+    def test_warmup_then_cosine(self):
+        s = warmup(2, cosine_decay(10))
+        assert s(1) == 1.0
+        assert s(12) == pytest.approx(cosine_decay(10)(10))
+
+    def test_get_by_name(self):
+        assert get("constant")(3) == 1.0
+        assert get("step", drop_every=2)(2) == 0.5
+        assert get("cosine", total_epochs=4)(0) == 1.0
+        with pytest.raises(ValueError, match="unknown schedule"):
+            get("linear")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_decay(0)
+        with pytest.raises(ValueError):
+            cosine_decay(10, floor=1.0)
+        with pytest.raises(ValueError):
+            warmup(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 8),
+    k=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+)
+def test_cross_entropy_softmax_identity(n, k, seed):
+    """Property: dL/dlogits = (softmax - onehot)/n for hard targets."""
+    rng = np.random.default_rng(seed)
+    logits = rng.standard_normal((n, k))
+    targets = rng.integers(0, k, n)
+    _, grad = losses.cross_entropy(logits, targets)
+    onehot = np.eye(k)[targets]
+    expected = (losses.softmax(logits) - onehot) / n
+    np.testing.assert_allclose(grad, expected, atol=1e-6)

@@ -1,0 +1,136 @@
+"""Tests for the Module base class and threshold re-quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.hw.thresholding import (
+    ThresholdSpec,
+    apply_thresholds,
+    fold_popcount_domain,
+    quantize_spec,
+)
+from repro.nn.layers import ReLU
+from repro.nn.module import Module, Parameter
+from repro.nn.sequential import Sequential
+
+
+class TestModuleBase:
+    def test_duplicate_parameter_rejected(self):
+        m = Module()
+        m.register_parameter("w", Parameter(np.zeros(2)))
+        with pytest.raises(ValueError, match="already registered"):
+            m.register_parameter("w", Parameter(np.zeros(2)))
+
+    def test_duplicate_module_rejected(self):
+        m = Module()
+        m.register_module("child", Module())
+        with pytest.raises(ValueError, match="already registered"):
+            m.register_module("child", Module())
+
+    def test_parameter_name_assigned(self):
+        m = Module()
+        p = m.register_parameter("w", Parameter(np.zeros(2)))
+        assert "w" in p.name
+
+    def test_parameters_recursive(self):
+        parent = Module()
+        child = Module()
+        child.register_parameter("c", Parameter(np.zeros(1)))
+        parent.register_parameter("p", Parameter(np.zeros(1)))
+        parent.register_module("sub", child)
+        assert len(parent.parameters()) == 2
+        names = [n for n, _ in parent.named_parameters()]
+        assert "p" in names and "sub.c" in names
+
+    def test_modules_traversal(self):
+        parent = Module()
+        child = Module()
+        parent.register_module("sub", child)
+        assert list(parent.modules()) == [parent, child]
+
+    def test_train_eval_recursive(self):
+        parent = Module()
+        child = Module()
+        parent.register_module("sub", child)
+        parent.eval()
+        assert not child.training
+        parent.train()
+        assert child.training
+
+    def test_default_output_shape_preserves(self):
+        assert Module().output_shape((3, 4)) == (3, 4)
+
+    def test_forward_backward_abstract(self):
+        m = Module()
+        with pytest.raises(NotImplementedError):
+            m.forward(np.zeros(1))
+        with pytest.raises(NotImplementedError):
+            m.backward(np.zeros(1))
+
+    def test_call_dispatches_to_forward(self):
+        layer = ReLU()
+        x = np.array([-1.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(layer(x), layer.forward(x))
+
+    def test_num_parameters(self):
+        m = Module()
+        m.register_parameter("a", Parameter(np.zeros((2, 3))))
+        m.register_parameter("b", Parameter(np.zeros(4)))
+        assert m.num_parameters() == 10
+
+
+class TestQuantizeSpec:
+    def _spec(self, fan_in=64, channels=16, seed=0):
+        rng = np.random.default_rng(seed)
+        return fold_popcount_domain(
+            rng.uniform(-2, 2, channels), rng.normal(0, 5, channels), fan_in
+        )
+
+    def test_full_width_is_identity(self):
+        spec = self._spec()
+        q = quantize_spec(spec, bits=16)
+        assert q is spec
+
+    def test_one_bit_extreme(self):
+        spec = self._spec()
+        q = quantize_spec(spec, bits=1)
+        # Only two representable levels.
+        assert len(np.unique(q.thresholds)) <= 2
+
+    def test_quantised_stays_in_range(self):
+        spec = self._spec(fan_in=576, channels=64, seed=3)
+        for bits in (2, 4, 6):
+            q = quantize_spec(spec, bits)
+            assert q.thresholds.min() >= spec.acc_min - 1
+            assert q.thresholds.max() <= spec.acc_max + 1
+
+    def test_error_shrinks_with_bits(self):
+        spec = self._spec(fan_in=576, channels=64, seed=4)
+        errors = []
+        for bits in (2, 4, 8):
+            q = quantize_spec(spec, bits)
+            errors.append(np.abs(q.thresholds - spec.thresholds).mean())
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_output_agreement_grows_with_bits(self):
+        spec = self._spec(fan_in=128, channels=32, seed=5)
+        rng = np.random.default_rng(6)
+        acc = rng.integers(0, 129, size=(400, 32))
+        reference = apply_thresholds(acc, spec)
+        agreements = []
+        for bits in (2, 5, 9):
+            q = quantize_spec(spec, bits)
+            agreements.append(
+                float((apply_thresholds(acc, q) == reference).mean())
+            )
+        assert agreements[0] <= agreements[1] <= agreements[2] + 1e-9
+        assert agreements[-1] == 1.0  # 9 bits cover [−1, 129] fully
+
+    def test_flip_flags_preserved(self):
+        spec = self._spec(seed=7)
+        q = quantize_spec(spec, 3)
+        np.testing.assert_array_equal(q.flipped, spec.flipped)
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError, match="bits"):
+            quantize_spec(self._spec(), 0)

@@ -1,0 +1,188 @@
+"""Tests for the Sequential container: taps, persistence, introspection."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm,
+    BinaryConv2D,
+    Dense,
+    Flatten,
+    ReLU,
+    SignActivation,
+)
+from repro.nn.sequential import Sequential
+
+
+def small_model(seed=0):
+    return Sequential(
+        [
+            ("conv", BinaryConv2D(1, 4, kernel_size=3, rng=seed)),
+            ("bn", BatchNorm(4)),
+            ("sign", SignActivation()),
+            ("flatten", Flatten()),
+            ("fc", Dense(4 * 4 * 4, 3, rng=seed + 1)),
+        ],
+        input_shape=(6, 6, 1),
+    )
+
+
+@pytest.fixture()
+def x():
+    return np.random.default_rng(0).standard_normal((2, 6, 6, 1)).astype(np.float32)
+
+
+class TestConstruction:
+    def test_auto_naming(self):
+        m = Sequential([ReLU(), ReLU()])
+        assert m.layer_names == ["relu0", "relu1"]
+
+    def test_duplicate_name_rejected(self):
+        m = Sequential([("a", ReLU())])
+        with pytest.raises(ValueError, match="duplicate"):
+            m.add(ReLU(), name="a")
+
+    def test_non_module_rejected(self):
+        with pytest.raises(TypeError, match="Module"):
+            Sequential([("a", "not a layer")])
+
+    def test_getitem(self):
+        m = small_model()
+        assert m["bn"] is m.layers[1]
+        with pytest.raises(KeyError, match="available"):
+            m["missing"]
+
+    def test_index_of(self):
+        m = small_model()
+        assert m.index_of("sign") == 2
+        with pytest.raises(KeyError):
+            m.index_of("nope")
+
+    def test_add_propagates_mode(self):
+        m = small_model().eval()
+        m.add(ReLU(), name="extra")
+        assert not m["extra"].training
+
+
+class TestForwardBackward:
+    def test_forward_shape(self, x):
+        assert small_model().forward(x).shape == (2, 3)
+
+    def test_taps_record_activations(self, x):
+        m = small_model()
+        m.forward(x, taps=("sign", "conv"))
+        assert m.tap_activations["sign"].shape == (2, 4, 4, 4)
+        assert m.tap_activations["conv"].shape == (2, 4, 4, 4)
+
+    def test_unknown_tap_rejected(self, x):
+        with pytest.raises(KeyError, match="unknown tap"):
+            small_model().forward(x, taps=("mystery",))
+
+    def test_backward_taps_record_gradients(self, x):
+        m = small_model()
+        out = m.forward(x, taps=("sign",))
+        m.backward(np.ones_like(out), taps=("sign",))
+        assert m.tap_gradients["sign"].shape == (2, 4, 4, 4)
+
+    def test_backward_returns_input_grad(self, x):
+        m = small_model()
+        out = m.forward(x)
+        grad = m.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+
+class TestIntrospection:
+    def test_shapes(self):
+        shapes = dict(small_model().shapes())
+        assert shapes["conv"] == (4, 4, 4)
+        assert shapes["flatten"] == (64,)
+        assert shapes["fc"] == (3,)
+
+    def test_shapes_requires_input_shape(self):
+        m = Sequential([ReLU()])
+        with pytest.raises(ValueError, match="input_shape"):
+            m.shapes()
+
+    def test_summary_contains_totals(self):
+        s = small_model().summary()
+        assert "total parameters" in s
+        assert "conv" in s
+
+    def test_num_parameters(self):
+        m = small_model()
+        expected = 3 * 3 * 1 * 4 + 2 * 4 + 64 * 3  # conv + bn(gamma,beta) + fc
+        assert m.num_parameters() == expected
+
+    def test_named_parameters_paths(self):
+        names = [n for n, _ in small_model().named_parameters()]
+        assert "conv.weight" in names and "bn.gamma" in names
+
+
+class TestPersistence:
+    def test_state_dict_roundtrip(self, x, tmp_path):
+        m1 = small_model(seed=0)
+        m1.forward(x)  # update BN running stats
+        m1.eval()
+        ref = m1.forward(x)
+        path = m1.save(tmp_path / "model", metadata={"tag": "test"})
+        m2 = small_model(seed=99)  # different init
+        meta = m2.load(path)
+        m2.eval()
+        np.testing.assert_allclose(m2.forward(x), ref, atol=1e-6)
+        assert meta["tag"] == "test"
+        assert meta["layer_names"] == m1.layer_names
+
+    def test_state_dict_includes_running_stats(self):
+        state = small_model().state_dict()
+        assert "bn.running_mean" in state and "bn.running_var" in state
+
+    def test_load_rejects_missing_keys(self):
+        m = small_model()
+        state = m.state_dict()
+        del state["fc.weight"]
+        with pytest.raises(ValueError, match="missing"):
+            m.load_state_dict(state)
+
+    def test_load_rejects_extra_keys(self):
+        m = small_model()
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(ValueError, match="unexpected"):
+            m.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self):
+        m = small_model()
+        state = m.state_dict()
+        state["fc.weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.load_state_dict(state)
+
+    def test_state_dict_returns_copies(self):
+        m = small_model()
+        state = m.state_dict()
+        state["fc.weight"][:] = 99.0
+        assert not np.any(m["fc"].weight.data == 99.0)
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = small_model()
+        m.eval()
+        assert all(not layer.training for layer in m.layers)
+        m.train()
+        assert all(layer.training for layer in m.layers)
+
+    def test_zero_grad(self, x):
+        m = small_model()
+        out = m.forward(x)
+        m.backward(np.ones_like(out))
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_clear_cache(self, x):
+        m = small_model()
+        m.forward(x)
+        m.clear_cache()
+        with pytest.raises(RuntimeError):
+            m.backward(np.ones((2, 3), dtype=np.float32))

@@ -1,0 +1,163 @@
+"""Tests for the training loop, early stopping and history."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm, Dense, ReLU
+from repro.nn.optim import Adam
+from repro.nn.sequential import Sequential
+from repro.nn.trainer import (
+    EarlyStopping,
+    History,
+    Trainer,
+    evaluate_accuracy,
+    predict_classes,
+)
+
+
+def make_blobs(n, seed=0):
+    """Two well-separated gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    centers = np.array([[-2.0, 0.0], [2.0, 0.0]])
+    x = centers[y] + rng.normal(0, 0.5, (n, 2))
+    return x.astype(np.float32), y
+
+
+def make_mlp(seed=0):
+    return Sequential(
+        [
+            ("fc1", Dense(2, 16, rng=seed)),
+            ("bn", BatchNorm(16)),
+            ("relu", ReLU()),
+            ("fc2", Dense(16, 2, rng=seed + 1)),
+        ],
+        input_shape=(2,),
+    )
+
+
+class TestTrainerFit:
+    def test_learns_blobs(self):
+        x, y = make_blobs(256)
+        xv, yv = make_blobs(128, seed=1)
+        model = make_mlp()
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        hist = trainer.fit(x, y, epochs=10, batch_size=32, x_val=xv, y_val=yv, rng=0)
+        assert hist.val_accuracy[-1] > 0.95
+        assert hist.epochs == 10
+        assert len(hist.epoch_seconds) == 10
+
+    def test_loss_decreases(self):
+        x, y = make_blobs(256)
+        model = make_mlp()
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        hist = trainer.fit(x, y, epochs=8, batch_size=32, rng=0)
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_model_left_in_eval_mode(self):
+        x, y = make_blobs(64)
+        model = make_mlp()
+        Trainer(model, Adam(model.parameters())).fit(x, y, epochs=1, rng=0)
+        assert not model.training
+
+    def test_schedule_applied(self):
+        x, y = make_blobs(64)
+        model = make_mlp()
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=1.0),
+            schedule=lambda e: 0.5**e,
+        )
+        hist = trainer.fit(x, y, epochs=3, rng=0)
+        np.testing.assert_allclose(hist.learning_rate, [1.0, 0.5, 0.25])
+
+    def test_callback_invoked(self):
+        x, y = make_blobs(64)
+        model = make_mlp()
+        seen = []
+        Trainer(model, Adam(model.parameters())).fit(
+            x, y, epochs=3, rng=0, callback=lambda e, h: seen.append(e)
+        )
+        assert seen == [0, 1, 2]
+
+    def test_early_stopping_halts(self):
+        x, y = make_blobs(256)
+        xv, yv = make_blobs(64, seed=1)
+        model = make_mlp()
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        hist = trainer.fit(
+            x,
+            y,
+            epochs=50,
+            batch_size=32,
+            x_val=xv,
+            y_val=yv,
+            rng=0,
+            early_stopping=EarlyStopping(patience=2),
+        )
+        assert hist.epochs < 50  # blobs saturate almost immediately
+
+    def test_input_validation(self):
+        model = make_mlp()
+        trainer = Trainer(model, Adam(model.parameters()))
+        x, y = make_blobs(8)
+        with pytest.raises(ValueError, match="epochs"):
+            trainer.fit(x, y, epochs=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            trainer.fit(x, y, epochs=1, batch_size=1)
+
+    def test_singleton_tail_batch_dropped(self):
+        # 33 samples with batch 32 leaves a singleton; batch-norm cannot
+        # normalise it, so the loop must skip it rather than crash.
+        x, y = make_blobs(33)
+        model = make_mlp()
+        trainer = Trainer(model, Adam(model.parameters()))
+        hist = trainer.fit(x, y, epochs=1, batch_size=32, rng=0)
+        assert hist.epochs == 1
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        es = EarlyStopping(patience=3)
+        assert not es.update(0.8)
+        assert not es.update(0.8)
+        assert not es.update(0.8)
+        assert es.update(0.8)
+
+    def test_improvement_resets(self):
+        es = EarlyStopping(patience=2, min_delta=0.0)
+        es.update(0.5)
+        es.update(0.4)
+        assert not es.update(0.6)  # improvement
+        assert not es.update(0.5)
+        assert es.update(0.5)
+
+    def test_min_delta(self):
+        es = EarlyStopping(patience=1, min_delta=0.1)
+        es.update(0.5)
+        assert es.update(0.55)  # not enough improvement
+
+
+class TestHelpers:
+    def test_predict_classes_batched(self):
+        x, y = make_blobs(300)
+        model = make_mlp()
+        preds = predict_classes(model, x, batch_size=64)
+        assert preds.shape == (300,)
+
+    def test_predict_preserves_mode(self):
+        x, _ = make_blobs(10)
+        model = make_mlp()
+        model.train()
+        predict_classes(model, x)
+        assert model.training
+
+    def test_evaluate_accuracy_empty_raises(self):
+        model = make_mlp()
+        with pytest.raises(ValueError, match="empty"):
+            evaluate_accuracy(model, np.empty((0, 2), dtype=np.float32), np.empty(0))
+
+    def test_history_best_val(self):
+        h = History(val_accuracy=[0.1, 0.8, 0.5])
+        assert h.best_val_accuracy() == 0.8
+        assert History().best_val_accuracy() == 0.0

@@ -1,0 +1,113 @@
+"""Cross-cutting hypothesis property tests.
+
+Invariants that span modules and did not fit the per-module files:
+balancing conservation, augmentation range/grid safety, threshold
+monotonicity, pipeline-timing consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.augmentation import Augmenter
+from repro.data.balancing import balance_by_subsampling, class_distribution
+from repro.hw.thresholding import apply_thresholds, fold_popcount_domain
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    counts=st.lists(st.integers(2, 40), min_size=4, max_size=4),
+    seed=st.integers(0, 1000),
+)
+def test_balancing_conserves_sample_identity(counts, seed):
+    """Property: every balanced sample is an original sample with its
+    original label (subsampling never relabels or fabricates)."""
+    labels = np.concatenate([np.full(n, c) for c, n in enumerate(counts)])
+    # Encode identity in the image payload.
+    images = np.arange(len(labels), dtype=np.float32).reshape(-1, 1, 1, 1)
+    images = np.broadcast_to(images, (len(labels), 2, 2, 3)).copy()
+    xb, yb = balance_by_subsampling(images, labels, rng=seed)
+    assert set(class_distribution(yb).values()) == {min(counts)}
+    ids = xb[:, 0, 0, 0].astype(int)
+    assert len(set(ids)) == len(ids)  # sampling without replacement
+    np.testing.assert_array_equal(labels[ids], yb)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_augmenter_output_always_valid(seed):
+    """Property: any augmentation combination yields a valid image —
+    in range, on the uint8 grid, same shape and dtype."""
+    rng = np.random.default_rng(seed)
+    img = (rng.integers(0, 256, (16, 16, 3)) / 255.0).astype(np.float32)
+    out = Augmenter()(img, rng=seed)
+    assert out.shape == img.shape
+    assert out.dtype == np.float32
+    assert out.min() >= 0.0 and out.max() <= 1.0
+    scaled = out * 255.0
+    np.testing.assert_allclose(scaled, np.rint(scaled), atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    fan_in=st.integers(2, 300),
+)
+def test_threshold_output_monotone_in_accumulator(seed, fan_in):
+    """Property: per channel, the thresholded bit is monotone in the
+    popcount (non-decreasing for un-flipped channels, non-increasing for
+    flipped ones) — the defining structure of a threshold unit."""
+    rng = np.random.default_rng(seed)
+    channels = 6
+    spec = fold_popcount_domain(
+        rng.uniform(-2, 2, channels), rng.normal(0, 4, channels), fan_in
+    )
+    p = np.arange(fan_in + 1)[:, None].repeat(channels, axis=1)
+    bits = apply_thresholds(p, spec).astype(np.int8)
+    diffs = np.diff(bits, axis=0)
+    for c in range(channels):
+        if spec.flipped[c]:
+            assert (diffs[:, c] <= 0).all()
+        else:
+            assert (diffs[:, c] >= 0).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    pe1=st.sampled_from([1, 2, 4, 8]),
+    simd1=st.sampled_from([1, 3]),
+    seed=st.integers(0, 100),
+)
+def test_faster_folding_never_slower(pe1, simd1, seed):
+    """Property: increasing a layer's PE/SIMD never lowers throughput
+    (monotone resource-performance trade-off of the folding model)."""
+    from repro.hw.compiler import FoldingConfig, compile_model
+    from repro.hw.pipeline import analyze_pipeline
+    from repro.testing import make_tiny_bnn, randomize_bn_stats
+
+    model = make_tiny_bnn(seed=seed)
+    randomize_bn_stats(model, seed=seed)
+    model.eval()
+    base = FoldingConfig(pe=(pe1, 1, 1, 1), simd=(simd1, 1, 1, 1))
+    bigger = FoldingConfig(pe=(pe1, 2, 2, 2), simd=(simd1, 2, 2, 2))
+    fps_base = analyze_pipeline(compile_model(model, base)).fps_analytic
+    fps_big = analyze_pipeline(compile_model(model, bigger)).fps_analytic
+    assert fps_big >= fps_base - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 30))
+def test_stream_simulation_rate_bounded_by_analytic(seed, n):
+    """Property: no finite stream beats the analytic steady-state rate."""
+    from repro.hw.compiler import FoldingConfig, compile_model
+    from repro.hw.pipeline import analyze_pipeline, simulate_stream
+    from repro.testing import make_tiny_bnn, randomize_bn_stats
+
+    model = make_tiny_bnn(seed=seed % 7)
+    randomize_bn_stats(model, seed=seed % 7)
+    model.eval()
+    acc = compile_model(model, FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1)))
+    timing = analyze_pipeline(acc)
+    sim = simulate_stream(acc, num_images=n)
+    assert float(sim["fps"]) <= timing.fps_analytic + 1e-6

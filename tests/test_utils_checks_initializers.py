@@ -1,0 +1,129 @@
+"""Tests for tensor validation helpers and weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+from repro.utils.tensor_checks import (
+    as_pair,
+    require_binary,
+    require_dtype,
+    require_ndim,
+    require_shape,
+)
+
+
+class TestRequireNdim:
+    def test_accepts(self):
+        x = np.zeros((2, 3))
+        assert require_ndim(x, 2) is x
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="must be 3-D"):
+            require_ndim(np.zeros((2, 3)), 3, name="acts")
+
+
+class TestRequireShape:
+    def test_wildcards(self):
+        x = np.zeros((4, 8, 3))
+        assert require_shape(x, (None, 8, None)) is x
+
+    def test_axis_mismatch_message(self):
+        with pytest.raises(ValueError, match="axis 1 must be 9"):
+            require_shape(np.zeros((4, 8)), (4, 9))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="2-D"):
+            require_shape(np.zeros(3), (None, None))
+
+
+class TestRequireDtype:
+    def test_accepts_family(self):
+        x = np.zeros(3, dtype=np.float32)
+        assert require_dtype(x, [np.floating]) is x
+
+    def test_rejects(self):
+        with pytest.raises(TypeError, match="dtype"):
+            require_dtype(np.zeros(3, dtype=np.int32), [np.floating])
+
+
+class TestRequireBinary:
+    def test_accepts_bipolar(self):
+        x = np.array([1.0, -1.0, 1.0])
+        assert require_binary(x) is x
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="only -1"):
+            require_binary(np.array([1.0, 0.0]))
+
+    def test_reports_offender_count(self):
+        with pytest.raises(ValueError, match="2 offending"):
+            require_binary(np.array([0.5, 1.0, 0.5]))
+
+
+class TestAsPair:
+    def test_int(self):
+        assert as_pair(3) == (3, 3)
+
+    def test_sequence(self):
+        assert as_pair((2, 5)) == (2, 5)
+        assert as_pair([4, 1]) == (4, 1)
+
+    def test_numpy_int(self):
+        assert as_pair(np.int64(7)) == (7, 7)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="pair"):
+            as_pair((1, 2, 3))
+
+    def test_rejects_non_iterable(self):
+        with pytest.raises(ValueError, match="pair"):
+            as_pair(object())
+
+
+class TestInitializers:
+    def test_glorot_limits(self):
+        w = initializers.glorot_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit + 1e-6
+        assert w.dtype == np.float32
+
+    def test_glorot_conv_fans(self):
+        w = initializers.glorot_uniform((3, 3, 16, 32), rng=0)
+        limit = np.sqrt(6.0 / (9 * 16 + 9 * 32))
+        assert np.abs(w).max() <= limit + 1e-6
+
+    def test_he_std(self):
+        w = initializers.he_normal((1000, 10), rng=0)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 0.005
+
+    def test_uniform_range(self):
+        w = initializers.uniform((100,), rng=0, low=-0.2, high=0.2)
+        assert w.min() >= -0.2 and w.max() < 0.2
+
+    def test_zeros_ones(self):
+        np.testing.assert_array_equal(initializers.zeros((2, 2)), 0.0)
+        np.testing.assert_array_equal(initializers.ones((2, 2)), 1.0)
+
+    def test_deterministic(self):
+        a = initializers.glorot_uniform((5, 5), rng=42)
+        b = initializers.glorot_uniform((5, 5), rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_shape_for_fans(self):
+        with pytest.raises(ValueError, match="fans"):
+            initializers.glorot_uniform((3,), rng=0)
+
+    def test_registry(self):
+        assert initializers.get("he_normal") is initializers.he_normal
+        assert initializers.get(initializers.zeros) is initializers.zeros
+        with pytest.raises(ValueError, match="unknown initializer"):
+            initializers.get("kaiming")
+
+    def test_latent_weights_start_inside_ste_window(self):
+        """Glorot init keeps latent binary weights within [-1, 1] for all
+        the paper's layer sizes, so no weight starts frozen by the
+        clipped STE."""
+        for shape in ((3, 3, 3, 64), (3, 3, 256, 256), (512, 512), (27, 4)):
+            w = initializers.glorot_uniform(shape, rng=1)
+            assert np.abs(w).max() < 1.0, shape
