@@ -13,7 +13,10 @@ paper relies on:
   (XNOR+popcount MVTUs, threshold folding, OR-pooling, cycle/resource/
   power models calibrated to the paper's Table II and §IV-B);
 * :mod:`repro.core` — BinaryCoP itself: the CNV/n-CNV/µ-CNV prototypes,
-  training, Grad-CAM interpretability and deployment scenarios.
+  training, Grad-CAM interpretability and deployment scenarios;
+* :mod:`repro.serving` — a dynamically-batched, backpressured inference
+  server multiplexing gate-camera traffic over the software and
+  accelerator backends (``repro serve`` on the CLI).
 
 Quickstart::
 
@@ -55,6 +58,7 @@ from repro.hw import (
     compile_model,
     estimate_resources,
 )
+from repro.serving import InferenceServer, ServingConfig
 
 __version__ = "1.0.0"
 

@@ -7,7 +7,11 @@ Wraps the library's main workflows for shell users:
 * ``deploy``   — compile a checkpoint and print the full hardware
   profile (timing, resources, buffers, power, device fit);
 * ``report``   — the complete markdown reproduction report;
-* ``info``     — architecture catalog (Table I facts).
+* ``info``     — architecture catalog (Table I facts);
+* ``serve``    — run the dynamic-batching inference server against a
+  synthetic open-loop gate-camera arrival process;
+* ``serve-bench`` — sweep offered load through the server and tabulate
+  throughput, latency percentiles and shed/rejected counts.
 """
 
 from __future__ import annotations
@@ -67,6 +71,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="architecture catalog (Table I)")
     p_info.add_argument("--arch", default=None, choices=BINARY_ARCHS)
+
+    def add_serving_args(p) -> None:
+        p.add_argument("--model", type=Path, required=True,
+                       help="trained checkpoint (.npz)")
+        p.add_argument("--backend", default="software",
+                       choices=("software", "accelerator", "both"),
+                       help="primary backend; 'both' adds the accelerator "
+                            "simulator as fallback")
+        p.add_argument("--max-batch", type=int, default=32)
+        p.add_argument("--max-wait-ms", type=float, default=5.0)
+        p.add_argument("--queue-capacity", type=int, default=256)
+        p.add_argument("--workers", type=int, default=2)
+        p.add_argument("--timeout-ms", type=float, default=None,
+                       help="per-request deadline (default: none)")
+        p.add_argument("--tile-pool", type=int, default=24,
+                       help="pre-rendered gate-camera face tiles to replay")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve", help="dynamic-batching server on synthetic gate traffic"
+    )
+    add_serving_args(p_serve)
+    p_serve.add_argument("--rate", type=float, default=200.0,
+                         help="offered load, requests/second")
+    p_serve.add_argument("--duration", type=float, default=2.0,
+                         help="seconds of open-loop traffic")
+    p_serve.add_argument("--report-every", type=float, default=1.0,
+                         help="periodic stats interval (0 disables)")
+
+    p_sbench = sub.add_parser(
+        "serve-bench", help="offered-load sweep through the server"
+    )
+    add_serving_args(p_sbench)
+    p_sbench.add_argument("--rates", type=float, nargs="+",
+                          default=[100.0, 400.0, 1600.0])
+    p_sbench.add_argument("--duration", type=float, default=2.0,
+                          help="seconds of traffic per rate")
     return parser
 
 
@@ -148,12 +189,112 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _build_server(args):
+    """Shared serve/serve-bench setup: checkpoint -> backends -> server."""
+    from repro.serving import (
+        AcceleratorBackend,
+        ClassifierBackend,
+        InferenceServer,
+        ServingConfig,
+    )
+
+    clf = BinaryCoP.load(args.model)
+    print(f"loaded {clf.architecture} from {args.model}")
+    backends = []
+    if args.backend in ("software", "both"):
+        backends.append(ClassifierBackend(clf))
+    if args.backend in ("accelerator", "both"):
+        backends.append(AcceleratorBackend(clf.deploy()))
+    config = ServingConfig(
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        num_workers=args.workers,
+        default_timeout_s=(
+            None if args.timeout_ms is None else args.timeout_ms / 1e3
+        ),
+    )
+    names = " -> ".join(
+        f"{b.name} (x{b.max_concurrency})" for b in backends
+    )
+    print(f"backends: {names}")
+    return InferenceServer(backends, config)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import StatsReporter, face_tile_pool, run_open_loop
+
+    server = _build_server(args)
+    print(f"rendering {args.tile_pool} gate-camera tiles ...")
+    tiles = face_tile_pool(args.tile_pool, rng=args.seed)
+    reporter = None
+    with server:
+        if args.report_every > 0:
+            reporter = server.reporter(interval_s=args.report_every).start()
+        print(
+            f"offering {args.rate:,.0f} req/s for {args.duration:.1f}s "
+            f"(open loop) ..."
+        )
+        result = run_open_loop(
+            server, tiles, rate_hz=args.rate, duration_s=args.duration,
+            rng=args.seed + 1,
+        )
+        if reporter is not None:
+            reporter.stop()
+        print(result.report())
+        print(server.stats().report())
+    return 0 if result.completed else 1
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.serving import face_tile_pool, run_open_loop
+    from repro.utils.tables import render_table
+
+    server_factory = lambda: _build_server(args)  # noqa: E731
+    print(f"rendering {args.tile_pool} gate-camera tiles ...")
+    tiles = face_tile_pool(args.tile_pool, rng=args.seed)
+    rows = []
+    for rate in args.rates:
+        server = server_factory()
+        with server:
+            result = run_open_loop(
+                server, tiles, rate_hz=rate, duration_s=args.duration,
+                rng=args.seed + 1,
+            )
+            stats = server.stats()
+        p50 = result.latency_percentile(50) * 1e3 if result.latencies_s else float("nan")
+        p95 = result.latency_percentile(95) * 1e3 if result.latencies_s else float("nan")
+        p99 = result.latency_percentile(99) * 1e3 if result.latencies_s else float("nan")
+        rows.append(
+            [
+                f"{rate:,.0f}",
+                f"{result.offered}",
+                f"{result.achieved_qps:,.0f}",
+                f"{p50:.1f}/{p95:.1f}/{p99:.1f}",
+                f"{stats.mean_batch_size:.1f}",
+                f"{result.rejected + result.shed}",
+                f"{result.timed_out}",
+            ]
+        )
+    print(
+        render_table(
+            ["offered/s", "requests", "QPS", "p50/p95/p99 ms",
+             "mean batch", "rejected+shed", "timed out"],
+            rows,
+            title="serve-bench: offered load sweep",
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "deploy": _cmd_deploy,
     "report": _cmd_report,
     "info": _cmd_info,
+    "serve": _cmd_serve,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -157,11 +157,16 @@ class BinaryCoP:
         return self.history
 
     # -- inference -----------------------------------------------------------
-    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Argmax class predictions (software float path)."""
+    def predict(self, images: np.ndarray, chunk_size: int = 256) -> np.ndarray:
+        """Argmax class predictions (software float path).
+
+        Arbitrary-size inputs are evaluated in chunks of ``chunk_size``
+        images so a huge batch (e.g. coalesced by the serving layer)
+        cannot blow up memory in one forward pass.
+        """
         if images.ndim == 3:
             images = images[None]
-        return predict_classes(self.model, images, batch_size)
+        return predict_classes(self.model, images, chunk_size)
 
     def evaluate(self, dataset: Dataset) -> Dict[str, float]:
         """Accuracy + per-class recall on a dataset split."""

@@ -138,14 +138,38 @@ class FinnAccelerator:
             raise ValueError("float input must be in [0, 1]")
         return np.rint(images.astype(np.float64) * INPUT_SCALE).astype(np.int64)
 
-    def execute(self, images: np.ndarray, return_bits: bool = False):
+    def execute(
+        self,
+        images: np.ndarray,
+        return_bits: bool = False,
+        chunk_size: Optional[int] = None,
+    ):
         """Run the integer datapath; returns integer logits ``(N, classes)``.
 
         With ``return_bits`` additionally returns the per-stage binary
         activation maps (for equivalence tests and debugging).
+
+        ``chunk_size`` bounds how many images flow through the datapath
+        at once: the SWU materialises every sliding window, so an
+        unbounded batch (e.g. one coalesced by the serving layer)
+        multiplies memory by ~K*K per conv stage. Chunking is
+        incompatible with ``return_bits`` (the per-stage traces would
+        need re-stitching across chunks).
         """
         if images.ndim == 3:
             images = images[None]
+        if chunk_size is not None:
+            if chunk_size <= 0:
+                raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+            if return_bits:
+                raise ValueError("chunk_size cannot be combined with return_bits")
+            if images.shape[0] > chunk_size:
+                return np.concatenate(
+                    [
+                        self.execute(images[start : start + chunk_size])
+                        for start in range(0, images.shape[0], chunk_size)
+                    ]
+                )
         if images.shape[1:] != self.input_shape:
             raise ValueError(
                 f"input {images.shape[1:]} does not match accelerator "
@@ -185,9 +209,11 @@ class FinnAccelerator:
             return logits, bits_trace
         return logits
 
-    def predict(self, images: np.ndarray) -> np.ndarray:
-        """Argmax classification over the integer logits."""
-        return self.execute(images).argmax(axis=1)
+    def predict(
+        self, images: np.ndarray, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Argmax classification over the integer logits (chunked on demand)."""
+        return self.execute(images, chunk_size=chunk_size).argmax(axis=1)
 
     # -- reporting -----------------------------------------------------------
     def stage_intervals(self) -> List[Tuple[str, int]]:

@@ -76,6 +76,26 @@ class PipelineTiming:
     def latency_us(self) -> float:
         return self.latency_cycles / self.clock_mhz
 
+    def batch_seconds(self, batch_size: int, calibrated: bool = True) -> float:
+        """Modelled wall time to classify a batch of ``batch_size`` images.
+
+        Streaming dataflow amortises the pipeline fill: the batch costs
+        one fill (``latency_cycles``) plus one pipeline interval per
+        additional image. This is the service-time model the serving
+        layer's accelerator backend uses to translate a micro-batch into
+        hardware-equivalent time; ``calibrated`` divides by the measured
+        efficiency so the number matches board-like rates.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        cycles = self.latency_cycles + (batch_size - 1) * self.pipeline_interval
+        seconds = cycles / (self.clock_mhz * 1e6)
+        return seconds / self.efficiency if calibrated else seconds
+
+    def batch_fps(self, batch_size: int, calibrated: bool = True) -> float:
+        """Effective FPS for micro-batches of ``batch_size`` (fill amortised)."""
+        return batch_size / self.batch_seconds(batch_size, calibrated=calibrated)
+
     def report(self) -> str:
         """Per-stage II table plus the throughput summary."""
         lines = [f"pipeline {self.name} @ {self.clock_mhz:.0f} MHz"]

@@ -62,15 +62,22 @@ class EarlyStopping:
 
 
 def predict_classes(
-    model: Sequential, x: np.ndarray, batch_size: int = 256
+    model: Sequential, x: np.ndarray, chunk_size: int = 256
 ) -> np.ndarray:
-    """Argmax class prediction in inference mode, batched to bound memory."""
+    """Argmax class prediction in inference mode, chunked to bound memory.
+
+    ``chunk_size`` caps how many images enter one forward pass: the
+    im2col expansion of a conv layer is ~K*K times the input, so an
+    unbounded batch from e.g. the serving layer could exhaust memory.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     was_training = model.training
     model.eval()
     try:
         preds = []
-        for start in range(0, len(x), batch_size):
-            logits = model.forward(x[start : start + batch_size])
+        for start in range(0, len(x), chunk_size):
+            logits = model.forward(x[start : start + chunk_size])
             preds.append(logits.argmax(axis=1))
         return np.concatenate(preds) if preds else np.empty(0, dtype=np.intp)
     finally:

@@ -1,0 +1,63 @@
+"""``repro.serving`` — dynamically-batched, backpressured inference serving.
+
+The request path the paper's deployment scenarios imply but never
+specify: gate cameras submit single face tiles, a bounded admission
+queue applies explicit backpressure (reject-with-reason, priority
+shedding under overload), a micro-batcher coalesces traffic up to
+``max_batch_size`` or ``max_wait_ms`` — whichever comes first — and a
+worker pool executes batches on pluggable backends (the numpy
+``BinaryCoP`` path, the bit-packed XNOR ``FinnAccelerator`` simulator)
+with per-backend concurrency derived from the Table I folding. Every
+outcome — completion, rejection, shed, timeout, failure — is explicit
+and counted by the metrics registry.
+
+Entry points: :class:`InferenceServer` (Python API), ``repro serve`` /
+``repro serve-bench`` (CLI), :mod:`repro.serving.loadgen` (synthetic
+open-loop traffic for demos and benchmarks).
+"""
+
+from repro.serving.admission import Admission, AdmissionQueue
+from repro.serving.backends import (
+    AcceleratorBackend,
+    ClassifierBackend,
+    InferenceBackend,
+    folding_concurrency,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.loadgen import OpenLoopReport, face_tile_pool, run_open_loop
+from repro.serving.metrics import MetricsRegistry, ServerStats, StatsReporter
+from repro.serving.request import (
+    InferenceRequest,
+    RejectionReason,
+    RequestNotCompleted,
+    RequestStatus,
+    ResultHandle,
+    ServingError,
+)
+from repro.serving.server import InferenceServer, ServingConfig
+from repro.serving.workers import WorkerPool
+
+__all__ = [
+    "Admission",
+    "AdmissionQueue",
+    "AcceleratorBackend",
+    "ClassifierBackend",
+    "InferenceBackend",
+    "folding_concurrency",
+    "MicroBatcher",
+    "OpenLoopReport",
+    "face_tile_pool",
+    "run_open_loop",
+    "MetricsRegistry",
+    "ServerStats",
+    "StatsReporter",
+    "InferenceRequest",
+    "RejectionReason",
+    "RequestNotCompleted",
+    "RequestStatus",
+    "ResultHandle",
+    "ServingError",
+    "InferenceServer",
+    "ServingConfig",
+    "WorkerPool",
+]

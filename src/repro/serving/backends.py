@@ -1,0 +1,153 @@
+"""Pluggable inference backends behind one protocol.
+
+A backend is anything that turns a stacked image batch into class
+labels. The worker pool treats backends as an ordered list — the first
+is primary, the rest are fallbacks — and respects each backend's
+``max_concurrency`` (how many micro-batches may run on it at once).
+
+Two concrete backends ship:
+
+* :class:`ClassifierBackend` — the numpy float path of
+  :class:`~repro.core.classifier.BinaryCoP` (chunked prediction keeps
+  memory bounded for coalesced batches);
+* :class:`AcceleratorBackend` — the bit-packed XNOR integer datapath of
+  a compiled :class:`~repro.hw.compiler.FinnAccelerator`, which also
+  reports the *hardware-modelled* batch time from the pipeline cycle
+  model so serving stats can be read against board-like rates.
+
+Concurrency limits derive from the Table I folding dimensioning via
+:func:`folding_concurrency`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.hw.compiler import FinnAccelerator, FoldingConfig
+from repro.hw.pipeline import analyze_pipeline
+
+__all__ = [
+    "InferenceBackend",
+    "ClassifierBackend",
+    "AcceleratorBackend",
+    "folding_concurrency",
+]
+
+
+@runtime_checkable
+class InferenceBackend(Protocol):
+    """What the worker pool requires of a backend."""
+
+    name: str
+    max_concurrency: int
+
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        """Class labels ``(N,)`` for a stacked image batch ``(N, H, W, C)``."""
+        ...
+
+
+def folding_concurrency(folding: FoldingConfig, cap: int = 4) -> int:
+    """Worker concurrency implied by a Table I folding dimensioning.
+
+    A folding with ``D`` MVTUs describes a ``D``-deep streaming pipeline
+    — up to ``D`` images genuinely in flight on the board. The software
+    simulator cannot pipeline stages across threads (they contend for
+    the same BLAS/popcount kernels instead), so we admit roughly one
+    concurrent micro-batch per three pipeline stages, capped: n-CNV's
+    9-MVTU folding yields 3, µ-CNV's 8 yields 2, a 4-stage toy yields 1.
+    """
+    if cap <= 0:
+        raise ValueError(f"cap must be positive, got {cap}")
+    return max(1, min(cap, len(folding) // 3))
+
+
+class ClassifierBackend:
+    """The software float path of a trained ``BinaryCoP`` (or look-alike).
+
+    ``classifier`` needs ``predict(images, chunk_size=...) -> labels``;
+    ``chunk_size`` bounds the per-forward-pass memory of a coalesced
+    batch (the serving worker relies on this).
+    """
+
+    def __init__(
+        self,
+        classifier,
+        name: Optional[str] = None,
+        chunk_size: int = 256,
+        max_concurrency: Optional[int] = None,
+    ) -> None:
+        if not hasattr(classifier, "predict"):
+            raise TypeError("classifier must expose predict(images, chunk_size=...)")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.classifier = classifier
+        self.chunk_size = int(chunk_size)
+        arch = getattr(classifier, "architecture", None)
+        self.name = name or (f"software:{arch}" if arch else "software")
+        if max_concurrency is None:
+            max_concurrency = self._derive_concurrency()
+        if max_concurrency <= 0:
+            raise ValueError(
+                f"max_concurrency must be positive, got {max_concurrency}"
+            )
+        self.max_concurrency = int(max_concurrency)
+
+    def _derive_concurrency(self) -> int:
+        """Table I dimensioning of the classifier's architecture, if any."""
+        arch = getattr(self.classifier, "architecture", None)
+        if arch is not None:
+            try:
+                from repro.core.architectures import table1_folding
+
+                return folding_concurrency(table1_folding(arch))
+            except ValueError:
+                pass  # e.g. the fp32 baseline has no Table I folding
+        return 1
+
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            self.classifier.predict(images, chunk_size=self.chunk_size)
+        )
+
+
+class AcceleratorBackend:
+    """The compiled integer datapath (bit-packed XNOR simulation).
+
+    Besides functional inference, exposes :meth:`modelled_batch_seconds`
+    — what the same micro-batch would cost on the board according to the
+    calibrated pipeline cycle model — so benchmarks can contrast
+    simulator wall time with hardware-equivalent time.
+    """
+
+    def __init__(
+        self,
+        accelerator: FinnAccelerator,
+        name: Optional[str] = None,
+        chunk_size: int = 64,
+        max_concurrency: Optional[int] = None,
+        clock_mhz: float = 100.0,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.accelerator = accelerator
+        self.chunk_size = int(chunk_size)
+        self.name = name or f"accelerator:{accelerator.name}"
+        self.timing = analyze_pipeline(accelerator, clock_mhz)
+        if max_concurrency is None:
+            max_concurrency = folding_concurrency(accelerator.folding())
+        if max_concurrency <= 0:
+            raise ValueError(
+                f"max_concurrency must be positive, got {max_concurrency}"
+            )
+        self.max_concurrency = int(max_concurrency)
+
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            self.accelerator.predict(images, chunk_size=self.chunk_size)
+        )
+
+    def modelled_batch_seconds(self, batch_size: int) -> float:
+        """Hardware-modelled (calibrated) time for one micro-batch."""
+        return self.timing.batch_seconds(batch_size)

@@ -1,0 +1,180 @@
+"""Synthetic open-loop traffic for serving demos and benchmarks.
+
+Open-loop means arrivals follow their own clock — a Poisson process at
+``rate_hz`` — regardless of how the server is coping; this is the
+arrival model that actually stresses admission control (a closed loop
+self-throttles and can never overflow the queue). The images are
+gate-camera face crops from :mod:`repro.data.stream`: each pool entry is
+the trigger frame of one synthetic subject approaching the speed gate.
+
+Everything is deterministic from an ``RngLike`` seed via
+:mod:`repro.utils.rng`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.stream import GateTrigger, render_approach_sequence
+from repro.serving.request import RequestStatus
+from repro.serving.server import InferenceServer
+from repro.utils.rng import RngLike, as_generator
+
+__all__ = ["face_tile_pool", "OpenLoopReport", "run_open_loop"]
+
+
+def face_tile_pool(
+    n_tiles: int = 32,
+    rng: RngLike = 0,
+    frame_size: int = 32,
+    labels_out: Optional[List[int]] = None,
+) -> np.ndarray:
+    """Pre-render ``n_tiles`` gate-camera face crops to replay as traffic.
+
+    Rendering approach sequences is far slower than classifying them, so
+    load generation renders a pool up front and samples from it at
+    submit time. Each tile is the first trigger frame of one subject's
+    approach (falling back to the closest frame when the trigger never
+    fires). ``labels_out``, if given, receives the ground-truth wear
+    class of each tile.
+    """
+    if n_tiles <= 0:
+        raise ValueError(f"n_tiles must be positive, got {n_tiles}")
+    gen = as_generator(rng)
+    trigger = GateTrigger()
+    tiles = []
+    for _ in range(n_tiles):
+        sequence = render_approach_sequence(gen, frame_size=frame_size)
+        frame = trigger.first_trigger(sequence) or sequence.frames[-1]
+        tiles.append(frame.face_crop(out_size=frame_size))
+        if labels_out is not None:
+            labels_out.append(int(sequence.label))
+    return np.stack(tiles)
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome tally of one open-loop run against a server."""
+
+    offered: int
+    duration_s: float
+    rate_hz: float
+    outcomes: Dict[str, int]  # RequestStatus value -> count
+    latencies_s: List[float] = field(default_factory=list)  # completed only
+    labels: List[Optional[int]] = field(default_factory=list)  # per request
+
+    @property
+    def completed(self) -> int:
+        return self.outcomes.get(RequestStatus.COMPLETED.value, 0)
+
+    @property
+    def rejected(self) -> int:
+        return self.outcomes.get(RequestStatus.REJECTED.value, 0)
+
+    @property
+    def shed(self) -> int:
+        return self.outcomes.get(RequestStatus.SHED.value, 0)
+
+    @property
+    def timed_out(self) -> int:
+        return self.outcomes.get(RequestStatus.TIMED_OUT.value, 0)
+
+    @property
+    def achieved_qps(self) -> float:
+        """Completions per second of offered-load wall time."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        return self.offered / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Completed-request latency percentile, in seconds."""
+        if not self.latencies_s:
+            raise ValueError("no completed requests to take percentiles over")
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def report(self) -> str:
+        parts = [
+            f"offered {self.offered} req in {self.duration_s:.2f}s "
+            f"({self.offered_qps:,.0f}/s) -> {self.achieved_qps:,.0f} QPS served"
+        ]
+        parts.append(
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.outcomes.items()))
+        )
+        if self.latencies_s:
+            parts.append(
+                "latency ms: "
+                + ", ".join(
+                    f"p{q}={self.latency_percentile(q) * 1e3:.2f}"
+                    for q in (50, 95, 99)
+                )
+            )
+        return "\n".join(parts)
+
+
+def run_open_loop(
+    server: InferenceServer,
+    tiles: np.ndarray,
+    rate_hz: float,
+    duration_s: float,
+    rng: RngLike = 0,
+    priorities: Sequence[int] = (0,),
+    timeout_s: Optional[float] = None,
+    resolve_grace_s: float = 30.0,
+) -> OpenLoopReport:
+    """Drive Poisson arrivals at ``rate_hz`` for ``duration_s`` seconds.
+
+    Submissions happen on the arrival clock whether or not the server
+    keeps up (that is the point — backpressure must answer, not the
+    caller's restraint). When the generator falls behind wall-clock
+    (e.g. extreme rates), pending arrivals are submitted immediately in
+    a burst. After the window closes every handle is awaited up to
+    ``resolve_grace_s`` so the report covers all offered requests.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if tiles.ndim != 4:
+        raise ValueError(f"tiles must be (N, H, W, C), got {tiles.shape}")
+    gen = as_generator(rng)
+    handles = []
+    start = time.monotonic()
+    next_arrival = start + float(gen.exponential(1.0 / rate_hz))
+    end = start + duration_s
+    while next_arrival < end:
+        delay = next_arrival - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        idx = int(gen.integers(0, len(tiles)))
+        priority = int(priorities[int(gen.integers(0, len(priorities)))])
+        handles.append(
+            server.submit(tiles[idx], priority=priority, timeout_s=timeout_s)
+        )
+        next_arrival += float(gen.exponential(1.0 / rate_hz))
+    elapsed = time.monotonic() - start
+
+    outcomes: Dict[str, int] = {}
+    latencies: List[float] = []
+    labels: List[Optional[int]] = []
+    deadline = time.monotonic() + resolve_grace_s
+    for handle in handles:
+        status = handle.wait(timeout=max(0.0, deadline - time.monotonic()))
+        outcomes[status.value] = outcomes.get(status.value, 0) + 1
+        labels.append(handle.label)
+        if status is RequestStatus.COMPLETED and handle.latency_s is not None:
+            latencies.append(handle.latency_s)
+    return OpenLoopReport(
+        offered=len(handles),
+        duration_s=elapsed,
+        rate_hz=float(rate_hz),
+        outcomes=outcomes,
+        latencies_s=latencies,
+        labels=labels,
+    )

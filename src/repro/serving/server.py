@@ -1,0 +1,289 @@
+"""The inference server: queue + micro-batcher + worker pool + metrics.
+
+:class:`InferenceServer` is the paper's deployment story turned into a
+request path: gate cameras (or any caller) submit single face tiles,
+admission control applies explicit backpressure, the micro-batcher
+coalesces traffic so the backend runs near its batched rate, and every
+outcome is observable through :meth:`InferenceServer.stats`.
+
+Typical use::
+
+    from repro.serving import InferenceServer, ServingConfig
+
+    server = InferenceServer.from_classifier(clf, ServingConfig(
+        max_batch_size=32, max_wait_ms=5.0, queue_capacity=256))
+    with server:                       # starts workers, stops on exit
+        handle = server.submit(image)  # never blocks; may be rejected
+        label = handle.result(timeout=1.0)
+        print(server.stats().report())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.serving.admission import AdmissionQueue
+from repro.serving.backends import (
+    AcceleratorBackend,
+    ClassifierBackend,
+    InferenceBackend,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import MetricsRegistry, ServerStats, StatsReporter
+from repro.serving.request import (
+    InferenceRequest,
+    RequestStatus,
+    ResultHandle,
+)
+from repro.serving.workers import WorkerPool
+
+__all__ = ["ServingConfig", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving layer (validated eagerly).
+
+    * ``max_batch_size`` / ``max_wait_ms`` — the micro-batcher's size and
+      deadline triggers: a lone request waits at most ``max_wait_ms``
+      before inference starts, bulk traffic is coalesced up to
+      ``max_batch_size``.
+    * ``queue_capacity`` — the admission bound; arrivals beyond it are
+      rejected (or shed lower-priority work when ``allow_shedding``).
+    * ``num_workers`` — batcher/backend driver threads.
+    * ``default_timeout_s`` — per-request deadline applied when
+      ``submit`` does not specify one (``None`` = no deadline).
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 5.0
+    queue_capacity: int = 256
+    num_workers: int = 2
+    default_timeout_s: Optional[float] = None
+    allow_shedding: bool = True
+    worker_poll_s: float = 0.02
+    metrics_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_capacity <= 0:
+            raise ValueError(
+                f"queue_capacity must be positive, got {self.queue_capacity}"
+            )
+        if self.num_workers <= 0:
+            raise ValueError(
+                f"num_workers must be positive, got {self.num_workers}"
+            )
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ValueError(
+                f"default_timeout_s must be positive, got {self.default_timeout_s}"
+            )
+        if self.worker_poll_s <= 0:
+            raise ValueError(
+                f"worker_poll_s must be positive, got {self.worker_poll_s}"
+            )
+        if self.metrics_window <= 0:
+            raise ValueError(
+                f"metrics_window must be positive, got {self.metrics_window}"
+            )
+
+
+class InferenceServer:
+    """Dynamically-batched, backpressured serving over pluggable backends.
+
+    ``backends`` is an ordered sequence — first is primary, the rest are
+    fallbacks for saturation or failure. Use :meth:`from_classifier` /
+    :meth:`from_accelerator` for the common single-model cases.
+    """
+
+    def __init__(
+        self,
+        backends: Union[InferenceBackend, Sequence[InferenceBackend]],
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        if isinstance(backends, (list, tuple)):
+            backend_list = list(backends)
+        else:
+            backend_list = [backends]
+        if not backend_list:
+            raise ValueError("server needs at least one backend")
+        self.config = config or ServingConfig()
+        self.metrics = MetricsRegistry(window=self.config.metrics_window)
+        self._queue = AdmissionQueue(
+            self.config.queue_capacity, allow_shedding=self.config.allow_shedding
+        )
+        self._batcher = MicroBatcher(
+            self._queue,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            on_timeout=lambda _req: self.metrics.increment("timed_out"),
+        )
+        self._workers = WorkerPool(
+            self._batcher,
+            backend_list,
+            self.metrics,
+            num_workers=self.config.num_workers,
+            poll_timeout_s=self.config.worker_poll_s,
+        )
+        self._started = False
+        self._stopped = False
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_classifier(
+        cls,
+        classifier,
+        config: Optional[ServingConfig] = None,
+        with_accelerator_fallback: bool = False,
+    ) -> "InferenceServer":
+        """Serve a ``BinaryCoP`` on its numpy path.
+
+        ``with_accelerator_fallback`` compiles the Table I accelerator
+        simulator as a second backend that absorbs spillover when the
+        software path is saturated (and covers its failures).
+        """
+        backends: List[InferenceBackend] = [ClassifierBackend(classifier)]
+        if with_accelerator_fallback:
+            backends.append(AcceleratorBackend(classifier.deploy()))
+        return cls(backends, config)
+
+    @classmethod
+    def from_accelerator(
+        cls, accelerator, config: Optional[ServingConfig] = None
+    ) -> "InferenceServer":
+        """Serve a compiled ``FinnAccelerator`` (bit-packed XNOR path)."""
+        return cls([AcceleratorBackend(accelerator)], config)
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopped
+
+    def start(self) -> "InferenceServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._workers.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop serving. With ``drain`` the queue is worked off first.
+
+        Any request still queued at the cutoff resolves as REJECTED
+        (SHUTTING_DOWN) — no handle is ever left dangling.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if drain and self._started:
+            deadline = time.monotonic() + timeout
+            while self._queue.depth() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        leftovers = self._queue.close()
+        for request in leftovers:
+            if request.resolve(
+                RequestStatus.REJECTED, detail="server shutting down"
+            ):
+                self.metrics.increment("rejected")
+        if self._started:
+            self._workers.stop(timeout=timeout)
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------------
+    def submit(
+        self,
+        image: np.ndarray,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> ResultHandle:
+        """Submit one ``(H, W, C)`` image; never blocks.
+
+        Backpressure is explicit: the returned handle is already
+        resolved as REJECTED (with a reason in ``handle.detail``) when
+        admission control refuses it — inspect ``handle.status`` or let
+        ``handle.result()`` raise. ``priority`` orders service (higher
+        first) and governs shedding under overload; ``timeout_s``
+        (default: config's ``default_timeout_s``) is the per-request
+        deadline after which a queued request is dropped as TIMED_OUT.
+        """
+        image = np.asarray(image)
+        request = InferenceRequest(
+            image,
+            priority=priority,
+            timeout_s=(
+                self.config.default_timeout_s if timeout_s is None else timeout_s
+            ),
+        )
+        self.metrics.increment("submitted")
+        admission = self._queue.offer(request)
+        if admission.shed is not None:
+            self.metrics.increment("shed")
+        if not admission.accepted:
+            request.resolve(
+                RequestStatus.REJECTED,
+                detail=f"admission refused: {admission.reason.value}",
+            )
+            self.metrics.increment("rejected")
+        return ResultHandle(request)
+
+    def predict(
+        self,
+        images: np.ndarray,
+        timeout: Optional[float] = 30.0,
+        priority: int = 0,
+    ) -> np.ndarray:
+        """Synchronous convenience: submit a batch, wait, return labels.
+
+        Submission is windowed to ``queue_capacity`` in-flight requests,
+        so a caller's batch can exceed the admission bound without
+        rejecting itself. Raises
+        :class:`~repro.serving.request.RequestNotCompleted` if any
+        request was rejected (e.g. by competing traffic), shed, timed
+        out or failed — use :meth:`submit` directly for graceful
+        handling.
+        """
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        labels: List[int] = []
+        window = self.config.queue_capacity
+        for start in range(0, len(images), window):
+            handles = [
+                self.submit(img, priority=priority)
+                for img in images[start : start + window]
+            ]
+            labels.extend(h.result(timeout=timeout) for h in handles)
+        return np.asarray(labels)
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """Snapshot of service statistics (see :class:`ServerStats`)."""
+        return self.metrics.snapshot(queue_depth=self._queue.depth())
+
+    def reporter(
+        self, interval_s: float = 1.0, sink=print
+    ) -> StatsReporter:
+        """A (not yet started) periodic stats reporter bound to this server."""
+        return StatsReporter(self.stats, interval_s=interval_s, sink=sink)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.depth()
+
+    @property
+    def backends(self) -> List[InferenceBackend]:
+        return list(self._workers.backends)

@@ -1,0 +1,182 @@
+"""Worker pool: micro-batches -> backends -> resolved requests.
+
+Each worker loops on the batcher, stacks the batch's images and runs
+them on the first backend with a free concurrency slot — backends are
+ordered, so the first is primary and the rest are fallbacks (tried on a
+saturated or *failing* primary). Per-backend
+:class:`threading.BoundedSemaphore` s enforce the concurrency limits the
+backends derive from their Table I folding.
+
+Every request the pool touches leaves in a terminal state: COMPLETED
+with a label, TIMED_OUT if its deadline fired in the queue, or FAILED
+carrying the last backend error if every backend raised.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.backends import InferenceBackend
+from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.request import InferenceRequest, RequestStatus
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """``num_workers`` threads pulling micro-batches and running backends."""
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        backends: Sequence[InferenceBackend],
+        metrics: MetricsRegistry,
+        num_workers: int = 2,
+        poll_timeout_s: float = 0.02,
+    ) -> None:
+        if not backends:
+            raise ValueError("worker pool needs at least one backend")
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        names = [b.name for b in backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"backend names must be unique, got {names}")
+        self.batcher = batcher
+        self.backends = list(backends)
+        self.metrics = metrics
+        self.num_workers = int(num_workers)
+        self.poll_timeout_s = float(poll_timeout_s)
+        self._slots: Dict[str, threading.BoundedSemaphore] = {
+            b.name: threading.BoundedSemaphore(b.max_concurrency)
+            for b in backends
+        }
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._threads) and not self._stop.is_set()
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        self._stop.clear()
+        for i in range(self.num_workers):
+            t = threading.Thread(
+                target=self._loop, name=f"serving-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Signal workers to exit after their current batch and join them."""
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
+
+    # -- the work ------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.batcher.next_batch(poll_timeout_s=self.poll_timeout_s)
+            if batch:
+                self._execute(batch)
+
+    def _acquire_backend(self):
+        """(backend, semaphore) — first with a free slot, else wait on primary.
+
+        Fallbacks only absorb work the primary cannot take *right now*;
+        an idle system always runs on the primary backend.
+        """
+        primary, primary_slot = self.backends[0], self._slots[self.backends[0].name]
+        if primary_slot.acquire(blocking=False):
+            return primary, primary_slot
+        for backend in self.backends[1:]:
+            slot = self._slots[backend.name]
+            if slot.acquire(blocking=False):
+                self.metrics.increment("spillovers")
+                return backend, slot
+        while not primary_slot.acquire(timeout=0.1):
+            if self._stop.is_set() and primary_slot.acquire(blocking=False):
+                break  # drain remaining work even while stopping
+        return primary, primary_slot
+
+    def _execute(self, batch: List[InferenceRequest]) -> None:
+        now_batch: List[InferenceRequest] = []
+        for request in batch:
+            # The deadline may have lapsed while the batch was held open
+            # for its max_wait window — enforce it up to the moment
+            # inference actually starts.
+            if request.expired():
+                if request.resolve(
+                    RequestStatus.TIMED_OUT,
+                    detail="deadline expired awaiting batch execution",
+                ):
+                    self.metrics.increment("timed_out")
+                continue
+            if request.begin():
+                self.metrics.observe_queue_wait(request.queue_wait_s)
+                now_batch.append(request)
+        if not now_batch:
+            return
+        images = np.stack([r.image for r in now_batch])
+        self.metrics.observe_batch(len(now_batch))
+
+        last_error: Optional[BaseException] = None
+        tried: List[str] = []
+        for attempt in range(len(self.backends)):
+            if attempt == 0:
+                backend, slot = self._acquire_backend()
+            else:
+                backend = next(
+                    (b for b in self.backends if b.name not in tried), None
+                )
+                if backend is None:
+                    break
+                slot = self._slots[backend.name]
+                slot.acquire()
+                self.metrics.increment("fallbacks")
+            tried.append(backend.name)
+            try:
+                with self.metrics.stopwatch.section(f"infer.{backend.name}"):
+                    labels = np.asarray(backend.infer(images))
+            except Exception as exc:  # noqa: BLE001 — fall back, then report
+                last_error = exc
+                self.metrics.increment("backend_errors")
+                continue
+            finally:
+                slot.release()
+            if labels.shape[0] != len(now_batch):
+                last_error = RuntimeError(
+                    f"backend {backend.name!r} returned {labels.shape[0]} "
+                    f"labels for a batch of {len(now_batch)}"
+                )
+                self.metrics.increment("backend_errors")
+                continue
+            self._complete(now_batch, labels, backend.name)
+            return
+        for request in now_batch:
+            if request.resolve(
+                RequestStatus.FAILED,
+                error=last_error,
+                detail=f"all backends failed ({', '.join(tried)}): {last_error}",
+            ):
+                self.metrics.increment("failed")
+
+    def _complete(
+        self, batch: List[InferenceRequest], labels: np.ndarray, backend_name: str
+    ) -> None:
+        for request, label in zip(batch, labels):
+            request.batch_size = len(batch)
+            request.backend_name = backend_name
+            if request.expired():
+                # Deadline fired mid-inference: still deliver the label,
+                # but count the lateness so operators can see it.
+                self.metrics.increment("late_completions")
+            if request.resolve(RequestStatus.COMPLETED, label=int(label)):
+                self.metrics.observe_completion(request.latency_s)

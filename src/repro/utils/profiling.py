@@ -6,6 +6,7 @@ helpers to report wall-clock and MAC-operation tallies in benchmarks.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -16,10 +17,20 @@ __all__ = ["Stopwatch", "OpCounter", "timed"]
 
 @dataclass
 class Stopwatch:
-    """Accumulating wall-clock timer keyed by section name."""
+    """Accumulating wall-clock timer keyed by section name.
+
+    Thread-safe: all mutation of ``totals``/``counts`` happens under an
+    internal lock, so one instance can be shared across worker threads
+    (the serving metrics registry does exactly that). Concurrent
+    ``section`` blocks accumulate independently — only the bookkeeping
+    is serialised, never the timed body.
+    """
 
     totals: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
@@ -28,23 +39,37 @@ class Stopwatch:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally-measured duration under ``name``."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        with self._lock:
+            self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
             self.counts[name] = self.counts.get(name, 0) + 1
 
     def mean(self, name: str) -> float:
         """Mean seconds per entry for section ``name``."""
-        if name not in self.totals:
-            raise KeyError(f"no timings recorded for {name!r}")
-        return self.totals[name] / self.counts[name]
+        with self._lock:
+            if name not in self.totals:
+                raise KeyError(f"no timings recorded for {name!r}")
+            return self.totals[name] / self.counts[name]
+
+    def snapshot(self) -> "tuple[Dict[str, float], Dict[str, int]]":
+        """Consistent ``(totals, counts)`` copies for lock-free reading."""
+        with self._lock:
+            return dict(self.totals), dict(self.counts)
 
     def report(self) -> str:
         """Human-readable multi-line summary, slowest first."""
+        totals, counts = self.snapshot()
         lines = []
-        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+        for name in sorted(totals, key=totals.get, reverse=True):
             lines.append(
-                f"{name:<32s} {self.totals[name]:10.4f}s "
-                f"({self.counts[name]} calls, {self.mean(name) * 1e3:9.3f} ms each)"
+                f"{name:<32s} {totals[name]:10.4f}s "
+                f"({counts[name]} calls, "
+                f"{totals[name] / counts[name] * 1e3:9.3f} ms each)"
             )
         return "\n".join(lines)
 

@@ -16,7 +16,17 @@ class TestParser:
         sub = next(
             a for a in parser._actions if hasattr(a, "choices") and a.choices
         )
-        assert {"train", "evaluate", "deploy", "report", "info"} <= set(sub.choices)
+        assert {
+            "train", "evaluate", "deploy", "report", "info",
+            "serve", "serve-bench",
+        } <= set(sub.choices)
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.backend == "software"
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 5.0
+        assert args.rate == 200.0
 
     def test_train_defaults(self):
         args = build_parser().parse_args(
@@ -79,6 +89,38 @@ class TestTrainEvaluateDeploy:
         assert "LUT=" in out
         assert "idle" in out
         assert "XC7Z020" in out
+
+    def test_serve(self, checkpoint, capsys):
+        code = main(
+            [
+                "serve",
+                "--model", str(checkpoint),
+                "--rate", "60",
+                "--duration", "0.4",
+                "--tile-pool", "4",
+                "--report-every", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offered" in out
+        assert "completed" in out
+        assert "backends: software:u-cnv" in out
+
+    def test_serve_bench(self, checkpoint, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--model", str(checkpoint),
+                "--rates", "50",
+                "--duration", "0.3",
+                "--tile-pool", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offered load sweep" in out
+        assert "mean batch" in out
 
     def test_deploy_rejects_fp32(self, tmp_path, capsys):
         from repro.core.classifier import BinaryCoP

@@ -142,8 +142,14 @@ class TestHelpers:
     def test_predict_classes_batched(self):
         x, y = make_blobs(300)
         model = make_mlp()
-        preds = predict_classes(model, x, batch_size=64)
+        preds = predict_classes(model, x, chunk_size=64)
         assert preds.shape == (300,)
+
+    def test_predict_classes_rejects_bad_chunk(self):
+        x, _ = make_blobs(10)
+        model = make_mlp()
+        with pytest.raises(ValueError, match="chunk_size"):
+            predict_classes(model, x, chunk_size=0)
 
     def test_predict_preserves_mode(self):
         x, _ = make_blobs(10)

@@ -1,0 +1,543 @@
+"""Tests for ``repro.serving``: queue, batcher, workers, server, metrics.
+
+Component tests run against stub backends (deterministic, no model), so
+coalescing/backpressure/timeout semantics are exercised without numpy
+inference noise; the end-to-end smoke test serves the session-scoped
+trained tiny classifier and checks served labels against direct
+``predict`` calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    AcceleratorBackend,
+    AdmissionQueue,
+    ClassifierBackend,
+    InferenceRequest,
+    InferenceServer,
+    MicroBatcher,
+    MetricsRegistry,
+    RejectionReason,
+    RequestNotCompleted,
+    RequestStatus,
+    ServingConfig,
+    WorkerPool,
+    face_tile_pool,
+    folding_concurrency,
+    run_open_loop,
+)
+from repro.core.architectures import table1_folding
+from repro.hw.compiler import FoldingConfig, compile_model
+from repro.testing import grid_images, make_tiny_bnn, randomize_bn_stats
+from repro.utils.profiling import Stopwatch
+
+pytestmark = pytest.mark.serving
+
+
+def make_request(value: float = 0.5, **kwargs) -> InferenceRequest:
+    return InferenceRequest(
+        np.full((4, 4, 3), value, dtype=np.float32), **kwargs
+    )
+
+
+class StubBackend:
+    """Deterministic backend: label = round(mean * 1000) % 4, optional delay."""
+
+    def __init__(self, name="stub", delay_s=0.0, fail=False, max_concurrency=2):
+        self.name = name
+        self.delay_s = delay_s
+        self.fail = fail
+        self.max_concurrency = max_concurrency
+        self.calls = 0
+        self.batch_sizes = []
+
+    def infer(self, images):
+        self.calls += 1
+        self.batch_sizes.append(len(images))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError("stub backend configured to fail")
+        return (np.round(images.mean(axis=(1, 2, 3)) * 1000).astype(int)) % 4
+
+
+# ---------------------------------------------------------------------------
+# admission queue
+# ---------------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_fifo_within_priority(self):
+        q = AdmissionQueue(capacity=8)
+        first, second = make_request(0.1), make_request(0.2)
+        assert q.offer(first) and q.offer(second)
+        assert q.pop(0.1) is first
+        assert q.pop(0.1) is second
+
+    def test_priority_order(self):
+        q = AdmissionQueue(capacity=8)
+        low, high = make_request(priority=0), make_request(priority=5)
+        q.offer(low)
+        q.offer(high)
+        assert q.pop(0.1) is high
+        assert q.pop(0.1) is low
+
+    def test_full_queue_rejects_with_reason(self):
+        q = AdmissionQueue(capacity=2)
+        assert q.offer(make_request())
+        assert q.offer(make_request())
+        admission = q.offer(make_request())
+        assert not admission.accepted
+        assert admission.reason is RejectionReason.QUEUE_FULL
+        assert q.depth() == 2  # hard bound holds
+
+    def test_overload_sheds_lowest_priority_first(self):
+        q = AdmissionQueue(capacity=2)
+        low = make_request(priority=0)
+        mid = make_request(priority=1)
+        q.offer(low)
+        q.offer(mid)
+        vip = make_request(priority=9)
+        admission = q.offer(vip)
+        assert admission.accepted
+        assert admission.shed is low
+        assert low.status is RequestStatus.SHED
+        assert "shed" in low.detail
+        assert q.depth() == 2
+
+    def test_equal_priority_never_shed(self):
+        q = AdmissionQueue(capacity=1)
+        q.offer(make_request(priority=3))
+        admission = q.offer(make_request(priority=3))
+        assert not admission.accepted
+        assert admission.reason is RejectionReason.QUEUE_FULL
+
+    def test_shedding_can_be_disabled(self):
+        q = AdmissionQueue(capacity=1, allow_shedding=False)
+        q.offer(make_request(priority=0))
+        assert not q.offer(make_request(priority=9)).accepted
+
+    def test_close_returns_leftovers_and_rejects_new(self):
+        q = AdmissionQueue(capacity=4)
+        r = make_request()
+        q.offer(r)
+        leftovers = q.close()
+        assert leftovers == [r]
+        assert q.offer(make_request()).reason is RejectionReason.SHUTTING_DOWN
+        assert q.pop(0.01) is None
+
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionQueue(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# micro-batcher
+# ---------------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_size_trigger_returns_immediately(self):
+        q = AdmissionQueue(capacity=16)
+        batcher = MicroBatcher(q, max_batch_size=4, max_wait_ms=10_000)
+        for _ in range(6):
+            q.offer(make_request())
+        start = time.monotonic()
+        batch = batcher.next_batch()
+        elapsed = time.monotonic() - start
+        assert len(batch) == 4  # size trigger, not the huge wait
+        assert elapsed < 1.0
+        assert len(batcher.next_batch()) == 2  # deadline trigger drains rest
+
+    def test_deadline_trigger_bounds_lone_request(self):
+        q = AdmissionQueue(capacity=16)
+        batcher = MicroBatcher(q, max_batch_size=64, max_wait_ms=40.0)
+        q.offer(make_request())
+        start = time.monotonic()
+        batch = batcher.next_batch()
+        elapsed = time.monotonic() - start
+        assert len(batch) == 1
+        assert 0.035 <= elapsed < 0.5  # waited ~max_wait_ms, no longer
+
+    def test_idle_poll_returns_empty(self):
+        q = AdmissionQueue(capacity=4)
+        batcher = MicroBatcher(q, max_batch_size=4, max_wait_ms=5.0)
+        assert batcher.next_batch(poll_timeout_s=0.01) == []
+
+    def test_expired_requests_resolved_not_batched(self):
+        q = AdmissionQueue(capacity=4)
+        timeouts = []
+        batcher = MicroBatcher(
+            q, max_batch_size=4, max_wait_ms=5.0, on_timeout=timeouts.append
+        )
+        dead = make_request(timeout_s=0.01)
+        live = make_request()
+        q.offer(dead)
+        q.offer(live)
+        time.sleep(0.03)  # let the deadline expire while queued
+        batch = batcher.next_batch()
+        assert batch == [live]
+        assert dead.status is RequestStatus.TIMED_OUT
+        assert timeouts == [dead]
+
+    def test_cancelled_requests_skipped(self):
+        q = AdmissionQueue(capacity=4)
+        batcher = MicroBatcher(q, max_batch_size=4, max_wait_ms=5.0)
+        r = make_request()
+        q.offer(r)
+        assert r.cancel()
+        assert batcher.next_batch() == []
+        assert r.status is RequestStatus.CANCELLED
+
+    def test_validates_config(self):
+        q = AdmissionQueue(capacity=4)
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(q, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(q, max_wait_ms=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+class TestBackends:
+    def test_folding_concurrency_from_table1(self):
+        assert folding_concurrency(table1_folding("n-cnv")) == 3  # 9 MVTUs
+        assert folding_concurrency(table1_folding("u-cnv")) == 2  # 8 MVTUs
+        tiny = FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1))
+        assert folding_concurrency(tiny) == 1
+
+    def test_classifier_backend_derives_concurrency(self, trained_tiny_classifier):
+        backend = ClassifierBackend(trained_tiny_classifier)
+        assert backend.name == "software:n-cnv"
+        assert backend.max_concurrency == 3
+
+    def test_accelerator_backend_matches_direct_predict(self, tiny_bnn):
+        folding = FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1))
+        acc = compile_model(tiny_bnn, folding)
+        backend = AcceleratorBackend(acc, chunk_size=3)
+        images = grid_images(7, hw=8)
+        np.testing.assert_array_equal(backend.infer(images), acc.predict(images))
+        assert backend.max_concurrency == 1
+        assert backend.modelled_batch_seconds(8) > backend.modelled_batch_seconds(1)
+
+    def test_rejects_predictless_classifier(self):
+        with pytest.raises(TypeError, match="predict"):
+            ClassifierBackend(object())
+
+
+# ---------------------------------------------------------------------------
+# worker pool (stub backends)
+# ---------------------------------------------------------------------------
+def serve_with(backends, config=None, n=8, **submit_kwargs):
+    """Spin up a server on stub backends, push n requests, return handles."""
+    server = InferenceServer(backends, config or ServingConfig(
+        max_batch_size=4, max_wait_ms=2.0, queue_capacity=64, num_workers=2
+    ))
+    rng = np.random.default_rng(0)
+    with server:
+        handles = [
+            server.submit(
+                rng.random((4, 4, 3)).astype(np.float32), **submit_kwargs
+            )
+            for _ in range(n)
+        ]
+        statuses = [h.wait(timeout=10.0) for h in handles]
+    return server, handles, statuses
+
+
+class TestWorkerPoolAndServer:
+    def test_all_requests_complete(self):
+        stub = StubBackend()
+        server, handles, statuses = serve_with([stub])
+        assert statuses == [RequestStatus.COMPLETED] * len(handles)
+        assert all(0 <= h.result() <= 3 for h in handles)
+        assert all(h.backend_name == "stub" for h in handles)
+        assert server.stats().completed == len(handles)
+
+    def test_backend_fallback_on_failure(self):
+        bad = StubBackend(name="bad", fail=True)
+        good = StubBackend(name="good")
+        server, handles, statuses = serve_with([bad, good])
+        assert statuses == [RequestStatus.COMPLETED] * len(handles)
+        assert all(h.backend_name == "good" for h in handles)
+        assert server.stats().counters["backend_errors"] >= 1
+        assert server.stats().counters["fallbacks"] >= 1
+
+    def test_all_backends_failing_resolves_failed(self):
+        server, handles, statuses = serve_with(
+            [StubBackend(name="bad1", fail=True), StubBackend(name="bad2", fail=True)]
+        )
+        assert statuses == [RequestStatus.FAILED] * len(handles)
+        with pytest.raises(RequestNotCompleted, match="all backends failed"):
+            handles[0].result()
+        assert server.stats().failed == len(handles)
+
+    def test_per_request_timeout_fires(self):
+        # One slow worker thread: the first batch occupies it long enough
+        # for the second submission's 30 ms deadline to expire in-queue.
+        slow = StubBackend(delay_s=0.2, max_concurrency=1)
+        config = ServingConfig(
+            max_batch_size=1, max_wait_ms=0.0, queue_capacity=8, num_workers=1
+        )
+        server = InferenceServer([slow], config)
+        img = np.zeros((4, 4, 3), dtype=np.float32)
+        with server:
+            blocker = server.submit(img)
+            doomed = server.submit(img, timeout_s=0.03)
+            assert blocker.wait(timeout=5.0) is RequestStatus.COMPLETED
+            assert doomed.wait(timeout=5.0) is RequestStatus.TIMED_OUT
+        with pytest.raises(RequestNotCompleted, match="deadline"):
+            doomed.result()
+        assert server.stats().timed_out == 1
+
+    def test_queue_full_rejects_explicitly(self):
+        slow = StubBackend(delay_s=0.3, max_concurrency=1)
+        config = ServingConfig(
+            max_batch_size=1, max_wait_ms=0.0, queue_capacity=2,
+            num_workers=1, allow_shedding=False,
+        )
+        server = InferenceServer([slow], config)
+        img = np.zeros((4, 4, 3), dtype=np.float32)
+        with server:
+            handles = [server.submit(img) for _ in range(8)]
+            rejected = [
+                h for h in handles if h.status is RequestStatus.REJECTED
+            ]
+            assert rejected, "overflow submissions must be rejected immediately"
+            assert all("queue_full" in h.detail for h in rejected)
+            for h in handles:
+                h.wait(timeout=10.0)
+        stats = server.stats()
+        assert stats.rejected == len(rejected)
+        assert stats.completed == len(handles) - len(rejected)
+
+    def test_priority_shedding_under_overload(self):
+        slow = StubBackend(delay_s=0.3, max_concurrency=1)
+        config = ServingConfig(
+            max_batch_size=1, max_wait_ms=0.0, queue_capacity=2, num_workers=1
+        )
+        server = InferenceServer([slow], config)
+        img = np.zeros((4, 4, 3), dtype=np.float32)
+        with server:
+            blocker = server.submit(img)  # occupies the worker
+            deadline = time.monotonic() + 5.0
+            while (
+                blocker.status is RequestStatus.PENDING
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)  # wait until the worker holds the blocker
+            low = [server.submit(img, priority=0) for _ in range(2)]
+            vip = server.submit(img, priority=9)
+            assert vip.status is not RequestStatus.REJECTED
+            shed = [h for h in low if h.wait(timeout=10.0) is RequestStatus.SHED]
+            assert len(shed) == 1
+            assert vip.wait(timeout=10.0) is RequestStatus.COMPLETED
+        assert server.stats().shed == 1
+
+    def test_batch_histogram_and_wait_metrics(self):
+        stub = StubBackend()
+        server, handles, _ = serve_with([stub], n=12)
+        stats = server.stats()
+        assert sum(size * n for size, n in stats.batch_histogram.items()) == 12
+        assert stats.mean_batch_size >= 1.0
+        assert "p95" in stats.latency_ms and "p50" in stats.queue_wait_ms
+        assert stats.qps > 0
+        report = stats.report()
+        assert "12 submitted" in report and "batches" in report
+
+    def test_sync_predict_roundtrip(self):
+        stub = StubBackend()
+        server = InferenceServer([stub], ServingConfig(
+            max_batch_size=8, max_wait_ms=1.0, queue_capacity=32
+        ))
+        images = np.random.default_rng(3).random((5, 4, 4, 3)).astype(np.float32)
+        with server:
+            labels = server.predict(images)
+        expected = (np.round(images.mean(axis=(1, 2, 3)) * 1000).astype(int)) % 4
+        np.testing.assert_array_equal(labels, expected)
+
+    def test_stop_rejects_undrained_requests(self):
+        stub = StubBackend(delay_s=0.05, max_concurrency=1)
+        server = InferenceServer([stub], ServingConfig(
+            max_batch_size=1, max_wait_ms=0.0, queue_capacity=64, num_workers=1
+        ))
+        img = np.zeros((4, 4, 3), dtype=np.float32)
+        server.start()
+        handles = [server.submit(img) for _ in range(20)]
+        server.stop(drain=False, timeout=5.0)
+        statuses = {h.wait(timeout=5.0) for h in handles}
+        assert statuses <= {RequestStatus.COMPLETED, RequestStatus.REJECTED}
+        assert RequestStatus.REJECTED in statuses  # undrained tail rejected
+        # no handle left unresolved
+        assert all(h.done for h in handles)
+
+    def test_submit_after_stop_is_rejected(self):
+        server, _, _ = serve_with([StubBackend()], n=1)
+        handle = server.submit(np.zeros((4, 4, 3), dtype=np.float32))
+        assert handle.status is RequestStatus.REJECTED
+        assert "shutting_down" in handle.detail
+
+    def test_invalid_image_raises_eagerly(self):
+        server = InferenceServer([StubBackend()])
+        with pytest.raises(ValueError, match="one \\(H, W, C\\) image"):
+            server.submit(np.zeros((4, 4), dtype=np.float32))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServingConfig(max_batch_size=0)
+        with pytest.raises(ValueError, match="queue_capacity"):
+            ServingConfig(queue_capacity=-1)
+        with pytest.raises(ValueError, match="default_timeout_s"):
+            ServingConfig(default_timeout_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# thread-safety of the shared Stopwatch (serving metrics share one)
+# ---------------------------------------------------------------------------
+class TestStopwatchThreadSafety:
+    def test_concurrent_sections_lose_no_counts(self):
+        sw = Stopwatch()
+        n_threads, n_iter = 8, 200
+
+        def hammer():
+            for _ in range(n_iter):
+                with sw.section("shared"):
+                    pass
+                sw.add("manual", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sw.counts["shared"] == n_threads * n_iter
+        assert sw.counts["manual"] == n_threads * n_iter
+        assert sw.totals["manual"] == pytest.approx(n_threads * n_iter * 0.001)
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Stopwatch().add("x", -1.0)
+
+    def test_snapshot_is_a_copy(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        totals, counts = sw.snapshot()
+        totals["a"] = 99.0
+        assert sw.totals["a"] == 1.0
+        assert counts == {"a": 1}
+
+
+# ---------------------------------------------------------------------------
+# chunked prediction (the serving worker relies on it)
+# ---------------------------------------------------------------------------
+class TestChunkedPrediction:
+    def test_classifier_chunked_matches_unchunked(self, trained_tiny_classifier, tiny_splits):
+        images = tiny_splits.test.images[:17]
+        np.testing.assert_array_equal(
+            trained_tiny_classifier.predict(images, chunk_size=4),
+            trained_tiny_classifier.predict(images, chunk_size=1024),
+        )
+
+    def test_accelerator_chunked_matches_unchunked(self, tiny_bnn):
+        folding = FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1))
+        acc = compile_model(tiny_bnn, folding)
+        images = grid_images(9, hw=8)
+        np.testing.assert_array_equal(
+            acc.predict(images, chunk_size=2), acc.predict(images)
+        )
+        np.testing.assert_array_equal(
+            acc.execute(images, chunk_size=4), acc.execute(images)
+        )
+
+    def test_accelerator_chunk_validation(self, tiny_bnn):
+        folding = FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1))
+        acc = compile_model(tiny_bnn, folding)
+        images = grid_images(3, hw=8)
+        with pytest.raises(ValueError, match="chunk_size"):
+            acc.execute(images, chunk_size=0)
+        with pytest.raises(ValueError, match="return_bits"):
+            acc.execute(images, chunk_size=2, return_bits=True)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end smoke with a trained model
+# ---------------------------------------------------------------------------
+class TestEndToEnd:
+    def test_served_labels_match_direct_predict(self, trained_tiny_classifier):
+        tiles = face_tile_pool(6, rng=11)
+        expected = trained_tiny_classifier.predict(tiles)
+        config = ServingConfig(
+            max_batch_size=8, max_wait_ms=4.0, queue_capacity=32, num_workers=2
+        )
+        with InferenceServer.from_classifier(trained_tiny_classifier, config) as server:
+            labels = server.predict(tiles, timeout=60.0)
+            stats = server.stats()
+        np.testing.assert_array_equal(labels, expected)
+        assert stats.completed == len(tiles)
+        assert stats.rejected == 0
+
+    def test_open_loop_run_is_deterministically_seeded(self, trained_tiny_classifier):
+        tiles = face_tile_pool(4, rng=11)
+        config = ServingConfig(
+            max_batch_size=8, max_wait_ms=2.0, queue_capacity=64, num_workers=2
+        )
+        offered = []
+        for _ in range(2):
+            with InferenceServer.from_classifier(trained_tiny_classifier, config) as server:
+                result = run_open_loop(
+                    server, tiles, rate_hz=150.0, duration_s=0.4, rng=5
+                )
+            offered.append(result.offered)
+            assert result.completed == result.offered
+        assert offered[0] == offered[1]  # arrival process is seed-determined
+
+    def test_accelerator_fallback_server_builds(self, trained_tiny_classifier):
+        config = ServingConfig(
+            max_batch_size=4, max_wait_ms=2.0, queue_capacity=16, num_workers=1
+        )
+        server = InferenceServer.from_classifier(
+            trained_tiny_classifier, config, with_accelerator_fallback=True
+        )
+        names = [b.name for b in server.backends]
+        assert names[0].startswith("software:")
+        assert names[1].startswith("accelerator:")
+        tiles = face_tile_pool(3, rng=2)
+        with server:
+            labels = server.predict(tiles, timeout=60.0)
+        assert labels.shape == (3,)
+
+
+# ---------------------------------------------------------------------------
+# soak (excluded from tier-1 via the `slow` marker)
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+class TestSoak:
+    def test_sustained_overload_stays_bounded(self):
+        """Minutes-scale invariant, compressed: under 4x-saturation open-loop
+        traffic the queue depth never exceeds its capacity, every request
+        reaches a terminal state, and the server shuts down cleanly."""
+        stub = StubBackend(delay_s=0.002, max_concurrency=2)
+        config = ServingConfig(
+            max_batch_size=8, max_wait_ms=1.0, queue_capacity=16, num_workers=2
+        )
+        server = InferenceServer([stub], config)
+        rng = np.random.default_rng(0)
+        images = rng.random((8, 4, 4, 3)).astype(np.float32)
+        handles, max_depth = [], 0
+        with server:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                handles.append(server.submit(images[len(handles) % 8]))
+                max_depth = max(max_depth, server.queue_depth)
+                time.sleep(0.0005)  # ~2000 req/s offered
+            for h in handles:
+                h.wait(timeout=30.0)
+        assert max_depth <= config.queue_capacity
+        assert all(h.done for h in handles)
+        stats = server.stats()
+        outcomes = stats.completed + stats.rejected + stats.shed
+        assert outcomes == len(handles)
+        assert stats.completed > 0
