@@ -1,0 +1,51 @@
+"""Static analysis for the BinaryCoP codebase (``repro lint`` /
+``repro verify-model``).
+
+Two engines over one structured-diagnostic core
+(:mod:`~repro.analysis.diagnostics`):
+
+* the **model-graph verifier** (:func:`verify_model`) — symbolic
+  shape/dtype inference over a :class:`~repro.nn.Sequential` plus the
+  BNN/FINN structural rules (BN-before-sign, sign-before-pool,
+  threshold-fold legality, PE/SIMD folding divisibility, dead-layer and
+  dtype-narrowing detection). A model that verifies error-free cannot
+  fail structurally in :func:`repro.hw.compiler.compile_model`;
+* the **AST lint pass** (:func:`lint_paths`) — stdlib-``ast`` rules for
+  lock discipline, global numpy RNG use, in-place ops on views, bare
+  excepts and mutable defaults, with a justified suppression baseline
+  (:class:`Baseline`, ``.repro-lint-baseline``).
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineEntry,
+    find_baseline,
+)
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    DiagnosticReport,
+    Rule,
+    Severity,
+    rules_table,
+)
+from repro.analysis.graph import verify_model
+from repro.analysis.lint import collect_sources, lint_file, lint_paths
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Baseline",
+    "BaselineEntry",
+    "Diagnostic",
+    "DiagnosticReport",
+    "RULES",
+    "Rule",
+    "Severity",
+    "collect_sources",
+    "find_baseline",
+    "lint_file",
+    "lint_paths",
+    "rules_table",
+    "verify_model",
+]

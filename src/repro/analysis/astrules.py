@@ -1,0 +1,334 @@
+"""AST lint rules (stdlib :mod:`ast` only, no third-party deps).
+
+Each rule is a function ``(path, tree) -> Iterator[Diagnostic]``
+registered in :data:`AST_RULES`. The rules are deliberately heuristic —
+they are tuned for this codebase's conventions (``self._lock``
+discipline in the serving layer, ``repro.utils.rng`` seed plumbing,
+numpy-heavy numerics) and favour precision over recall: a finding
+should either be fixed or be worth a justified baseline entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["AST_RULES", "run_ast_rules"]
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+#: Legacy module-level numpy RNG entry points (the seeded-global API).
+_NP_RANDOM_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "binomial", "beta", "gamma", "poisson", "exponential",
+    "get_state", "set_state", "RandomState",
+}
+#: Methods whose result may alias the receiver's buffer (numpy views).
+_VIEW_METHODS = {"reshape", "ravel", "view", "transpose", "swapaxes", "squeeze"}
+
+
+def _qualname_map(tree: ast.AST) -> Dict[ast.AST, str]:
+    """Map every node to its enclosing ``Class.method`` qualname."""
+    out: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, scope: Tuple[str, ...]) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            scope = scope + (node.name,)
+        out[node] = ".".join(scope)
+        for child in ast.iter_child_nodes(node):
+            visit(child, scope)
+
+    visit(tree, ())
+    return out
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+# -- PY001: bare except --------------------------------------------------------
+def check_bare_except(path: str, tree: ast.AST) -> Iterator[Diagnostic]:
+    qualnames = _qualname_map(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Diagnostic(
+                "PY001",
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit",
+                path=path, line=node.lineno,
+                symbol=qualnames.get(node, ""),
+                fix_hint="catch 'Exception' (or something narrower)",
+            )
+
+
+# -- PY002: mutable default arguments ------------------------------------------
+def check_mutable_defaults(path: str, tree: ast.AST) -> Iterator[Diagnostic]:
+    qualnames = _qualname_map(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                yield Diagnostic(
+                    "PY002",
+                    f"function {node.name!r} has a mutable default "
+                    f"argument, shared across every call",
+                    path=path, line=default.lineno,
+                    symbol=qualnames.get(node, node.name),
+                    fix_hint="default to None and create the container "
+                             "inside the function",
+                )
+
+
+# -- NP001: global numpy RNG ---------------------------------------------------
+def _np_random_member(node: ast.Attribute) -> Optional[str]:
+    """``X`` for expressions of the form ``np.random.X`` / ``numpy.random.X``."""
+    value = node.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+def check_global_np_random(path: str, tree: ast.AST) -> Iterator[Diagnostic]:
+    qualnames = _qualname_map(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        member = _np_random_member(node)
+        if member in _NP_RANDOM_LEGACY:
+            yield Diagnostic(
+                "NP001",
+                f"np.random.{member} uses the legacy global RNG; seeds "
+                f"set elsewhere leak into (or out of) this call",
+                path=path, line=node.lineno,
+                symbol=qualnames.get(node, ""),
+                fix_hint="thread an RngLike through repro.utils.rng."
+                         "as_generator/derive instead",
+            )
+
+
+# -- NP002: in-place op on a potential view ------------------------------------
+def _is_view_expr(node: ast.AST) -> Optional[str]:
+    """Source variable name when ``node`` is a likely-view of a Name."""
+    # base slicing: v = u[1:], u[:, 0], u[::2] ...
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and _slice_contains_slice(node.slice)
+    ):
+        return node.value.id
+    # transpose attribute: v = u.T
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "T"
+        and isinstance(node.value, ast.Name)
+    ):
+        return node.value.id
+    # view-returning methods: v = u.reshape(...), u.ravel() ...
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _VIEW_METHODS
+        and isinstance(node.func.value, ast.Name)
+    ):
+        return node.func.value.id
+    return None
+
+
+def _slice_contains_slice(node: ast.AST) -> bool:
+    if isinstance(node, ast.Slice):
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_slice_contains_slice(elt) for elt in node.elts)
+    return False
+
+
+def check_inplace_on_view(path: str, tree: ast.AST) -> Iterator[Diagnostic]:
+    qualnames = _qualname_map(tree)
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        views: Dict[str, Tuple[str, int]] = {}  # var -> (source, line)
+        for stmt in _ordered_statements(func):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name):
+                target = stmt.targets[0].id
+                source = _is_view_expr(stmt.value)
+                if source is not None and source != target:
+                    views[target] = (source, stmt.lineno)
+                else:
+                    views.pop(target, None)  # rebound to something else
+            elif isinstance(stmt, ast.AugAssign) and \
+                    isinstance(stmt.target, ast.Name) and \
+                    stmt.target.id in views:
+                source, bind_line = views[stmt.target.id]
+                yield Diagnostic(
+                    "NP002",
+                    f"in-place op on {stmt.target.id!r}, bound to a "
+                    f"potential view of {source!r} (line {bind_line}); "
+                    f"this mutates {source!r} through the view",
+                    path=path, line=stmt.lineno,
+                    symbol=qualnames.get(func, func.name),
+                    fix_hint=f"copy first ({stmt.target.id} = "
+                             f"{stmt.target.id}.copy()) or write "
+                             f"out-of-place",
+                )
+
+
+def _ordered_statements(func: ast.AST) -> Iterator[ast.stmt]:
+    """All statements inside ``func`` in source order (nested blocks
+    flattened, nested function bodies skipped — they run later)."""
+
+    def walk(body) -> Iterator[ast.stmt]:
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for field_body in (
+                getattr(stmt, "body", []),
+                getattr(stmt, "orelse", []),
+                getattr(stmt, "finalbody", []),
+            ):
+                yield from walk(field_body)
+            for handler in getattr(stmt, "handlers", []):
+                yield from walk(handler.body)
+
+    yield from walk(func.body)
+
+
+# -- LK001: lock discipline ----------------------------------------------------
+def check_lock_discipline(path: str, tree: ast.AST) -> Iterator[Diagnostic]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield from _check_class_locks(path, node)
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Instance attributes assigned from threading.Lock/RLock/Condition."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            attr = _is_self_attr(target)
+            if attr is None:
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, (ast.Attribute, ast.Name))
+            ):
+                func_name = (
+                    value.func.attr
+                    if isinstance(value.func, ast.Attribute)
+                    else value.func.id
+                )
+                if func_name in _LOCK_FACTORIES:
+                    locks.add(attr)
+    return locks
+
+
+def _check_class_locks(path: str, cls: ast.ClassDef) -> Iterator[Diagnostic]:
+    locks = _lock_attrs(cls)
+    if not locks:
+        return
+
+    # access records: attr -> list of (method, is_write, held, line)
+    accesses: Dict[str, List[Tuple[str, bool, bool, int]]] = {}
+    fields: Set[str] = set()
+
+    def record(method: str, node: ast.AST, held: bool) -> None:
+        attr = _is_self_attr(node)
+        if attr is None or attr in locks or attr.startswith("__"):
+            return
+        is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+        if is_write:
+            fields.add(attr)
+        accesses.setdefault(attr, []).append(
+            (method, is_write, held, node.lineno)
+        )
+
+    def walk(method: str, node: ast.AST, held: bool) -> None:
+        if isinstance(node, ast.With):
+            item_holds = any(
+                _is_self_attr(item.context_expr) in locks
+                for item in node.items
+            )
+            for item in node.items:
+                walk(method, item.context_expr, held)
+            for stmt in node.body:
+                walk(method, stmt, held or item_holds)
+            return
+        if isinstance(node, ast.Attribute):
+            record(method, node, held)
+        for child in ast.iter_child_nodes(node):
+            walk(method, child, held)
+
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name in ("__init__", "__del__", "__repr__"):
+            continue  # pre-publication / teardown: no other thread yet
+        for stmt in item.body:
+            walk(item.name, stmt, held=False)
+
+    for attr in sorted(fields):
+        recs = accesses.get(attr, [])
+        locked_writes = [r for r in recs if r[1] and r[2]]
+        if not locked_writes:
+            continue
+        writer_methods = {r[0] for r in locked_writes}
+        unguarded = [
+            r for r in recs if not r[2] and r[0] not in writer_methods
+        ]
+        if not unguarded:
+            continue
+        first = min(unguarded, key=lambda r: r[3])
+        others = sorted({r[0] for r in unguarded})
+        yield Diagnostic(
+            "LK001",
+            f"{cls.name}.{attr} is written under lock in "
+            f"{sorted(writer_methods)} but accessed lock-free in "
+            f"{others}",
+            path=path, line=first[3],
+            symbol=f"{cls.name}.{attr}",
+            fix_hint="guard the access with the same lock, or record a "
+                     "baseline entry explaining why the race is benign",
+        )
+
+
+AST_RULES = (
+    check_lock_discipline,
+    check_global_np_random,
+    check_inplace_on_view,
+    check_bare_except,
+    check_mutable_defaults,
+)
+
+
+def run_ast_rules(path: str, tree: ast.AST) -> Iterator[Diagnostic]:
+    """Run every registered AST rule over one parsed module."""
+    for rule in AST_RULES:
+        yield from rule(path, tree)

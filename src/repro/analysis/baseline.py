@@ -1,0 +1,169 @@
+"""Suppression baseline for intentional analyzer exceptions.
+
+A baseline file records findings that are understood and accepted, one
+per line::
+
+    # comment
+    <rule-id> <path> <symbol-or-*>  # justification
+
+``path`` matches by normalized suffix so entries written repo-relative
+(``src/repro/serving/request.py``) match however the linter is invoked;
+``symbol`` is the diagnostic's qualified anchor (``Class.attr`` for the
+lock rule, the enclosing function for expression rules, a layer name
+for graph rules) or ``*`` to cover the whole file. The justification
+comment is mandatory — an unexplained suppression is itself a finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, RULES
+
+__all__ = ["BaselineEntry", "Baseline", "BASELINE_FILENAME", "find_baseline"]
+
+BASELINE_FILENAME = ".repro-lint-baseline"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule_id: str
+    path: str
+    symbol: str
+    justification: str
+    lineno: int = 0  # line in the baseline file (for error messages)
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if self.rule_id != diag.rule_id:
+            return False
+        if not _path_matches(self.path, diag.path):
+            return False
+        return self.symbol == "*" or self.symbol == diag.symbol
+
+    def render(self) -> str:
+        return (
+            f"{self.rule_id} {self.path} {self.symbol}"
+            f"  # {self.justification}"
+        )
+
+
+def _normalize(path: str) -> str:
+    return str(PurePosixPath(Path(path).as_posix()))
+
+
+def _path_matches(pattern: str, actual: str) -> bool:
+    """Suffix match on whole path components."""
+    pat = _normalize(pattern).lstrip("./")
+    act = _normalize(actual)
+    return act == pat or act.endswith("/" + pat)
+
+
+class Baseline:
+    """A parsed suppression file (possibly empty)."""
+
+    def __init__(
+        self, entries: Sequence[BaselineEntry] = (), path: Optional[Path] = None
+    ) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self.path = path
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries = []
+        for lineno, raw in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "#" in line:
+                spec, justification = line.split("#", 1)
+                justification = justification.strip()
+            else:
+                spec, justification = line, ""
+            parts = spec.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected '<rule-id> <path> <symbol>"
+                    f"  # justification', got {raw!r}"
+                )
+            rule_id, target, symbol = parts
+            if rule_id not in RULES:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown rule id {rule_id!r}"
+                )
+            if not justification:
+                raise ValueError(
+                    f"{path}:{lineno}: suppression for {rule_id} needs a "
+                    f"'# justification' comment"
+                )
+            entries.append(
+                BaselineEntry(rule_id, target, symbol, justification, lineno)
+            )
+        return cls(entries, path=Path(path))
+
+    @classmethod
+    def from_diagnostics(
+        cls, diagnostics: Iterable[Diagnostic], repo_root: Optional[Path] = None
+    ) -> "Baseline":
+        """A baseline accepting every given finding (``--write-baseline``)."""
+        entries = []
+        seen = set()
+        for diag in diagnostics:
+            path = diag.path
+            if repo_root is not None:
+                try:
+                    path = str(Path(path).resolve().relative_to(
+                        Path(repo_root).resolve()
+                    ))
+                except ValueError:
+                    pass
+            key = (diag.rule_id, _normalize(path), diag.symbol or "*")
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                BaselineEntry(
+                    diag.rule_id, _normalize(path), diag.symbol or "*",
+                    "TODO: justify this suppression",
+                )
+            )
+        return cls(entries)
+
+    # -- use -----------------------------------------------------------------
+    def match(self, diag: Diagnostic) -> Optional[BaselineEntry]:
+        for entry in self.entries:
+            if entry.matches(diag):
+                return entry
+        return None
+
+    def save(self, path: Path) -> Path:
+        path = Path(path)
+        lines = [
+            "# repro lint baseline — intentional, justified exceptions.",
+            "# Syntax: <rule-id> <path> <symbol-or-*>  # justification",
+            "",
+        ]
+        lines += [e.render() for e in self.entries]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def find_baseline(start: Path) -> Optional[Path]:
+    """Search ``start`` and its ancestors for a baseline file."""
+    start = Path(start).resolve()
+    if start.is_file():
+        start = start.parent
+    for directory in (start, *start.parents):
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None

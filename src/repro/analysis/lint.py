@@ -1,0 +1,98 @@
+"""Lint driver: walk source trees, run AST rules, apply the baseline.
+
+``lint_paths`` is the engine behind ``repro lint``: it collects
+``*.py`` files (a file path is taken as-is, a directory is walked
+recursively), parses each once, runs every rule in
+:mod:`repro.analysis.astrules` and moves baseline-matched findings into
+the report's ``suppressed`` list. Exit semantics live on the report:
+any unsuppressed finding makes ``repro lint`` exit non-zero.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+import ast
+
+from repro.analysis.astrules import run_ast_rules
+from repro.analysis.baseline import Baseline, find_baseline
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+__all__ = ["collect_sources", "lint_file", "lint_paths"]
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".binarycop_cache"}
+
+
+def collect_sources(paths: Iterable[Path]) -> List[Path]:
+    """Every python file under ``paths``, stable-sorted, deduplicated."""
+    out = []
+    seen = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise ValueError(f"{path}: not a python file or directory")
+        for c in candidates:
+            key = c.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(c)
+    return out
+
+
+def lint_file(path: Path) -> List[Diagnostic]:
+    """All raw (un-suppressed) findings for one file."""
+    source = Path(path).read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        # A file the linter cannot parse is a shape-inference failure of
+        # its own kind; surface it via the closest existing rule.
+        return [
+            Diagnostic(
+                "PY001",
+                f"file does not parse: {exc.msg}",
+                path=str(path), line=exc.lineno or 1,
+                fix_hint="fix the syntax error",
+            )
+        ]
+    return list(run_ast_rules(str(path), tree))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    baseline: Optional[Baseline] = None,
+    baseline_path: Optional[Path] = None,
+) -> DiagnosticReport:
+    """Lint ``paths``; returns the aggregated, baseline-filtered report.
+
+    When neither ``baseline`` nor ``baseline_path`` is given, the
+    suppression file is discovered by walking up from the first path
+    (``.repro-lint-baseline``).
+    """
+    files = collect_sources(paths)
+    if baseline is None:
+        if baseline_path is None and files:
+            baseline_path = find_baseline(files[0])
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path else Baseline()
+        )
+    report = DiagnosticReport(
+        target=", ".join(str(p) for p in paths)
+    )
+    for path in files:
+        for diag in lint_file(path):
+            entry = baseline.match(diag)
+            if entry is not None:
+                report.suppressed.append((diag, entry.justification))
+            else:
+                report.add(diag)
+    return report

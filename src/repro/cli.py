@@ -11,7 +11,11 @@ Wraps the library's main workflows for shell users:
 * ``serve``    — run the dynamic-batching inference server against a
   synthetic open-loop gate-camera arrival process;
 * ``serve-bench`` — sweep offered load through the server and tabulate
-  throughput, latency percentiles and shed/rejected counts.
+  throughput, latency percentiles and shed/rejected counts;
+* ``lint``     — static AST lint (lock discipline, numpy RNG hygiene,
+  views, exceptions) with a justified suppression baseline;
+* ``verify-model`` — static model-graph verification of the registered
+  architectures against their Table I foldings.
 """
 
 from __future__ import annotations
@@ -108,6 +112,33 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[100.0, 400.0, 1600.0])
     p_sbench.add_argument("--duration", type=float, default=2.0,
                           help="seconds of traffic per rate")
+
+    p_lint = sub.add_parser(
+        "lint", help="static AST lint over a source tree (default: repro)"
+    )
+    p_lint.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint "
+                             "(default: the installed repro package)")
+    p_lint.add_argument("--baseline", type=Path, default=None,
+                        help="suppression file (default: search for "
+                             ".repro-lint-baseline upward from the first "
+                             "path)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    p_lint.add_argument("--write-baseline", type=Path, default=None,
+                        metavar="FILE",
+                        help="accept current findings into FILE and exit 0")
+    p_lint.add_argument("--rules", action="store_true",
+                        help="print the rule catalog and exit")
+
+    p_verify = sub.add_parser(
+        "verify-model",
+        help="static model-graph verification (shape/dtype + BNN/FINN rules)",
+    )
+    p_verify.add_argument("--arch", default="all",
+                          choices=BINARY_ARCHS + ("all",),
+                          help="architecture to verify against its Table I "
+                               "folding (default: all)")
     return parser
 
 
@@ -287,6 +318,42 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import Baseline, lint_paths, rules_table
+
+    if args.rules:
+        print(rules_table())
+        return 0
+    import repro as _repro
+
+    paths = args.paths or [Path(_repro.__file__).parent]
+    if args.no_baseline:
+        report = lint_paths(paths, baseline=Baseline())
+    elif args.baseline is not None:
+        report = lint_paths(paths, baseline=Baseline.load(args.baseline))
+    else:
+        report = lint_paths(paths)
+    if args.write_baseline is not None:
+        baseline = Baseline.from_diagnostics(report.diagnostics)
+        path = baseline.save(args.write_baseline)
+        print(f"wrote {len(baseline)} suppression(s) to {path}")
+        return 0
+    print(report.render())
+    return report.exit_code()
+
+
+def _cmd_verify_model(args) -> int:
+    from repro.core.zoo import verify_zoo
+
+    archs = None if args.arch == "all" else (args.arch,)
+    reports = verify_zoo(archs)
+    worst = 0
+    for name, report in reports.items():
+        print(report.render())
+        worst = max(worst, report.exit_code())
+    return worst
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
@@ -295,6 +362,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
+    "lint": _cmd_lint,
+    "verify-model": _cmd_verify_model,
 }
 
 

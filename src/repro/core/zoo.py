@@ -20,7 +20,12 @@ from typing import Optional, Tuple
 from repro.core.classifier import BinaryCoP, TrainingBudget
 from repro.data.dataset import DatasetSplits, build_masked_face_dataset
 
-__all__ = ["default_cache_dir", "dataset_cached", "trained_classifier"]
+__all__ = [
+    "default_cache_dir",
+    "dataset_cached",
+    "trained_classifier",
+    "verify_zoo",
+]
 
 _ENV_VAR = "BINARYCOP_CACHE"
 
@@ -105,3 +110,30 @@ def trained_classifier(
     clf.fit(splits, budget, verbose=verbose)
     clf.save(path)
     return clf
+
+
+def verify_zoo(architectures: Optional[Tuple[str, ...]] = None) -> dict:
+    """Statically verify every registered binary prototype.
+
+    Builds each architecture (no training — verification is static) and
+    runs the model-graph verifier against its Table I folding. Returns
+    ``{architecture: DiagnosticReport}``; the zoo-wide invariant, locked
+    in by tests and ``repro verify-model``, is that every report is
+    error-free.
+    """
+    from repro.analysis import verify_model
+    from repro.core.architectures import (
+        _TABLE1_FOLDING,
+        build_architecture,
+        table1_folding,
+    )
+
+    names = architectures if architectures is not None else tuple(
+        sorted(_TABLE1_FOLDING)
+    )
+    return {
+        name: verify_model(
+            build_architecture(name), table1_folding(name), name=name
+        )
+        for name in names
+    }

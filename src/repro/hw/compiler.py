@@ -20,7 +20,7 @@ everything downstream is 1-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,18 +43,104 @@ from repro.nn.layers import (
 from repro.nn.layers.xnor import XnorConv2D, XnorDense
 from repro.nn.sequential import Sequential
 
-__all__ = ["HardwareStage", "FinnAccelerator", "FoldingConfig", "compile_model"]
+__all__ = [
+    "HardwareStage",
+    "FinnAccelerator",
+    "FoldingConfig",
+    "MVTUGeometry",
+    "compile_model",
+    "folding_violations",
+    "mvtu_geometry",
+]
 
 #: Pixel quantisation scale for the 8-bit input layer.
 INPUT_SCALE = 255
 
 
+class MVTUGeometry(NamedTuple):
+    """Static matrix geometry of one MVTU: the facts folding must respect."""
+
+    name: str
+    kind: str  # "conv" or "fc"
+    rows: int  # output neurons (channels / features)
+    cols: int  # fan-in (K*K*C_in for conv, in_features for fc)
+
+
+def mvtu_geometry(model: Sequential) -> List[MVTUGeometry]:
+    """The (rows, cols) geometry of every MVTU ``model`` would compile to.
+
+    Purely static — derived from layer declarations and shape inference,
+    no forward pass. Shared by :func:`compile_model` (early folding
+    validation) and the model-graph verifier
+    (:mod:`repro.analysis.graph`), so folding legality has exactly one
+    definition.
+    """
+    geoms: List[MVTUGeometry] = []
+    for name, layer, in_shape, _, _ in model.iter_shape_inference():
+        if isinstance(layer, Conv2D):
+            kh, kw = layer.kernel_size
+            c_in = in_shape[2] if in_shape is not None and len(in_shape) == 3 \
+                else layer.in_channels
+            geoms.append(
+                MVTUGeometry(name, "conv", layer.out_channels, kh * kw * c_in)
+            )
+        elif isinstance(layer, Dense):
+            geoms.append(
+                MVTUGeometry(name, "fc", layer.out_features, layer.in_features)
+            )
+    return geoms
+
+
+def folding_violations(
+    pe: Tuple[int, ...],
+    simd: Tuple[int, ...],
+    geometry: Sequence[MVTUGeometry],
+) -> List[Tuple[str, str, str]]:
+    """Every way ``(pe, simd)`` fails to legally fold ``geometry``.
+
+    Returns ``(mvtu_name, check, message)`` triples, where ``check`` is
+    ``"arity"``, ``"pe"`` or ``"simd"``. Empty list = legal folding.
+    """
+    if len(pe) != len(geometry):
+        return [(
+            "",
+            "arity",
+            f"folding has {len(pe)} entries but the model has "
+            f"{len(geometry)} MVTU layers",
+        )]
+    out: List[Tuple[str, str, str]] = []
+    for geom, p, s in zip(geometry, pe, simd):
+        if geom.rows % p != 0:
+            out.append((
+                geom.name, "pe",
+                f"{geom.name}: PE={p} does not divide rows={geom.rows}",
+            ))
+        if geom.cols % s != 0:
+            out.append((
+                geom.name, "simd",
+                f"{geom.name}: SIMD={s} does not divide cols={geom.cols}",
+            ))
+    return out
+
+
 @dataclass(frozen=True)
 class FoldingConfig:
-    """PE/SIMD dimensioning for every MVTU, in pipeline order (Table I)."""
+    """PE/SIMD dimensioning for every MVTU, in pipeline order (Table I).
+
+    A bare config only knows the vectors; binding it to a model's
+    :func:`mvtu_geometry` (``folding.for_model(model)``) additionally
+    validates divisibility at construction, so an illegal folding fails
+    immediately with a named-MVTU error instead of deep inside
+    :func:`compile_model`. ``geometry`` does not participate in
+    equality: a bound and an unbound config with the same vectors
+    compare equal.
+    """
 
     pe: Tuple[int, ...]
     simd: Tuple[int, ...]
+    geometry: Optional[Tuple[MVTUGeometry, ...]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.pe) != len(self.simd):
@@ -64,6 +150,23 @@ class FoldingConfig:
             )
         if any(p <= 0 for p in self.pe) or any(s <= 0 for s in self.simd):
             raise ValueError("PE and SIMD entries must be positive")
+        if self.geometry is not None:
+            object.__setattr__(
+                self,
+                "geometry",
+                tuple(MVTUGeometry(*g) for g in self.geometry),
+            )
+            problems = folding_violations(self.pe, self.simd, self.geometry)
+            if problems:
+                raise ValueError("; ".join(msg for _, _, msg in problems))
+
+    def bound(self, geometry: Sequence[MVTUGeometry]) -> "FoldingConfig":
+        """A copy bound to (and validated against) ``geometry``."""
+        return FoldingConfig(self.pe, self.simd, geometry=tuple(geometry))
+
+    def for_model(self, model: Sequential) -> "FoldingConfig":
+        """A copy validated against ``model``'s MVTU geometry."""
+        return self.bound(mvtu_geometry(model))
 
     def __len__(self) -> int:
         return len(self.pe)
@@ -300,12 +403,9 @@ def compile_model(
     if model.input_shape is None:
         raise ValueError("model must be built with input_shape")
     blocks = list(_iter_blocks(model))
-    mvtu_blocks = [b for b in blocks if b[0] in ("conv", "fc", "logits")]
-    if len(folding) != len(mvtu_blocks):
-        raise ValueError(
-            f"folding has {len(folding)} entries but the model has "
-            f"{len(mvtu_blocks)} MVTU layers"
-        )
+    # Early, named validation: arity and PE/SIMD divisibility fail here
+    # (at FoldingConfig construction) rather than deep inside stage build.
+    folding = folding.for_model(model)
 
     stages: List[HardwareStage] = []
     shape = tuple(model.input_shape)

@@ -116,15 +116,45 @@ class Sequential(Module):
         return grad
 
     # -- introspection ---------------------------------------------------------------
+    def iter_shape_inference(
+        self, input_shape: Optional[Tuple[int, ...]] = None
+    ):
+        """Statically propagate shapes layer by layer, without a forward pass.
+
+        Yields one ``(name, module, in_shape, out_shape, error)`` tuple
+        per layer. ``out_shape`` is ``None`` when the layer's
+        :meth:`~repro.nn.module.Module.output_shape` raised (``error``
+        holds the exception) — propagation then continues with
+        ``in_shape = None`` so downstream structural checks still run.
+        This is the hook the static model-graph verifier
+        (:mod:`repro.analysis.graph`) drives.
+        """
+        shape = input_shape if input_shape is not None else self.input_shape
+        shape = tuple(shape) if shape is not None else None
+        for name in self.layer_names:
+            module = self._modules[name]
+            out_shape = error = None
+            if shape is not None:
+                try:
+                    out_shape = tuple(module.output_shape(shape))
+                except Exception as exc:  # shape contract violation
+                    error = exc
+            yield name, module, shape, out_shape, error
+            shape = out_shape
+
     def shapes(self) -> List[Tuple[str, Tuple[int, ...]]]:
-        """Per-layer output shapes (excluding batch), from ``input_shape``."""
+        """Per-layer output shapes (excluding batch), from ``input_shape``.
+
+        Raises the offending layer's error on an inconsistent stack; use
+        :meth:`iter_shape_inference` to observe failures diagnostically.
+        """
         if self.input_shape is None:
             raise ValueError("Sequential was built without input_shape")
-        shape = self.input_shape
         out = []
-        for name in self.layer_names:
-            shape = self._modules[name].output_shape(shape)
-            out.append((name, tuple(shape)))
+        for name, _, _, out_shape, error in self.iter_shape_inference():
+            if error is not None:
+                raise error
+            out.append((name, out_shape))
         return out
 
     def summary(self) -> str:

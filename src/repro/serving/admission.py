@@ -139,7 +139,8 @@ class AdmissionQueue:
     # -- lifecycle -----------------------------------------------------------
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def close(self) -> List[InferenceRequest]:
         """Stop admissions and return any still-queued requests.

@@ -131,7 +131,8 @@ class InferenceRequest:
     # -- state machine -------------------------------------------------------
     @property
     def status(self) -> RequestStatus:
-        return self._status
+        with self._lock:
+            return self._status
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether the per-request deadline has passed."""
