@@ -15,12 +15,14 @@ by side so the trade-off is visible rather than implied.
 import numpy as np
 import pytest
 
-from repro.hw.bitpack import pack_bits
+from repro.hw.bitpack import WORD_BITS, PackedBits, pack_bits
 from repro.hw.xnor_kernels import bipolar_from_popcount, xnor_matmul_popcount
 from repro.nn.binary_ops import sign
 
-# (name, vectors, fan_in, neurons): conv2_2 and fc1 of CNV.
+# (name, vectors, fan_in, neurons): Table I CNV layer shapes — the wide
+# first conv (many vectors), the bottleneck conv2_2, and the first FC.
 SHAPES = [
+    ("cnv-conv1_2", 900, 576, 64),
     ("cnv-conv2_2", 144, 1152, 128),
     ("cnv-fc1", 64, 256, 512),
 ]
@@ -70,3 +72,37 @@ def test_packing_overhead(benchmark):
     a, _ = _operands(*SHAPES[0][1:])
     packed = benchmark(pack_bits, a)
     assert packed.nbits == SHAPES[0][2]
+
+
+def _pack_bits_reference(values: np.ndarray) -> PackedBits:
+    """The pre-PR3 pack kernel: 64-wide grouping + weighted sum.
+
+    Kept as a benchmark reference for the np.packbits rewrite — it
+    materialises a ``(..., n_words, 64)`` uint64 intermediate the new
+    kernel avoids.
+    """
+    bits = values > 0
+    nbits = bits.shape[-1]
+    n_words = -(-nbits // WORD_BITS)
+    pad = n_words * WORD_BITS - nbits
+    padded = np.concatenate(
+        [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=bool)], axis=-1
+    )
+    grouped = padded.reshape(bits.shape[:-1] + (n_words, WORD_BITS))
+    weights = np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64)
+    words = (grouped.astype(np.uint64) * weights).sum(axis=-1, dtype=np.uint64)
+    return PackedBits(words=words, nbits=nbits)
+
+
+def test_pack_bits_old_kernel(benchmark):
+    """Baseline: the weighted-sum pack the np.packbits rewrite replaced."""
+    a, _ = _operands(*SHAPES[0][1:])
+    packed = benchmark(_pack_bits_reference, a)
+    np.testing.assert_array_equal(packed.words, pack_bits(a).words)
+
+
+def test_pack_bits_new_kernel(benchmark):
+    """The np.packbits-based pack, same operand as the old-kernel bench."""
+    a, _ = _operands(*SHAPES[0][1:])
+    packed = benchmark(pack_bits, a)
+    np.testing.assert_array_equal(packed.words, _pack_bits_reference(a).words)

@@ -1,0 +1,353 @@
+"""Perf-regression harness: kernel, stage, and end-to-end throughput.
+
+The paper's efficiency claim is only checkable if the simulator's speed
+is *tracked*: this module times the bit-pack kernels, the XNOR+popcount
+GEMM, the per-stage datapath, and end-to-end classification FPS for the
+Table I prototypes, and records the results as a machine-readable
+trajectory in ``BENCH_throughput.json``. Every ``repro bench`` run
+appends one entry and compares it against the previous run with a
+configurable tolerance, so a datapath change that silently regresses
+throughput fails loudly instead of rotting.
+
+The harness deliberately uses *untrained* models with randomised
+batch-norm statistics (:func:`repro.testing.randomize_bn_stats`):
+datapath throughput does not depend on the weight values, and skipping
+training keeps the bench runnable in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.architectures import build_architecture, table1_folding
+from repro.hw.bitpack import pack_bits, unpack_bits
+from repro.hw.compiler import FinnAccelerator, compile_model
+from repro.hw.xnor_kernels import xnor_matmul_popcount
+from repro.testing import randomize_bn_stats
+
+__all__ = [
+    "SCHEMA",
+    "BENCH_ARCHS",
+    "GEMM_SHAPES",
+    "run_bench",
+    "load_doc",
+    "append_run",
+    "save_doc",
+    "validate_run",
+    "validate_doc",
+    "compare_runs",
+    "render_run",
+    "render_comparison",
+]
+
+#: Version tag written into (and required from) ``BENCH_throughput.json``.
+SCHEMA = "repro-bench-throughput/v1"
+
+#: Architectures benchmarked by a full run, in Table I order.
+BENCH_ARCHS: Tuple[str, ...] = ("cnv", "n-cnv", "u-cnv")
+
+#: XNOR GEMM operand shapes: (name, vectors, fan_in, neurons). conv2_2
+#: and fc1 of CNV (the bench_xnor_kernels shapes) plus conv1_2 at a
+#: realistic batch — the widest and the most vector-heavy layers.
+GEMM_SHAPES: Tuple[Tuple[str, int, int, int], ...] = (
+    ("cnv-conv1_2", 900, 576, 64),
+    ("cnv-conv2_2", 144, 1152, 128),
+    ("cnv-fc1", 64, 256, 512),
+)
+
+#: Bit tensor shape for the pack/unpack kernel bench (CNV conv2_2 rows).
+BITPACK_SHAPE: Tuple[int, int] = (4096, 1152)
+
+
+def _best_seconds(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` after ``warmup`` calls."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_bitpack(rng: np.ndarray, shape: Tuple[int, int], repeats: int) -> Dict:
+    bits = rng.random(shape) < 0.5
+    packed = pack_bits(bits)
+    pack_s = _best_seconds(lambda: pack_bits(bits), repeats)
+    unpack_s = _best_seconds(lambda: unpack_bits(packed), repeats)
+    nbits = float(np.prod(shape))
+    return {
+        "pack_bits": {
+            "shape": list(shape),
+            "seconds": pack_s,
+            "gbits_per_s": nbits / pack_s / 1e9,
+        },
+        "unpack_bits": {
+            "shape": list(shape),
+            "seconds": unpack_s,
+            "gbits_per_s": nbits / unpack_s / 1e9,
+        },
+    }
+
+
+def _bench_gemm(
+    rng, shapes: Sequence[Tuple[str, int, int, int]], repeats: int
+) -> Dict:
+    out = {}
+    for name, vectors, fan_in, neurons in shapes:
+        a = pack_bits(rng.random((vectors, fan_in)) < 0.5)
+        w = pack_bits(rng.random((neurons, fan_in)) < 0.5)
+        seconds = _best_seconds(lambda: xnor_matmul_popcount(a, w), repeats)
+        ops = 2.0 * vectors * fan_in * neurons  # XNOR + accumulate
+        out[name] = {
+            "vectors": vectors,
+            "fan_in": fan_in,
+            "neurons": neurons,
+            "seconds": seconds,
+            "gops_per_s": ops / seconds / 1e9,
+        }
+    return out
+
+
+def _bench_accelerator(
+    accelerator: FinnAccelerator, images: np.ndarray, repeats: int
+) -> Tuple[List[Dict], Dict]:
+    """(per-stage timings, end-to-end summary) for one compiled design."""
+    n = images.shape[0]
+    e2e_s = _best_seconds(lambda: accelerator.execute(images), repeats)
+    stage_seconds: List[Tuple[str, float]] = []
+    accelerator.execute(images, stage_seconds=stage_seconds)
+    stages = [
+        {"name": name, "seconds": seconds} for name, seconds in stage_seconds
+    ]
+    e2e = {"images": n, "seconds": e2e_s, "fps": n / e2e_s}
+    return stages, e2e
+
+
+def run_bench(
+    archs: Sequence[str] = BENCH_ARCHS,
+    images: int = 16,
+    repeats: int = 2,
+    seed: int = 0,
+    smoke: bool = False,
+) -> Dict:
+    """One benchmark run; returns the run record (see :data:`SCHEMA`).
+
+    ``smoke`` shrinks every workload to sanity-gate scale (one small
+    architecture, two images, single repeat) — fast enough for CI, still
+    exercising every timed code path.
+    """
+    if images <= 0:
+        raise ValueError(f"images must be positive, got {images}")
+    if smoke:
+        archs = ("u-cnv",)
+        images = min(images, 2)
+        repeats = 1
+        gemm_shapes = (("smoke-fc", 8, 256, 32),)
+        bitpack_shape = (64, 256)
+    else:
+        gemm_shapes = GEMM_SHAPES
+        bitpack_shape = BITPACK_SHAPE
+    for arch in archs:
+        if arch not in BENCH_ARCHS:
+            raise ValueError(f"unknown bench architecture {arch!r}")
+
+    rng = np.random.default_rng(seed)
+    run: Dict = {
+        "timestamp": time.time(),
+        "label": "smoke" if smoke else "full",
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "kernels": {},
+        "stages": {},
+        "e2e": {},
+    }
+    run["kernels"].update(_bench_bitpack(rng, bitpack_shape, repeats))
+    run["kernels"]["xnor_gemm"] = _bench_gemm(rng, gemm_shapes, repeats)
+
+    batch = rng.random((images, 32, 32, 3)).astype(np.float32)
+    for arch in archs:
+        model = build_architecture(arch, rng=seed)
+        randomize_bn_stats(model, seed=seed + 1)
+        model.eval()
+        accelerator = compile_model(model, table1_folding(arch), name=arch)
+        stages, e2e = _bench_accelerator(accelerator, batch, repeats)
+        run["stages"][arch] = stages
+        run["e2e"][arch] = e2e
+    validate_run(run)
+    return run
+
+
+# -- schema ------------------------------------------------------------------
+def validate_run(run: Dict) -> None:
+    """Raise ``ValueError`` unless ``run`` has the expected shape."""
+    if not isinstance(run, dict):
+        raise ValueError("run must be a mapping")
+    for key in ("timestamp", "label", "kernels", "stages", "e2e"):
+        if key not in run:
+            raise ValueError(f"run is missing {key!r}")
+    for kernel in ("pack_bits", "unpack_bits", "xnor_gemm"):
+        if kernel not in run["kernels"]:
+            raise ValueError(f"run.kernels is missing {kernel!r}")
+    for name in ("pack_bits", "unpack_bits"):
+        if not run["kernels"][name].get("seconds", 0) > 0:
+            raise ValueError(f"kernel {name!r} has no positive 'seconds'")
+    for name, entry in run["kernels"]["xnor_gemm"].items():
+        if not entry.get("seconds", 0) > 0:
+            raise ValueError(f"xnor_gemm {name!r} has no positive 'seconds'")
+    if not run["e2e"]:
+        raise ValueError("run.e2e is empty")
+    for arch, entry in run["e2e"].items():
+        for key in ("images", "seconds", "fps"):
+            if key not in entry:
+                raise ValueError(f"e2e[{arch!r}] is missing {key!r}")
+        if not entry["fps"] > 0:
+            raise ValueError(f"e2e[{arch!r}].fps must be positive")
+        if arch not in run["stages"]:
+            raise ValueError(f"run.stages is missing {arch!r}")
+        for stage in run["stages"][arch]:
+            if "name" not in stage or not stage.get("seconds", -1) >= 0:
+                raise ValueError(f"malformed stage entry in {arch!r}")
+
+
+def validate_doc(doc: Dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid trajectory file."""
+    if not isinstance(doc, dict):
+        raise ValueError("document must be a mapping")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"schema mismatch: expected {SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("document has no runs")
+    for run in runs:
+        validate_run(run)
+
+
+def load_doc(path: Path) -> Optional[Dict]:
+    """The existing trajectory at ``path`` (validated), or ``None``."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    doc = json.loads(path.read_text())
+    validate_doc(doc)
+    return doc
+
+
+def append_run(doc: Optional[Dict], run: Dict) -> Dict:
+    """Append ``run`` to ``doc`` (creating a fresh trajectory if None)."""
+    validate_run(run)
+    if doc is None:
+        doc = {"schema": SCHEMA, "runs": []}
+    doc["runs"].append(run)
+    return doc
+
+
+def save_doc(doc: Dict, path: Path) -> Path:
+    validate_doc(doc)
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+# -- comparison --------------------------------------------------------------
+def compare_runs(prev: Dict, cur: Dict, tolerance: float = 0.25) -> List[Dict]:
+    """Metric-by-metric comparison of two runs.
+
+    Returns one record per shared metric with the speedup ratio
+    (``> 1`` means the current run is faster) and a ``regressed`` flag
+    set when the current run is more than ``tolerance`` slower (for
+    timed kernels) or lower-throughput (for end-to-end FPS).
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    out: List[Dict] = []
+
+    def add(metric: str, prev_val: float, cur_val: float, higher_is_better: bool):
+        ratio = (cur_val / prev_val) if higher_is_better else (prev_val / cur_val)
+        out.append(
+            {
+                "metric": metric,
+                "previous": prev_val,
+                "current": cur_val,
+                "speedup": ratio,
+                "regressed": ratio < 1.0 - tolerance,
+            }
+        )
+
+    for name in ("pack_bits", "unpack_bits"):
+        if name in prev["kernels"] and name in cur["kernels"]:
+            add(
+                f"kernel.{name}.seconds",
+                prev["kernels"][name]["seconds"],
+                cur["kernels"][name]["seconds"],
+                higher_is_better=False,
+            )
+    prev_gemm = prev["kernels"].get("xnor_gemm", {})
+    cur_gemm = cur["kernels"].get("xnor_gemm", {})
+    for name in sorted(set(prev_gemm) & set(cur_gemm)):
+        add(
+            f"kernel.xnor_gemm.{name}.seconds",
+            prev_gemm[name]["seconds"],
+            cur_gemm[name]["seconds"],
+            higher_is_better=False,
+        )
+    for arch in sorted(set(prev["e2e"]) & set(cur["e2e"])):
+        add(
+            f"e2e.{arch}.fps",
+            prev["e2e"][arch]["fps"],
+            cur["e2e"][arch]["fps"],
+            higher_is_better=True,
+        )
+    return out
+
+
+def render_run(run: Dict) -> str:
+    """Human-readable summary of one run."""
+    lines = [f"bench run ({run['label']}, numpy {run.get('numpy', '?')})"]
+    kernels = run["kernels"]
+    for name in ("pack_bits", "unpack_bits"):
+        entry = kernels[name]
+        lines.append(
+            f"  {name:<24s} {entry['seconds'] * 1e3:8.2f} ms "
+            f"({entry['gbits_per_s']:.2f} Gbit/s)"
+        )
+    for name, entry in kernels["xnor_gemm"].items():
+        lines.append(
+            f"  xnor_gemm {name:<14s} {entry['seconds'] * 1e3:8.2f} ms "
+            f"({entry['gops_per_s']:.2f} Gop/s)"
+        )
+    for arch, entry in run["e2e"].items():
+        slowest = max(run["stages"][arch], key=lambda s: s["seconds"])
+        lines.append(
+            f"  e2e {arch:<8s} {entry['fps']:8.1f} FPS "
+            f"({entry['images']} images in {entry['seconds'] * 1e3:.1f} ms; "
+            f"slowest stage {slowest['name']} "
+            f"{slowest['seconds'] * 1e3:.1f} ms)"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(records: Sequence[Dict]) -> str:
+    """Human-readable comparison table (from :func:`compare_runs`)."""
+    if not records:
+        return "no previous run to compare against"
+    lines = ["comparison vs previous run (speedup > 1 is faster):"]
+    for rec in records:
+        flag = "  REGRESSED" if rec["regressed"] else ""
+        lines.append(
+            f"  {rec['metric']:<34s} x{rec['speedup']:.2f}{flag}"
+        )
+    return "\n".join(lines)

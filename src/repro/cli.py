@@ -15,7 +15,10 @@ Wraps the library's main workflows for shell users:
 * ``lint``     — static AST lint (lock discipline, numpy RNG hygiene,
   views, exceptions) with a justified suppression baseline;
 * ``verify-model`` — static model-graph verification of the registered
-  architectures against their Table I foldings.
+  architectures against their Table I foldings;
+* ``bench``    — throughput measurement (kernels, per-stage wall time,
+  end-to-end FPS) recorded as a trajectory in ``BENCH_throughput.json``
+  with regression detection against the previous run.
 """
 
 from __future__ import annotations
@@ -139,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=BINARY_ARCHS + ("all",),
                           help="architecture to verify against its Table I "
                                "folding (default: all)")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="perf-regression benchmark: kernels, stages, end-to-end FPS",
+    )
+    p_bench.add_argument("--archs", nargs="+", default=list(BINARY_ARCHS),
+                         choices=BINARY_ARCHS)
+    p_bench.add_argument("--out", type=Path,
+                         default=Path("BENCH_throughput.json"),
+                         help="trajectory file to append to and compare "
+                              "against")
+    p_bench.add_argument("--images", type=int, default=16,
+                         help="batch size for the end-to-end timing")
+    p_bench.add_argument("--repeats", type=int, default=2,
+                         help="best-of repeats per timed section")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed fractional slowdown vs the previous "
+                              "run before the bench fails")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="tiny CI sanity run: validates the result "
+                              "schema (and --out, if present) without "
+                              "recording a trajectory entry")
+    p_bench.add_argument("--no-fail", action="store_true",
+                         help="report regressions without a non-zero exit")
+    p_bench.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -354,6 +382,51 @@ def _cmd_verify_model(args) -> int:
     return worst
 
 
+def _cmd_bench(args) -> int:
+    from repro.benchmarking import (
+        append_run,
+        compare_runs,
+        load_doc,
+        render_comparison,
+        render_run,
+        run_bench,
+        save_doc,
+    )
+
+    if args.smoke:
+        run = run_bench(smoke=True, seed=args.seed)
+        print(render_run(run))
+        if args.out.exists():
+            try:
+                load_doc(args.out)  # validates the recorded trajectory
+            except ValueError as exc:
+                print(f"error: {args.out}: {exc}", file=sys.stderr)
+                return 1
+            print(f"{args.out}: schema OK")
+        print("smoke bench OK (no trajectory entry recorded)")
+        return 0
+    run = run_bench(
+        archs=tuple(args.archs),
+        images=args.images,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(render_run(run))
+    doc = load_doc(args.out)
+    regressed = False
+    if doc is not None:
+        records = compare_runs(doc["runs"][-1], run, tolerance=args.tolerance)
+        print(render_comparison(records))
+        regressed = any(rec["regressed"] for rec in records)
+    doc = append_run(doc, run)
+    save_doc(doc, args.out)
+    print(f"recorded run {len(doc['runs'])} in {args.out}")
+    if regressed and not args.no_fail:
+        print("error: throughput regressed beyond tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
@@ -364,6 +437,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "lint": _cmd_lint,
     "verify-model": _cmd_verify_model,
+    "bench": _cmd_bench,
 }
 
 

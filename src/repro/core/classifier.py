@@ -8,6 +8,7 @@ paper's Table I dimensioning.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -157,16 +158,48 @@ class BinaryCoP:
         return self.history
 
     # -- inference -----------------------------------------------------------
-    def predict(self, images: np.ndarray, chunk_size: int = 256) -> np.ndarray:
+    def predict(
+        self,
+        images: np.ndarray,
+        chunk_size: int = 256,
+        num_workers: Optional[int] = None,
+    ) -> np.ndarray:
         """Argmax class predictions (software float path).
 
         Arbitrary-size inputs are evaluated in chunks of ``chunk_size``
         images so a huge batch (e.g. coalesced by the serving layer)
-        cannot blow up memory in one forward pass.
+        cannot blow up memory in one forward pass. ``num_workers`` runs
+        the chunks thread-parallel: numpy's GEMM/im2col kernels release
+        the GIL, and an inference-mode forward writes no model state the
+        next forward reads, so concurrent chunks give identical results
+        to serial (note the layers' autograd caches are not meaningful
+        afterwards — irrelevant for prediction).
         """
         if images.ndim == 3:
             images = images[None]
-        return predict_classes(self.model, images, chunk_size)
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if num_workers is None or num_workers == 1 or len(images) <= chunk_size:
+            return predict_classes(self.model, images, chunk_size)
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            chunks = [
+                images[start : start + chunk_size]
+                for start in range(0, len(images), chunk_size)
+            ]
+            with ThreadPoolExecutor(
+                max_workers=min(num_workers, len(chunks))
+            ) as pool:
+                parts = list(
+                    pool.map(
+                        lambda chunk: self.model.forward(chunk).argmax(axis=1),
+                        chunks,
+                    )
+                )
+            return np.concatenate(parts)
+        finally:
+            self.model.train(was_training)
 
     def evaluate(self, dataset: Dataset) -> Dict[str, float]:
         """Accuracy + per-class recall on a dataset split."""

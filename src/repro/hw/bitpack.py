@@ -57,20 +57,20 @@ class PackedBits:
         return int(self.words.nbytes)
 
 
-def _tail_mask(nbits: int) -> np.uint64:
-    """Mask of valid bits in the final word."""
-    rem = nbits % WORD_BITS
-    if rem == 0:
-        return np.uint64(0xFFFFFFFFFFFFFFFF)
-    return np.uint64((1 << rem) - 1)
-
-
 def pack_bits(x: np.ndarray) -> PackedBits:
     """Pack a ``{-1, +1}`` (or boolean) tensor along its last axis.
 
     ``+1``/``True`` maps to bit 1; ``-1``/``False``/``0`` to bit 0. Values
     other than these raise ``ValueError`` (a silent mis-pack would corrupt
     every downstream popcount).
+
+    Implemented on ``np.packbits`` in little-endian bit order, with the
+    resulting byte stream viewed as little-endian uint64 words: byte
+    ``j``'s bit ``i`` is logical bit ``8*j + i``, so eight consecutive
+    bytes read as one ``<u8`` word place logical bit ``64*w + k`` at word
+    bit ``k`` — the same layout the previous weighted-sum implementation
+    produced, without materialising a ``(…, n_words, 64)`` uint64
+    intermediate (the ×64 memory blow-up that dominated the hot loop).
     """
     x = np.asarray(x)
     if x.ndim == 0:
@@ -85,12 +85,23 @@ def pack_bits(x: np.ndarray) -> PackedBits:
         bits = x > 0
     nbits = x.shape[-1]
     n_words = (nbits + WORD_BITS - 1) // WORD_BITS
-    padded = np.zeros(x.shape[:-1] + (n_words * WORD_BITS,), dtype=bool)
-    padded[..., :nbits] = bits
-    # (…, n_words, 64) -> weighted sum over bit positions.
-    grouped = padded.reshape(x.shape[:-1] + (n_words, WORD_BITS))
-    weights = (np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64))
-    words = (grouped.astype(np.uint64) * weights).sum(axis=-1, dtype=np.uint64)
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    # Pad the byte axis to a whole number of words (packbits already
+    # zero-fills the slack bits inside the final byte).
+    pad = n_words * 8 - packed_bytes.shape[-1]
+    if pad:
+        packed_bytes = np.concatenate(
+            [
+                packed_bytes,
+                np.zeros(packed_bytes.shape[:-1] + (pad,), dtype=np.uint8),
+            ],
+            axis=-1,
+        )
+    words = (
+        np.ascontiguousarray(packed_bytes)
+        .view(np.dtype("<u8"))
+        .astype(np.uint64, copy=False)
+    )
     return PackedBits(words=words, nbits=nbits)
 
 
@@ -100,13 +111,19 @@ def unpack_bits(packed: PackedBits, dtype=np.float32) -> np.ndarray:
     With ``dtype=bool`` returns the raw bit values instead.
     """
     words = packed.words
-    shifts = np.arange(WORD_BITS, dtype=np.uint64)
-    bits = (words[..., None] >> shifts) & np.uint64(1)
-    flat = bits.reshape(words.shape[:-1] + (words.shape[-1] * WORD_BITS,))
-    flat = flat[..., : packed.nbits].astype(bool)
+    packed_bytes = (
+        np.ascontiguousarray(words).astype("<u8", copy=False).view(np.uint8)
+    )
+    bits8 = np.unpackbits(
+        packed_bytes, axis=-1, count=packed.nbits, bitorder="little"
+    )
     if dtype == bool or dtype is bool:
-        return flat
-    out = np.where(flat, 1.0, -1.0).astype(dtype)
+        return bits8.astype(bool)
+    # 0/1 -> -1/+1 computed in the target dtype (a np.where with python
+    # scalars would silently broadcast through float64).
+    out = bits8.astype(dtype)
+    out *= 2
+    out -= 1
     return out
 
 

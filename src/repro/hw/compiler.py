@@ -19,12 +19,14 @@ everything downstream is 1-bit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hw.bitpack import pack_bits
+from repro.hw.bitpack import WORD_BITS, PackedBits, pack_bits, unpack_bits
 from repro.hw.maxpool_unit import MaxPoolUnit, MaxPoolUnitConfig
 from repro.hw.mvtu import MVTU, MVTUConfig
 from repro.hw.swu import SlidingWindowUnit, SWUConfig
@@ -231,6 +233,10 @@ class FinnAccelerator:
     def quantize_input(images: np.ndarray) -> np.ndarray:
         """Quantise [0, 1] float images to the 8-bit integer input domain."""
         images = np.asarray(images)
+        if images.size == 0:
+            # An empty batch has no range to validate (min/max would
+            # raise); it quantises to an empty integer batch.
+            return images.astype(np.int64)
         if np.issubdtype(images.dtype, np.integer):
             if images.min() < 0 or images.max() > INPUT_SCALE:
                 raise ValueError(
@@ -246,6 +252,9 @@ class FinnAccelerator:
         images: np.ndarray,
         return_bits: bool = False,
         chunk_size: Optional[int] = None,
+        num_workers: Optional[int] = None,
+        use_packed: Optional[bool] = None,
+        stage_seconds: Optional[list] = None,
     ):
         """Run the integer datapath; returns integer logits ``(N, classes)``.
 
@@ -255,53 +264,145 @@ class FinnAccelerator:
         ``chunk_size`` bounds how many images flow through the datapath
         at once: the SWU materialises every sliding window, so an
         unbounded batch (e.g. one coalesced by the serving layer)
-        multiplies memory by ~K*K per conv stage. Chunking is
+        multiplies memory by ~K*K per conv stage. ``num_workers`` runs
+        the chunks thread-parallel (numpy releases the GIL in the
+        pack/XNOR/popcount kernels, so real overlap happens on
+        multi-core hosts); results are concatenated in submission order,
+        identical to the serial result for any chunking. Chunking is
         incompatible with ``return_bits`` (the per-stage traces would
         need re-stitching across chunks).
+
+        ``use_packed`` controls the pack-once fast path: ``None`` (the
+        default) and ``True`` keep activations bit-packed between stages
+        wherever the geometry is word-aligned (``channels % 64 == 0`` —
+        every CNV stage; n-CNV/µ-CNV's narrow stages fall back
+        transparently); ``False`` forces the boolean reference path.
+        Both paths are bit-exact by construction.
         """
+        images = np.asarray(images)
         if images.ndim == 3:
             images = images[None]
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
         if chunk_size is not None:
             if chunk_size <= 0:
                 raise ValueError(f"chunk_size must be positive, got {chunk_size}")
             if return_bits:
                 raise ValueError("chunk_size cannot be combined with return_bits")
             if images.shape[0] > chunk_size:
-                return np.concatenate(
-                    [
-                        self.execute(images[start : start + chunk_size])
-                        for start in range(0, images.shape[0], chunk_size)
-                    ]
-                )
+                chunks = [
+                    images[start : start + chunk_size]
+                    for start in range(0, images.shape[0], chunk_size)
+                ]
+                run = partial(self.execute, use_packed=use_packed)
+                if num_workers is not None and num_workers > 1:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    with ThreadPoolExecutor(
+                        max_workers=min(num_workers, len(chunks))
+                    ) as pool:
+                        parts = list(pool.map(run, chunks))
+                else:
+                    parts = [run(chunk) for chunk in chunks]
+                return np.concatenate(parts)
         if images.shape[1:] != self.input_shape:
             raise ValueError(
                 f"input {images.shape[1:]} does not match accelerator "
                 f"input {self.input_shape}"
             )
         n = images.shape[0]
-        current = self.quantize_input(images)
+        if n == 0:
+            # The serving batcher may drain a batch to nothing (timeouts,
+            # cancellations); an empty batch yields empty logits rather
+            # than a crash deep in quantisation.
+            logits = np.zeros((0, self.num_classes), dtype=np.int64)
+            return (logits, []) if return_bits else logits
+        packed_enabled = use_packed is None or use_packed
+        current: Optional[np.ndarray] = self.quantize_input(images)
+        packed: Optional[PackedBits] = None
         bits_trace = []
         flat = False
         for stage in self.stages:
+            stage_start = time.perf_counter() if stage_seconds is not None else 0.0
+            cfg = stage.mvtu.config
             if stage.kind == "conv":
-                rows = stage.swu.execute(current)
-                if stage.mvtu.config.input_bits == 1:
-                    out_bits = stage.mvtu.execute(pack_bits(rows.astype(bool)))
+                # Emit packed output when the out-channel count is
+                # word-aligned: pooling, the next SWU and the FC flatten
+                # all consume the packed form directly.
+                pack_out = packed_enabled and cfg.rows % WORD_BITS == 0
+                if cfg.input_bits == 8:
+                    out = stage.mvtu.execute(
+                        stage.swu.execute(current), pack_output=pack_out
+                    )
+                elif packed is not None:
+                    out = stage.mvtu.execute(
+                        stage.swu.execute_packed(packed), pack_output=pack_out
+                    )
                 else:
-                    out_bits = stage.mvtu.execute(rows)
+                    rows = stage.swu.execute(current)
+                    out = stage.mvtu.execute(
+                        pack_bits(rows.astype(bool)), pack_output=pack_out
+                    )
                 oh, ow = stage.swu.config.out_hw
-                fm = out_bits.reshape(n, oh, ow, stage.mvtu.config.rows)
-                if stage.pool is not None:
-                    fm = stage.pool.execute(fm)
-                current = fm
+                if pack_out:
+                    fm = PackedBits(
+                        words=out.words.reshape(n, oh, ow, out.n_words),
+                        nbits=out.nbits,
+                    )
+                    if stage.pool is not None:
+                        fm = stage.pool.execute_packed(fm)
+                    packed, current = fm, None
+                else:
+                    fm = out.reshape(n, oh, ow, cfg.rows)
+                    if stage.pool is not None:
+                        fm = stage.pool.execute(fm)
+                    current, packed = fm, None
             else:  # fc
-                if not flat:
-                    current = current.reshape(n, -1)
+                if packed is not None:
+                    if packed.words.ndim > 2:
+                        # Flatten a channel-packed (n, h, w, cw) map:
+                        # channels are the fastest logical axis, so the
+                        # raveled words are the packed raveled bits.
+                        h, w = packed.words.shape[1:3]
+                        packed = PackedBits(
+                            words=packed.words.reshape(n, -1),
+                            nbits=h * w * packed.nbits,
+                        )
+                    vec = packed
+                else:
+                    if not flat:
+                        current = current.reshape(n, -1)
+                        flat = True
+                    vec = pack_bits(np.asarray(current).astype(bool))
+                pack_out = (
+                    packed_enabled
+                    and cfg.has_threshold
+                    and cfg.rows % WORD_BITS == 0
+                )
+                out = stage.mvtu.execute(vec, pack_output=pack_out)
+                if pack_out:
+                    packed, current = out, None
+                else:
+                    current, packed = out, None
                     flat = True
-                packed = pack_bits(np.asarray(current).astype(bool))
-                current = stage.mvtu.execute(packed)
+            if stage_seconds is not None:
+                stage_seconds.append(
+                    (stage.name, time.perf_counter() - stage_start)
+                )
             if return_bits:
-                bits_trace.append(np.asarray(current))
+                # The trace is defined in the boolean domain regardless
+                # of which path produced it (equivalence tests diff the
+                # two paths stage by stage).
+                bits_trace.append(
+                    unpack_bits(packed, dtype=bool)
+                    if packed is not None
+                    else np.asarray(current)
+                )
+        if current is None:
+            raise RuntimeError(
+                "datapath ended in the packed domain — the final stage "
+                "must stream un-thresholded logits"
+            )
         logits = np.asarray(current)
         if logits.shape != (n, self.num_classes):
             raise RuntimeError(
@@ -313,10 +414,29 @@ class FinnAccelerator:
         return logits
 
     def predict(
-        self, images: np.ndarray, chunk_size: Optional[int] = None
+        self,
+        images: np.ndarray,
+        chunk_size: Optional[int] = None,
+        num_workers: Optional[int] = None,
     ) -> np.ndarray:
-        """Argmax classification over the integer logits (chunked on demand)."""
-        return self.execute(images, chunk_size=chunk_size).argmax(axis=1)
+        """Argmax classification over the integer logits.
+
+        ``chunk_size`` bounds per-pass memory; ``num_workers`` runs the
+        chunks thread-parallel (when given without ``chunk_size``, the
+        batch is split evenly across the workers).
+        """
+        images = np.asarray(images)
+        if (
+            num_workers is not None
+            and num_workers > 1
+            and chunk_size is None
+            and images.ndim == 4
+            and images.shape[0] > 1
+        ):
+            chunk_size = -(-images.shape[0] // num_workers)
+        return self.execute(
+            images, chunk_size=chunk_size, num_workers=num_workers
+        ).argmax(axis=1)
 
     # -- reporting -----------------------------------------------------------
     def stage_intervals(self) -> List[Tuple[str, int]]:

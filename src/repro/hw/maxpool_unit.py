@@ -14,6 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.hw.bitpack import PackedBits
 from repro.nn.functional import conv_output_hw, pool_windows
 
 __all__ = ["MaxPoolUnitConfig", "MaxPoolUnit"]
@@ -66,6 +67,35 @@ class MaxPoolUnit:
             )
         windows = pool_windows(bits.astype(np.uint8), cfg.pool, cfg.pool)
         return windows.any(axis=3)
+
+    def execute_packed(self, packed: PackedBits) -> PackedBits:
+        """OR-reduce a channel-packed map word-wise: 64 channels per op.
+
+        ``packed.words`` is ``(n, H, W, C/64)``; the boolean OR of the
+        pool window is exactly the ``bitwise_or`` of its packed words,
+        so the unit never has to unpack — the software realisation of
+        the paper's "a single binary '1' suffices" observation.
+        """
+        cfg = self.config
+        words = packed.words
+        if words.ndim != 4:
+            raise ValueError(
+                f"{cfg.name}: expected packed (n, H, W, C/64) words, got "
+                f"{words.shape}"
+            )
+        n, h, w, cw = words.shape
+        if (h, w) != cfg.in_hw or packed.nbits != cfg.channels:
+            raise ValueError(
+                f"{cfg.name}: packed map {(h, w, packed.nbits)} does not "
+                f"match configured {cfg.in_hw + (cfg.channels,)}"
+            )
+        ph, pw = cfg.pool
+        oh, ow = cfg.out_hw
+        tiled = words.reshape(n, oh, ph, ow, pw, cw)
+        pooled = np.bitwise_or.reduce(
+            np.bitwise_or.reduce(tiled, axis=4), axis=2
+        )
+        return PackedBits(words=pooled, nbits=packed.nbits)
 
     def cycles_per_image(self) -> int:
         """One output window per cycle."""

@@ -20,7 +20,11 @@ from typing import Optional
 import numpy as np
 
 from repro.hw.bitpack import PackedBits, pack_bits
-from repro.hw.thresholding import ThresholdSpec, apply_thresholds
+from repro.hw.thresholding import (
+    ThresholdSpec,
+    apply_thresholds,
+    apply_thresholds_packed,
+)
 from repro.hw.xnor_kernels import bipolar_from_popcount, xnor_matmul_popcount
 
 __all__ = ["MVTUConfig", "MVTU"]
@@ -159,17 +163,27 @@ class MVTU:
             )
         return vec.astype(np.int64) @ self._int_weights.astype(np.int64).T
 
-    def execute(self, vectors) -> np.ndarray:
+    def execute(self, vectors, pack_output: bool = False):
         """Full unit: accumulate then threshold.
 
         Returns boolean output bits ``(n, rows)`` when thresholding, or
-        the bipolar/integer accumulators for the final layer.
+        the bipolar/integer accumulators for the final layer. With
+        ``pack_output`` the thresholded bits are emitted as
+        :class:`PackedBits` (packed along rows) — the packed-domain
+        datapath's stage-to-stage currency.
         """
         acc = self.compute_accumulators(vectors)
         if self.thresholds is None:
+            if pack_output:
+                raise ValueError(
+                    f"{self.config.name}: the un-thresholded accumulator "
+                    "stream cannot be bit-packed"
+                )
             if self.config.input_bits == 1:
                 return bipolar_from_popcount(acc, self.config.cols)
             return acc
+        if pack_output:
+            return apply_thresholds_packed(acc, self.thresholds)
         return apply_thresholds(acc, self.thresholds)
 
     # -- timing ---------------------------------------------------------------

@@ -150,12 +150,19 @@ def simulate_stream(
     n_stages = len(intervals)
     start = np.zeros((num_images, n_stages), dtype=np.int64)
     finish = np.zeros((num_images, n_stages), dtype=np.int64)
-    for i in range(num_images):
-        for l in range(n_stages):
-            ready_input = finish[i, l - 1] if l > 0 else 0
-            ready_stage = finish[i - 1, l] if i > 0 else 0
-            start[i, l] = max(ready_input, ready_stage)
-            finish[i, l] = start[i, l] + intervals[l]
+    # Per stage the recurrence finish[i] = max(prev[i], finish[i-1]) + II
+    # telescopes into a prefix-max: with g[i] = finish[i] - (i+1)*II it
+    # becomes g[i] = max(prev[i] - i*II, g[i-1]), i.e. a running maximum
+    # over the image axis — one O(n) scan per stage instead of a Python
+    # loop over every (image, stage) cell.
+    steps = np.arange(num_images, dtype=np.int64)
+    prev = np.zeros(num_images, dtype=np.int64)
+    for l, interval in enumerate(intervals):
+        scan = np.maximum.accumulate(prev - steps * interval)
+        stage_finish = scan + (steps + 1) * interval
+        finish[:, l] = stage_finish
+        start[:, l] = stage_finish - interval
+        prev = stage_finish
     total_cycles = int(finish[-1, -1])
     fps = num_images / (total_cycles / (clock_mhz * 1e6))
     return {

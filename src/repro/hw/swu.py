@@ -19,7 +19,9 @@ from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.hw.bitpack import WORD_BITS, PackedBits
 from repro.nn.functional import conv_output_hw, im2col
 
 __all__ = ["SWUConfig", "SlidingWindowUnit"]
@@ -57,6 +59,18 @@ class SWUConfig:
     def window_elems(self) -> int:
         return self.kernel[0] * self.kernel[1] * self.channels
 
+    @property
+    def supports_packed(self) -> bool:
+        """Whether the packed-domain gather can run for this geometry.
+
+        Packing is along channels (fastest axis of a window row), so a
+        window built from whole channel words is itself a valid packed
+        row exactly when the channel count is word-aligned — CNV's
+        64/128/256-channel stages qualify; n-CNV/µ-CNV's 16/32-channel
+        stages fall back to the boolean path.
+        """
+        return self.channels % WORD_BITS == 0
+
 
 class SlidingWindowUnit:
     """Functional + timed SWU."""
@@ -89,6 +103,45 @@ class SlidingWindowUnit:
             out = im2col(feature_map, cfg.kernel, cfg.stride, (0, 0))
         oh, ow = cfg.out_hw
         return out.reshape(n * oh * ow, cfg.window_elems)
+
+    def execute_packed(self, packed: PackedBits) -> PackedBits:
+        """Packed-domain im2col: gather channel *words* instead of bits.
+
+        ``packed`` holds a channel-packed feature map — ``words`` of
+        shape ``(n, H, W, C / 64)`` with ``nbits == C`` — and the result
+        packs the same window rows :meth:`execute` would produce:
+        because the window layout is ``(kh, kw, C)`` with channels
+        fastest and ``C`` is word-aligned, concatenating the window
+        cells' words *is* the packed concatenation of their bits. The
+        gather therefore moves 64 bits per element and never leaves the
+        bit domain (no float64 im2col, no re-pack).
+        """
+        cfg = self.config
+        if not cfg.supports_packed:
+            raise ValueError(
+                f"{cfg.name}: packed gather needs word-aligned channels, "
+                f"got {cfg.channels}"
+            )
+        words = packed.words
+        if words.ndim != 4:
+            raise ValueError(
+                f"{cfg.name}: expected packed (n, H, W, C/64) words, got "
+                f"{words.shape}"
+            )
+        n, h, w, _ = words.shape
+        if (h, w) != cfg.in_hw or packed.nbits != cfg.channels:
+            raise ValueError(
+                f"{cfg.name}: packed map {(h, w, packed.nbits)} does not "
+                f"match configured {cfg.in_hw + (cfg.channels,)}"
+            )
+        kh, kw = cfg.kernel
+        sh, sw = cfg.stride
+        windows = sliding_window_view(words, (kh, kw), axis=(1, 2))
+        windows = windows[:, ::sh, ::sw]  # (n, oh, ow, cw, kh, kw)
+        windows = windows.transpose(0, 1, 2, 4, 5, 3)  # (n, oh, ow, kh, kw, cw)
+        oh, ow = cfg.out_hw
+        rows = np.ascontiguousarray(windows).reshape(n * oh * ow, -1)
+        return PackedBits(words=rows, nbits=cfg.window_elems)
 
     def cycles_per_image(self) -> int:
         """Streaming initiation interval for one image."""

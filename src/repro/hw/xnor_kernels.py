@@ -12,8 +12,9 @@ XNOR of tail padding is masked off by construction (both operands pad
 with zero bits, XNOR would count them as matches, so we XOR and count
 mismatches of the *valid* prefix instead: matches = F - mismatches; XOR
 of zero padding is zero and contributes no mismatches — no explicit tail
-mask needed), and large batch×neuron products are blocked to bound the
-``(M, N, W)`` intermediate.
+mask needed), and the GEMM accumulates per packed word into the
+``(M, N)`` output — blocked over rows with an auto-tuned slab size — so
+no ``(M, N, W)`` intermediate is ever materialised.
 """
 
 from __future__ import annotations
@@ -24,9 +25,25 @@ from repro.hw.bitpack import PackedBits, popcount
 
 __all__ = ["xnor_matmul_popcount", "xnor_dot_popcount", "bipolar_from_popcount"]
 
-# Block size (rows of A per slab) keeping the (block, N, W) xor tensor
-# small enough to stay cache-friendly on a laptop-class core.
-_BLOCK_ELEMS = 4_000_000
+# Target working-set size (elements) for one blocked GEMM pass: the
+# per-word xor temporary plus the int64 accumulator slab, tuned to stay
+# inside a laptop-class L2. The row block size is derived from this and
+# the operand shapes in _choose_block.
+_BLOCK_ELEMS = 262_144
+
+
+def _choose_block(m: int, n: int, w: int) -> int:
+    """Rows of A per GEMM slab, auto-tuned from the operand shapes.
+
+    The inner loop revisits the ``(block, N)`` accumulator once per word,
+    so the slab (8-byte xor temporary + 8-byte accumulator per element)
+    must stay cache-resident across all ``w`` passes; wider weight
+    matrices therefore get proportionally shorter blocks. A single-word
+    operand needs no revisits, so it gets one maximal pass.
+    """
+    if w <= 1:
+        return m
+    return max(1, min(m, _BLOCK_ELEMS // max(1, n)))
 
 
 def bipolar_from_popcount(p: np.ndarray, fan_in: int) -> np.ndarray:
@@ -66,12 +83,20 @@ def xnor_matmul_popcount(a: PackedBits, b: PackedBits) -> np.ndarray:
     n = b.words.shape[0]
     w = a.n_words
     out = np.empty((m, n), dtype=np.int64)
-    block = max(1, _BLOCK_ELEMS // max(1, n * w))
-    bw = b.words[None, :, :]
+    block = _choose_block(m, n, w)
+    # Per-word accumulation: each pass XORs one packed word column of A
+    # against the matching column of B and adds its popcount into the
+    # (block, N) mismatch accumulator — the (block, N, W) xor tensor of
+    # the naive broadcast never exists.
+    bw_cols = np.ascontiguousarray(b.words.T)  # (w, n): one row per word
     for start in range(0, m, block):
         stop = min(m, start + block)
-        xor = np.bitwise_xor(a.words[start:stop, None, :], bw)
-        out[start:stop] = np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
+        aw = a.words[start:stop]
+        mismatches = np.zeros((stop - start, n), dtype=np.int64)
+        for k in range(w):
+            xor = np.bitwise_xor(aw[:, k, None], bw_cols[k][None, :])
+            mismatches += np.bitwise_count(xor)
+        out[start:stop] = mismatches
     # out currently holds mismatch counts; matches = F - mismatches.
     np.subtract(a.nbits, out, out=out)
     return out

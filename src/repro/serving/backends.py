@@ -77,13 +77,17 @@ class ClassifierBackend:
         name: Optional[str] = None,
         chunk_size: int = 256,
         max_concurrency: Optional[int] = None,
+        num_workers: Optional[int] = None,
     ) -> None:
         if not hasattr(classifier, "predict"):
             raise TypeError("classifier must expose predict(images, chunk_size=...)")
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
         self.classifier = classifier
         self.chunk_size = int(chunk_size)
+        self.num_workers = num_workers
         arch = getattr(classifier, "architecture", None)
         self.name = name or (f"software:{arch}" if arch else "software")
         if max_concurrency is None:
@@ -107,6 +111,14 @@ class ClassifierBackend:
         return 1
 
     def infer(self, images: np.ndarray) -> np.ndarray:
+        if self.num_workers is not None:
+            return np.asarray(
+                self.classifier.predict(
+                    images,
+                    chunk_size=self.chunk_size,
+                    num_workers=self.num_workers,
+                )
+            )
         return np.asarray(
             self.classifier.predict(images, chunk_size=self.chunk_size)
         )
@@ -128,11 +140,15 @@ class AcceleratorBackend:
         chunk_size: int = 64,
         max_concurrency: Optional[int] = None,
         clock_mhz: float = 100.0,
+        num_workers: Optional[int] = None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
         self.accelerator = accelerator
         self.chunk_size = int(chunk_size)
+        self.num_workers = num_workers
         self.name = name or f"accelerator:{accelerator.name}"
         self.timing = analyze_pipeline(accelerator, clock_mhz)
         if max_concurrency is None:
@@ -145,7 +161,11 @@ class AcceleratorBackend:
 
     def infer(self, images: np.ndarray) -> np.ndarray:
         return np.asarray(
-            self.accelerator.predict(images, chunk_size=self.chunk_size)
+            self.accelerator.predict(
+                images,
+                chunk_size=self.chunk_size,
+                num_workers=self.num_workers,
+            )
         )
 
     def modelled_batch_seconds(self, batch_size: int) -> float:

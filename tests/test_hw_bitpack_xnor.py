@@ -162,3 +162,61 @@ def test_pack_unpack_roundtrip_property(rows, nbits, seed):
     rng = np.random.default_rng(seed)
     x = sign(rng.standard_normal((rows, nbits))).astype(np.float32)
     np.testing.assert_array_equal(unpack_bits(pack_bits(x)), x)
+
+
+def reference_pack_words(bits: np.ndarray) -> np.ndarray:
+    """The pre-PR3 pack kernel: explicit 64-wide grouping + weighted sum."""
+    nbits = bits.shape[-1]
+    n_words = -(-nbits // WORD_BITS)
+    pad = n_words * WORD_BITS - nbits
+    padded = np.concatenate(
+        [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=bool)], axis=-1
+    )
+    grouped = padded.reshape(bits.shape[:-1] + (n_words, WORD_BITS))
+    weights = np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64)
+    return (grouped.astype(np.uint64) * weights).sum(
+        axis=-1, dtype=np.uint64
+    )
+
+
+class TestPackBitsMatchesOldKernel:
+    """The np.packbits rewrite must produce the exact same word layout."""
+
+    @pytest.mark.parametrize("nbits", [1, 7, 63, 64, 65, 127, 128, 129, 300])
+    def test_word_layout_identical(self, nbits):
+        rng = np.random.default_rng(nbits)
+        bits = rng.random((5, nbits)) < 0.5
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(packed.words, reference_pack_words(bits))
+
+    @pytest.mark.parametrize("nbits", [63, 64, 65])
+    def test_tail_roundtrip(self, nbits):
+        rng = np.random.default_rng(99)
+        bits = rng.random((3, 2, nbits)) < 0.5
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(unpack_bits(packed, dtype=bool), bits)
+        if nbits % WORD_BITS:
+            tail = packed.words[..., -1] >> np.uint64(nbits % WORD_BITS)
+            assert not tail.any()  # tail bits stay zero
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(1, 4),
+        nbits=st.integers(1, 260),
+        seed=st.integers(0, 10_000),
+    )
+    def test_word_layout_identical_property(self, rows, nbits, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random((rows, nbits)) < 0.5
+        np.testing.assert_array_equal(
+            pack_bits(bits).words, reference_pack_words(bits)
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.int8, np.int64])
+    def test_unpack_dtypes(self, dtype):
+        rng = np.random.default_rng(7)
+        bits = rng.random((2, 70)) < 0.5
+        out = unpack_bits(pack_bits(bits), dtype=dtype)
+        assert out.dtype == dtype
+        np.testing.assert_array_equal(out > 0, bits)
+        np.testing.assert_array_equal(np.abs(out), np.ones_like(out))

@@ -1,0 +1,270 @@
+"""Tests for the pack-once packed-domain datapath (PR 3).
+
+Locks three properties of the performance rework:
+
+1. the packed fast path (word-gathering SWU, OR-word pooling, packed
+   threshold outputs) is bit-exact against the boolean reference path,
+   per stage and end to end, for every Table I prototype;
+2. the rework did not move the numbers: golden logits captured from the
+   pre-change implementation on a fixed seed batch still come out
+   bit-identical;
+3. the new conveniences (empty batches, chunked/thread-parallel
+   prediction, the bench harness) behave and stay result-identical.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.architectures import build_architecture, table1_folding
+from repro.core.classifier import BinaryCoP
+from repro.hw.bitpack import pack_bits, unpack_bits
+from repro.hw.compiler import compile_model
+from repro.hw.maxpool_unit import MaxPoolUnit, MaxPoolUnitConfig
+from repro.hw.pipeline import simulate_stream
+from repro.hw.swu import SlidingWindowUnit, SWUConfig
+from repro.testing import randomize_bn_stats
+
+PROTOTYPES = ("cnv", "n-cnv", "u-cnv")
+
+# Logits of the pre-PR3 implementation for the seed batch below
+# (rng(1234), 4 images; build_architecture(rng=0) + randomize_bn_stats
+# defaults). Captured from the unmodified boolean datapath at the
+# commit preceding the packed-path rework.
+GOLDEN_LOGITS = {
+    "cnv": [[-54, 28, -8, 26], [-8, 34, 22, 16], [0, -2, -30, 0], [8, 30, -18, 4]],
+    "n-cnv": [[-8, -6, 2, 30], [-2, -8, -8, -8], [-10, 12, -4, -16], [-4, -6, -2, 6]],
+    "u-cnv": [[-20, 6, 4, -4], [-8, -2, 4, -4], [-24, -14, -8, 0], [-6, 4, 2, -10]],
+}
+
+
+@pytest.fixture(scope="module")
+def prototype_accelerators():
+    out = {}
+    for name in PROTOTYPES:
+        model = build_architecture(name, rng=0)
+        randomize_bn_stats(model)
+        model.eval()
+        out[name] = compile_model(model, table1_folding(name), name=name)
+    return out
+
+
+@pytest.fixture(scope="module")
+def seed_batch():
+    return np.random.default_rng(1234).random((4, 32, 32, 3)).astype(np.float32)
+
+
+class TestPackedVsBoolEquivalence:
+    @pytest.mark.parametrize("arch", PROTOTYPES)
+    def test_stage_traces_and_logits_identical(
+        self, prototype_accelerators, seed_batch, arch
+    ):
+        """Every per-stage bit map and the logits match the bool path."""
+        acc = prototype_accelerators[arch]
+        packed_logits, packed_trace = acc.execute(
+            seed_batch, return_bits=True, use_packed=True
+        )
+        bool_logits, bool_trace = acc.execute(
+            seed_batch, return_bits=True, use_packed=False
+        )
+        np.testing.assert_array_equal(packed_logits, bool_logits)
+        assert len(packed_trace) == len(bool_trace) == len(acc.stages)
+        for stage, p, b in zip(acc.stages, packed_trace, bool_trace):
+            assert p.shape == b.shape, stage.name
+            np.testing.assert_array_equal(p, b, err_msg=stage.name)
+
+    @pytest.mark.parametrize("arch", PROTOTYPES)
+    def test_default_path_is_packed_path(
+        self, prototype_accelerators, seed_batch, arch
+    ):
+        acc = prototype_accelerators[arch]
+        np.testing.assert_array_equal(
+            acc.execute(seed_batch), acc.execute(seed_batch, use_packed=True)
+        )
+
+
+class TestGoldenLogits:
+    @pytest.mark.parametrize("arch", PROTOTYPES)
+    def test_logits_unchanged_since_pre_packed_rework(
+        self, prototype_accelerators, seed_batch, arch
+    ):
+        """The perf rework must not move a single logit."""
+        np.testing.assert_array_equal(
+            prototype_accelerators[arch].execute(seed_batch),
+            np.array(GOLDEN_LOGITS[arch], dtype=np.int64),
+        )
+
+
+class TestPackedSWU:
+    def _packed_map(self, n=2, hw=(6, 6), channels=64, seed=0):
+        rng = np.random.default_rng(seed)
+        bits = rng.random((n, *hw, channels)) < 0.5
+        return bits, pack_bits(bits)
+
+    def test_matches_boolean_gather(self):
+        bits, packed = self._packed_map()
+        cfg = SWUConfig(name="swu", in_hw=(6, 6), channels=64)
+        swu = SlidingWindowUnit(cfg)
+        rows = swu.execute_packed(packed)
+        np.testing.assert_array_equal(
+            unpack_bits(rows, dtype=bool),
+            swu.execute(bits).astype(bool),
+        )
+
+    def test_stride_two(self):
+        bits, packed = self._packed_map(hw=(8, 8), channels=128, seed=3)
+        cfg = SWUConfig(name="swu", in_hw=(8, 8), channels=128, stride=(2, 2))
+        swu = SlidingWindowUnit(cfg)
+        np.testing.assert_array_equal(
+            unpack_bits(swu.execute_packed(packed), dtype=bool),
+            swu.execute(bits).astype(bool),
+        )
+
+    def test_supports_packed_flag(self):
+        aligned = SWUConfig(name="a", in_hw=(6, 6), channels=128)
+        narrow = SWUConfig(name="b", in_hw=(6, 6), channels=16)
+        assert aligned.supports_packed
+        assert not narrow.supports_packed
+
+    def test_rejects_unaligned_channels(self):
+        cfg = SWUConfig(name="swu", in_hw=(6, 6), channels=16)
+        bits = np.zeros((1, 6, 6, 16), dtype=bool)
+        with pytest.raises(ValueError, match="word-aligned"):
+            SlidingWindowUnit(cfg).execute_packed(pack_bits(bits))
+
+    def test_rejects_wrong_geometry(self):
+        cfg = SWUConfig(name="swu", in_hw=(6, 6), channels=64)
+        bits = np.zeros((1, 5, 5, 64), dtype=bool)
+        with pytest.raises(ValueError, match="does not"):
+            SlidingWindowUnit(cfg).execute_packed(pack_bits(bits))
+
+
+class TestPackedPooling:
+    def test_matches_boolean_or(self):
+        rng = np.random.default_rng(5)
+        bits = rng.random((3, 4, 4, 64)) < 0.3
+        cfg = MaxPoolUnitConfig(name="pool", in_hw=(4, 4), channels=64)
+        unit = MaxPoolUnit(cfg)
+        pooled = unit.execute_packed(pack_bits(bits))
+        np.testing.assert_array_equal(
+            unpack_bits(pooled, dtype=bool), unit.execute(bits)
+        )
+
+    def test_rejects_wrong_shape(self):
+        cfg = MaxPoolUnitConfig(name="pool", in_hw=(4, 4), channels=64)
+        flat = pack_bits(np.zeros((2, 64), dtype=bool))
+        with pytest.raises(ValueError, match=r"\(n, H, W"):
+            MaxPoolUnit(cfg).execute_packed(flat)
+
+
+class TestEmptyBatch:
+    def test_quantize_input_empty(self, prototype_accelerators):
+        acc = prototype_accelerators["u-cnv"]
+        empty = np.zeros((0, 32, 32, 3), dtype=np.float32)
+        assert acc.quantize_input(empty).shape == (0, 32, 32, 3)
+
+    def test_execute_empty(self, prototype_accelerators):
+        acc = prototype_accelerators["u-cnv"]
+        empty = np.zeros((0, 32, 32, 3), dtype=np.float32)
+        logits = acc.execute(empty)
+        assert logits.shape == (0, acc.num_classes)
+        assert logits.dtype == np.int64
+        logits2, trace = acc.execute(empty, return_bits=True)
+        assert logits2.shape == (0, acc.num_classes)
+        assert trace == []
+
+    def test_predict_empty(self, prototype_accelerators):
+        acc = prototype_accelerators["u-cnv"]
+        empty = np.zeros((0, 32, 32, 3), dtype=np.float32)
+        assert acc.predict(empty).shape == (0,)
+
+
+class TestParallelPredict:
+    def test_accelerator_four_workers_matches_serial(
+        self, prototype_accelerators, seed_batch
+    ):
+        acc = prototype_accelerators["u-cnv"]
+        images = np.tile(seed_batch, (3, 1, 1, 1))  # 12 images, >=4 chunks
+        serial = acc.predict(images)
+        parallel = acc.predict(images, chunk_size=3, num_workers=4)
+        np.testing.assert_array_equal(parallel, serial)
+
+    def test_accelerator_auto_chunking(self, prototype_accelerators, seed_batch):
+        acc = prototype_accelerators["u-cnv"]
+        np.testing.assert_array_equal(
+            acc.predict(seed_batch, num_workers=4), acc.predict(seed_batch)
+        )
+
+    def test_execute_chunked_matches_whole_batch(
+        self, prototype_accelerators, seed_batch
+    ):
+        acc = prototype_accelerators["u-cnv"]
+        np.testing.assert_array_equal(
+            acc.execute(seed_batch, chunk_size=1, num_workers=2),
+            acc.execute(seed_batch),
+        )
+
+    def test_classifier_four_workers_matches_serial(self, seed_batch):
+        clf = BinaryCoP("u-cnv", rng=0)
+        randomize_bn_stats(clf.model)
+        images = np.tile(seed_batch, (3, 1, 1, 1))
+        serial = clf.predict(images)
+        parallel = clf.predict(images, chunk_size=3, num_workers=4)
+        np.testing.assert_array_equal(parallel, serial)
+
+    def test_classifier_restores_training_mode(self, seed_batch):
+        clf = BinaryCoP("u-cnv", rng=0)
+        randomize_bn_stats(clf.model)
+        assert clf.model.training
+        clf.predict(np.tile(seed_batch, (2, 1, 1, 1)), chunk_size=2, num_workers=2)
+        assert clf.model.training
+
+    def test_invalid_num_workers(self, prototype_accelerators, seed_batch):
+        with pytest.raises(ValueError, match="num_workers"):
+            prototype_accelerators["u-cnv"].predict(seed_batch, num_workers=0)
+        clf = BinaryCoP("u-cnv", rng=0)
+        with pytest.raises(ValueError, match="num_workers"):
+            clf.predict(seed_batch, num_workers=-1)
+
+
+class TestSimulateStreamScan:
+    def test_matches_reference_recurrence(self, prototype_accelerators):
+        """The vectorised scan equals the original cell-by-cell recurrence."""
+        for acc in prototype_accelerators.values():
+            intervals = [ii for _, ii in acc.stage_intervals()]
+            for num_images in (1, 2, 7, 25):
+                ref_start = np.zeros((num_images, len(intervals)), dtype=np.int64)
+                ref_finish = np.zeros_like(ref_start)
+                for i in range(num_images):
+                    for l, interval in enumerate(intervals):
+                        ready_input = ref_finish[i, l - 1] if l > 0 else 0
+                        ready_stage = ref_finish[i - 1, l] if i > 0 else 0
+                        ref_start[i, l] = max(ready_input, ready_stage)
+                        ref_finish[i, l] = ref_start[i, l] + interval
+                sim = simulate_stream(acc, num_images)
+                np.testing.assert_array_equal(sim["start"], ref_start)
+                np.testing.assert_array_equal(sim["finish"], ref_finish)
+
+
+class TestBenchCLI:
+    def test_smoke_passes_and_validates_existing_doc(self, tmp_path):
+        out = tmp_path / "BENCH_throughput.json"
+        assert main(["bench", "--smoke", "--out", str(out)]) == 0
+        # Smoke mode records nothing.
+        assert not out.exists()
+
+    def test_smoke_rejects_malformed_doc(self, tmp_path):
+        out = tmp_path / "BENCH_throughput.json"
+        out.write_text(json.dumps({"schema": "wrong", "runs": []}))
+        assert main(["bench", "--smoke", "--out", str(out)]) == 1
+
+    def test_smoke_run_shape(self):
+        from repro.benchmarking import run_bench, validate_run
+
+        run = run_bench(smoke=True)
+        validate_run(run)
+        assert "pack_bits" in run["kernels"]
+        assert "xnor_gemm" in run["kernels"]
+        assert run["e2e"]["u-cnv"]["fps"] > 0

@@ -227,6 +227,29 @@ class TestBackends:
         with pytest.raises(TypeError, match="predict"):
             ClassifierBackend(object())
 
+    def test_backends_with_num_workers_match_serial(
+        self, trained_tiny_classifier, tiny_bnn
+    ):
+        images = grid_images(9, hw=32)
+        serial = ClassifierBackend(trained_tiny_classifier, chunk_size=3)
+        parallel = ClassifierBackend(
+            trained_tiny_classifier, chunk_size=3, num_workers=4
+        )
+        np.testing.assert_array_equal(parallel.infer(images), serial.infer(images))
+
+        folding = FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1))
+        acc = compile_model(tiny_bnn, folding)
+        small = grid_images(9, hw=8)
+        serial_acc = AcceleratorBackend(acc, chunk_size=3)
+        parallel_acc = AcceleratorBackend(acc, chunk_size=3, num_workers=4)
+        np.testing.assert_array_equal(
+            parallel_acc.infer(small), serial_acc.infer(small)
+        )
+
+    def test_backends_reject_invalid_num_workers(self, trained_tiny_classifier):
+        with pytest.raises(ValueError, match="num_workers"):
+            ClassifierBackend(trained_tiny_classifier, num_workers=0)
+
 
 # ---------------------------------------------------------------------------
 # worker pool (stub backends)
