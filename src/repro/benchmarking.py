@@ -65,6 +65,13 @@ GEMM_SHAPES: Tuple[Tuple[str, int, int, int], ...] = (
 #: Bit tensor shape for the pack/unpack kernel bench (CNV conv2_2 rows).
 BITPACK_SHAPE: Tuple[int, int] = (4096, 1152)
 
+#: Training benchmark config: CNV at the paper's 32x32 input resolution.
+TRAIN_BENCH: Dict = {"arch": "cnv", "batch_size": 32, "steps": 8}
+
+#: Generation benchmark sizing (samples rendered, raw size for the cache
+#: round-trip). Worker count is ``min(4, cpu_count)`` at run time.
+GEN_BENCH: Dict = {"samples": 48, "cache_raw_size": 200}
+
 
 def _best_seconds(fn, repeats: int, warmup: int = 1) -> float:
     """Best-of-``repeats`` wall time of ``fn()`` after ``warmup`` calls."""
@@ -134,6 +141,86 @@ def _bench_accelerator(
     return stages, e2e
 
 
+def _bench_generation(seed: int, samples: int, cache_raw_size: int) -> Dict:
+    """Dataset-generation throughput: serial vs pooled render, cold vs
+    warm cache round-trip through :func:`build_masked_face_dataset`."""
+    import tempfile
+
+    from repro.data.dataset import build_masked_face_dataset
+    from repro.data.generator import FaceSampleGenerator
+
+    workers = min(4, os.cpu_count() or 1)
+    generator = FaceSampleGenerator()
+
+    start = time.perf_counter()
+    generator.generate_batch(samples, np.random.default_rng(seed))
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    generator.generate_batch(samples, np.random.default_rng(seed), num_workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        start = time.perf_counter()
+        build_masked_face_dataset(raw_size=cache_raw_size, rng=seed, cache_dir=tmp)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        build_masked_face_dataset(raw_size=cache_raw_size, rng=seed, cache_dir=tmp)
+        warm_s = time.perf_counter() - start
+
+    return {
+        "samples": samples,
+        "serial": {"seconds": serial_s, "samples_per_s": samples / serial_s},
+        "parallel": {
+            "workers": workers,
+            "seconds": parallel_s,
+            "samples_per_s": samples / parallel_s,
+            "speedup_vs_serial": serial_s / parallel_s,
+        },
+        "cache": {
+            "raw_size": cache_raw_size,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "warm_speedup": cold_s / warm_s,
+        },
+    }
+
+
+def _bench_training(seed: int, arch: str, batch_size: int, steps: int) -> Dict:
+    """Training-step throughput, with and without the buffer arena.
+
+    The two configurations are bit-identical in their numerics (pinned by
+    tests), so ``arena_speedup`` isolates exactly what buffer reuse buys.
+    """
+    from repro.nn import Adam, Trainer
+
+    n = batch_size * steps
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=(n, 32, 32, 3)).astype(np.float32)
+    y = gen.integers(0, 4, size=n).astype(np.int64)
+
+    result: Dict = {"arch": arch, "batch_size": batch_size, "steps": steps}
+    for key, use_arena in (("baseline", False), ("arena", True)):
+        model = build_architecture(arch, rng=seed)
+        trainer = Trainer(
+            model, Adam(model.parameters(), lr=0.01), use_arena=use_arena
+        )
+        epoch_rng = np.random.default_rng(seed + 1)
+        warm = min(n, 2 * batch_size)
+        trainer.train_epoch(x[:warm], y[:warm], batch_size, epoch_rng)
+        start = time.perf_counter()
+        trainer.train_epoch(x, y, batch_size, epoch_rng)
+        epoch_s = time.perf_counter() - start
+        result[key] = {
+            "epoch_seconds": epoch_s,
+            "steps_per_s": steps / epoch_s,
+            "samples_per_s": n / epoch_s,
+        }
+    result["arena_speedup"] = (
+        result["arena"]["steps_per_s"] / result["baseline"]["steps_per_s"]
+    )
+    return result
+
+
 def run_bench(
     archs: Sequence[str] = BENCH_ARCHS,
     images: int = 16,
@@ -155,9 +242,13 @@ def run_bench(
         repeats = 1
         gemm_shapes = (("smoke-fc", 8, 256, 32),)
         bitpack_shape = (64, 256)
+        gen_cfg = {"samples": 6, "cache_raw_size": 40}
+        train_cfg = {"arch": "u-cnv", "batch_size": 8, "steps": 2}
     else:
         gemm_shapes = GEMM_SHAPES
         bitpack_shape = BITPACK_SHAPE
+        gen_cfg = dict(GEN_BENCH)
+        train_cfg = dict(TRAIN_BENCH)
     for arch in archs:
         if arch not in BENCH_ARCHS:
             raise ValueError(f"unknown bench architecture {arch!r}")
@@ -185,6 +276,9 @@ def run_bench(
         stages, e2e = _bench_accelerator(accelerator, batch, repeats)
         run["stages"][arch] = stages
         run["e2e"][arch] = e2e
+
+    run["generation"] = _bench_generation(seed, **gen_cfg)
+    run["training"] = _bench_training(seed, **train_cfg)
     validate_run(run)
     return run
 
@@ -219,6 +313,26 @@ def validate_run(run: Dict) -> None:
         for stage in run["stages"][arch]:
             if "name" not in stage or not stage.get("seconds", -1) >= 0:
                 raise ValueError(f"malformed stage entry in {arch!r}")
+    # Generation/training sections are optional (older trajectory entries
+    # predate them) but validated whenever present.
+    if "generation" in run:
+        gen = run["generation"]
+        for section in ("serial", "parallel"):
+            if not gen.get(section, {}).get("samples_per_s", 0) > 0:
+                raise ValueError(
+                    f"generation.{section} has no positive 'samples_per_s'"
+                )
+        cache = gen.get("cache", {})
+        for key in ("cold_seconds", "warm_seconds"):
+            if not cache.get(key, 0) > 0:
+                raise ValueError(f"generation.cache has no positive {key!r}")
+    if "training" in run:
+        train = run["training"]
+        for section in ("baseline", "arena"):
+            if not train.get(section, {}).get("steps_per_s", 0) > 0:
+                raise ValueError(
+                    f"training.{section} has no positive 'steps_per_s'"
+                )
 
 
 def validate_doc(doc: Dict) -> None:
@@ -311,6 +425,30 @@ def compare_runs(prev: Dict, cur: Dict, tolerance: float = 0.25) -> List[Dict]:
             cur["e2e"][arch]["fps"],
             higher_is_better=True,
         )
+    prev_gen, cur_gen = prev.get("generation"), cur.get("generation")
+    if prev_gen and cur_gen:
+        for section in ("serial", "parallel"):
+            add(
+                f"generation.{section}.samples_per_s",
+                prev_gen[section]["samples_per_s"],
+                cur_gen[section]["samples_per_s"],
+                higher_is_better=True,
+            )
+        add(
+            "generation.cache.warm_seconds",
+            prev_gen["cache"]["warm_seconds"],
+            cur_gen["cache"]["warm_seconds"],
+            higher_is_better=False,
+        )
+    prev_train, cur_train = prev.get("training"), cur.get("training")
+    if prev_train and cur_train and prev_train.get("arch") == cur_train.get("arch"):
+        for section in ("baseline", "arena"):
+            add(
+                f"training.{section}.steps_per_s",
+                prev_train[section]["steps_per_s"],
+                cur_train[section]["steps_per_s"],
+                higher_is_better=True,
+            )
     return out
 
 
@@ -337,6 +475,34 @@ def render_run(run: Dict) -> str:
             f"slowest stage {slowest['name']} "
             f"{slowest['seconds'] * 1e3:.1f} ms)"
         )
+    gen = run.get("generation")
+    if gen:
+        lines.append(
+            f"  generation serial    {gen['serial']['samples_per_s']:8.1f} "
+            f"samples/s ({gen['samples']} samples)"
+        )
+        lines.append(
+            f"  generation parallel  {gen['parallel']['samples_per_s']:8.1f} "
+            f"samples/s ({gen['parallel']['workers']} workers, "
+            f"x{gen['parallel']['speedup_vs_serial']:.2f} vs serial)"
+        )
+        cache = gen["cache"]
+        lines.append(
+            f"  dataset cache        cold {cache['cold_seconds']:.2f} s, "
+            f"warm {cache['warm_seconds'] * 1e3:.1f} ms "
+            f"(x{cache['warm_speedup']:.0f} warm speedup, "
+            f"raw_size {cache['raw_size']})"
+        )
+    train = run.get("training")
+    if train:
+        for section in ("baseline", "arena"):
+            entry = train[section]
+            lines.append(
+                f"  train {section:<14s} {entry['steps_per_s']:8.2f} steps/s "
+                f"({train['arch']}, batch {train['batch_size']}, "
+                f"epoch {entry['epoch_seconds']:.2f} s)"
+            )
+        lines.append(f"  train arena_speedup  x{train['arena_speedup']:.2f}")
     return "\n".join(lines)
 
 

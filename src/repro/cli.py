@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--save", type=Path, required=True,
                          help="checkpoint output path (.npz)")
     p_train.add_argument("--quiet", action="store_true")
+    p_train.add_argument("--num-workers", type=int, default=1,
+                         help="render worker processes for dataset generation "
+                              "(bit-identical to serial at any count)")
+    p_train.add_argument("--data-cache", type=Path, default=None,
+                         help="directory for the on-disk dataset cache; "
+                              "repeat runs with the same config load from it")
 
     p_eval = sub.add_parser("evaluate", help="evaluate a checkpoint")
     p_eval.add_argument("--model", type=Path, required=True)
@@ -172,7 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_train(args) -> int:
     print(f"generating dataset (raw_size={args.raw_size}, seed={args.seed}) ...")
-    splits = build_masked_face_dataset(raw_size=args.raw_size, rng=args.seed)
+    splits = build_masked_face_dataset(
+        raw_size=args.raw_size,
+        rng=args.seed,
+        num_workers=args.num_workers,
+        cache_dir=args.data_cache,
+    )
     print(splits.summary())
     clf = BinaryCoP(args.arch, rng=args.seed)
     budget = TrainingBudget(epochs=args.epochs, learning_rate=args.lr)

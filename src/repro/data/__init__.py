@@ -15,6 +15,7 @@ from repro.data.attributes import (
     sample_attributes,
 )
 from repro.data.augmentation import Augmenter
+from repro.data.cache import DATA_VERSION, DatasetCache, dataset_cache_key
 from repro.data.balancing import (
     RAW_CLASS_PROBABILITIES,
     RAW_DATASET_SIZE,
@@ -43,8 +44,11 @@ __all__ = [
     "ApproachSequence",
     "Augmenter",
     "CLASS_NAMES",
+    "DATA_VERSION",
     "Dataset",
+    "DatasetCache",
     "DatasetSplits",
+    "dataset_cache_key",
     "FaceAttributes",
     "FaceKeypoints",
     "FaceSampleGenerator",

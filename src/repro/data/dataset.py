@@ -28,7 +28,7 @@ from repro.data.balancing import (
 )
 from repro.data.generator import FaceSampleGenerator
 from repro.data.mask_model import CLASS_NAMES, WearClass
-from repro.utils.rng import RngLike, as_generator, derive
+from repro.utils.rng import RngLike, as_generator, derive_entropy
 
 __all__ = ["Dataset", "DatasetSplits", "build_masked_face_dataset", "iterate_minibatches"]
 
@@ -109,6 +109,8 @@ def build_masked_face_dataset(
     split_fractions: Tuple[float, float, float] = (0.70, 0.10, 0.20),
     raw_class_probabilities: Tuple[float, float, float, float] = RAW_CLASS_PROBABILITIES,
     augmenter: Optional[Augmenter] = None,
+    num_workers: int = 1,
+    cache_dir=None,
 ) -> DatasetSplits:
     """Run the full §IV-A data pipeline on the synthetic generator.
 
@@ -124,15 +126,52 @@ def build_masked_face_dataset(
         How many augmented replicas to append per training image (the
         originals are always kept). Augmentation is train-split only —
         val/test stay clean, as in the paper's evaluation protocol.
+    num_workers:
+        Process-pool width for the rendering stage. Per-sample seeding
+        makes the output bit-identical for every worker count.
+    cache_dir:
+        Directory for the persistent dataset cache
+        (:class:`~repro.data.cache.DatasetCache`). A hit skips rendering
+        and streams images from memmap-backed shards; a miss (or a
+        corrupted entry) regenerates and stores. ``None`` disables
+        caching.
     """
-    gen_data = derive(rng, "generate")
-    gen_balance = derive(rng, "balance")
-    gen_augment = derive(rng, "augment")
-    gen_split = derive(rng, "split")
+    from repro.data.cache import DatasetCache  # local: cache imports this module
+
+    entropies = {
+        name: derive_entropy(rng, name)
+        for name in ("generate", "balance", "augment", "split")
+    }
+    gen_data = np.random.default_rng(entropies["generate"])
+    gen_balance = np.random.default_rng(entropies["balance"])
+    gen_augment = np.random.default_rng(entropies["augment"])
+    gen_split = np.random.default_rng(entropies["split"])
 
     generator = FaceSampleGenerator(image_size=image_size)
+    cache = config = None
+    if cache_dir is not None:
+        config = {
+            "raw_size": int(raw_size),
+            "image_size": int(generator.image_size),
+            "render_size": int(generator.render_size),
+            "entropies": entropies,
+            "augment": bool(augment),
+            "balance": bool(balance),
+            "augmented_copies": int(augmented_copies),
+            "split_fractions": [float(f) for f in split_fractions],
+            "raw_class_probabilities": [float(p) for p in raw_class_probabilities],
+            "augmenter": repr(augmenter) if augmenter is not None else None,
+        }
+        cache = DatasetCache(cache_dir)
+        cached = cache.load(config)
+        if cached is not None:
+            return cached
+
     images, labels = generator.generate_batch(
-        raw_size, gen_data, class_probabilities=raw_class_probabilities
+        raw_size,
+        gen_data,
+        class_probabilities=raw_class_probabilities,
+        num_workers=num_workers,
     )
     if balance:
         images, labels = balance_by_subsampling(images, labels, gen_balance)
@@ -154,11 +193,14 @@ def build_masked_face_dataset(
         x_train = np.concatenate([x_train, *extra_x])
         y_train = np.concatenate([y_train, *extra_y])
 
-    return DatasetSplits(
+    splits = DatasetSplits(
         train=Dataset(x_train, y_train),
         val=Dataset(x_val, y_val),
         test=Dataset(x_test, y_test),
     )
+    if cache is not None:
+        cache.store(config, splits)
+    return splits
 
 
 def iterate_minibatches(

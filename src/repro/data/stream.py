@@ -85,6 +85,7 @@ def render_approach_sequence(
     start_fraction: float = 0.25,
     end_fraction: float = 1.0,
     lateral_jitter: float = 0.2,
+    generator: Optional[FaceSampleGenerator] = None,
 ) -> ApproachSequence:
     """Synthesise one subject approaching the gate camera.
 
@@ -92,6 +93,10 @@ def render_approach_sequence(
     composited into each frame at a growing scale (``start_fraction`` →
     ``end_fraction`` of the frame edge) with decaying lateral drift
     (people centre themselves as they reach a gate).
+
+    ``generator`` lets stream drivers (e.g. :class:`SpeedGateSimulator`)
+    reuse one renderer across many subjects instead of rebuilding it per
+    approach; its ``image_size`` must equal ``frame_size``.
     """
     if n_frames < 2:
         raise ValueError(f"n_frames must be >= 2, got {n_frames}")
@@ -100,12 +105,16 @@ def render_approach_sequence(
             f"need 0 < start_fraction < end_fraction <= 1, got "
             f"{start_fraction}, {end_fraction}"
         )
+    if generator is None:
+        generator = FaceSampleGenerator(image_size=frame_size)
+    elif generator.image_size != frame_size:
+        raise ValueError(
+            f"generator renders {generator.image_size}x{generator.image_size} "
+            f"tiles but frame_size is {frame_size}"
+        )
     gen = as_generator(rng)
-    generator = FaceSampleGenerator(image_size=frame_size)
     sample = generator.generate_one(gen, spec)
-    background = np.asarray(
-        [gen.uniform(0.3, 0.8) for _ in range(3)], dtype=np.float32
-    )
+    background = gen.uniform(0.3, 0.8, 3).astype(np.float32)
     frames: List[StreamFrame] = []
     for i in range(n_frames):
         t = i / (n_frames - 1)
@@ -200,15 +209,23 @@ class SpeedGateSimulator:
         self.classifier = classifier
         self.trigger = trigger or GateTrigger()
         self.decisions: List[GateDecision] = []
+        self._generators: dict = {}  # frame_size -> reused renderer
 
     def process_subject(
         self,
         rng: RngLike = None,
         spec: Optional[SampleSpec] = None,
         n_frames: int = 12,
+        frame_size: int = 32,
     ) -> GateDecision:
         """Stream one subject's approach and classify at the trigger."""
-        sequence = render_approach_sequence(rng, spec, n_frames=n_frames)
+        generator = self._generators.get(frame_size)
+        if generator is None:
+            generator = FaceSampleGenerator(image_size=frame_size)
+            self._generators[frame_size] = generator
+        sequence = render_approach_sequence(
+            rng, spec, n_frames=n_frames, frame_size=frame_size, generator=generator
+        )
         frame = self.trigger.first_trigger(sequence)
         if frame is None:
             decision = GateDecision(

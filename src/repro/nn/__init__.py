@@ -7,6 +7,7 @@ max pooling, optimizers with latent-weight clipping, losses, LR schedules
 and a training loop.
 """
 
+from repro.nn.arena import BufferArena
 from repro.nn.binary_ops import sign, ste_grad
 from repro.nn.layers import (
     BatchNorm,
@@ -25,13 +26,21 @@ from repro.nn.module import Module, Parameter
 from repro.nn.optim import SGD, Adam
 from repro.nn.profiler import LayerProfiler, ProfileResult
 from repro.nn.sequential import Sequential
-from repro.nn.trainer import EarlyStopping, History, Trainer, evaluate_accuracy, predict_classes
+from repro.nn.trainer import (
+    EarlyStopping,
+    History,
+    Trainer,
+    evaluate,
+    evaluate_accuracy,
+    predict_classes,
+)
 
 __all__ = [
     "Adam",
     "BatchNorm",
     "BinaryConv2D",
     "BinaryDense",
+    "BufferArena",
     "Conv2D",
     "Dense",
     "EarlyStopping",
@@ -49,6 +58,7 @@ __all__ = [
     "SignActivation",
     "Trainer",
     "cross_entropy",
+    "evaluate",
     "evaluate_accuracy",
     "predict_classes",
     "sign",

@@ -1,0 +1,71 @@
+"""Reusable buffer arena: allocation-free steady-state training.
+
+The training loop's big allocations recur with identical shapes every
+step — im2col column tensors, GEMM outputs, gradient scratch — because
+mini-batches share a shape. Yet each ``forward``/``backward`` used to
+allocate them fresh, so a 300-epoch run (the paper's budget) spends a
+measurable slice of wall time in the allocator and the page-faulting
+that follows.
+
+:class:`BufferArena` fixes that with the obvious trick: a dictionary of
+buffers keyed by ``(owner, role, shape, dtype)``. A layer asks for "my
+``cols`` buffer of this shape" each step and gets the *same* ndarray
+back, already warm in the page tables. Keys include the owning layer's
+identity, so two conv layers never alias, and include the exact shape,
+so a trailing odd-sized batch simply gets (and thereafter reuses) its
+own buffer instead of corrupting the common one.
+
+Safety model — why reuse cannot change numerics:
+
+* A buffer is reused only across *steps*, never within one: each
+  ``(owner, role)`` pair is written once per forward (or backward) and
+  fully overwritten before the next read. Backward consumes the buffers
+  its own forward produced, before the next forward touches them.
+* The arena is installed only for training (:class:`~repro.nn.trainer.
+  Trainer` attaches it via ``Module.set_arena``); evaluation and serving
+  paths never see it, so concurrent inference (``repro.serving``) keeps
+  its thread safety.
+* Buffers are plain C-contiguous ndarrays; layers fill them with
+  ``out=``-style kernels (``np.matmul(..., out=)``, ``np.copyto``) that
+  are bit-identical to their allocating forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """Shape-keyed pool of reusable scratch ndarrays."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple, np.ndarray] = {}
+
+    def get(self, owner: object, role: str, shape, dtype=np.float32) -> np.ndarray:
+        """The persistent buffer for ``(owner, role, shape, dtype)``.
+
+        Contents are unspecified on return — callers must fully overwrite
+        the buffer before reading it.
+        """
+        key = (id(owner), role, tuple(int(s) for s in shape), np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(key[2], dtype=key[3])
+            self._buffers[key] = buf
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently pooled."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (e.g. between differently-shaped runs)."""
+        self._buffers.clear()

@@ -30,15 +30,28 @@ STEVariant = Literal["identity", "clipped"]
 _STE_VARIANTS = ("identity", "clipped")
 
 
-def sign(x: np.ndarray) -> np.ndarray:
+def sign(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     """Deterministic binarisation per Eq. 1: ``+1`` if ``x >= 0`` else ``-1``.
 
     Note this differs from :func:`numpy.sign` (which maps 0 to 0); the
     hardware expresses ``-1`` as bit 0 and ``+1`` as bit 1, so zero must
     bind to one of the two values — the paper (and FINN) choose ``+1``.
+
+    ``out`` supplies a preallocated float32 destination of ``x``'s shape
+    (from a training scratch arena); it must not alias ``x``.
     """
-    out = np.ones_like(x, dtype=np.float32)
-    np.negative(out, where=np.asarray(x) < 0, out=out)
+    x = np.asarray(x)
+    if out is None:
+        out = np.empty(x.shape, dtype=np.float32)
+    elif out.shape != x.shape or out.dtype != np.float32:
+        raise ValueError(
+            f"out must be float32 of shape {x.shape}, got {out.shape} {out.dtype}"
+        )
+    # Branchless 1 - 2*(x < 0): both outputs are the exact constants
+    # +/-1.0, so this matches a masked-negation formulation bit for bit
+    # while avoiding its (much slower) masked ufunc inner loop.
+    np.multiply(x < 0, np.float32(-2.0), out=out)
+    np.add(out, np.float32(1.0), out=out)
     return out
 
 
@@ -46,6 +59,7 @@ def ste_grad(
     grad_output: np.ndarray,
     pre_activation: np.ndarray,
     variant: STEVariant = "clipped",
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Gradient of the loss w.r.t. the *input* of ``sign`` under an STE.
 
@@ -60,15 +74,26 @@ def ste_grad(
         ``"clipped"`` zeroes it where ``|pre_activation| > 1``, which both
         stabilises training and prevents latent values from drifting once
         saturated.
+    out:
+        Optional preallocated float32 destination of ``grad_output``'s
+        shape; may alias neither input.
     """
     if variant not in _STE_VARIANTS:
         raise ValueError(
             f"unknown STE variant {variant!r}; expected one of {_STE_VARIANTS}"
         )
     if variant == "identity":
-        return grad_output.astype(np.float32, copy=True)
-    mask = (np.abs(pre_activation) <= 1.0).astype(np.float32)
-    return grad_output * mask
+        if out is None:
+            return grad_output.astype(np.float32, copy=True)
+        np.copyto(out, grad_output, casting="same_kind")
+        return out
+    if out is None:
+        mask = (np.abs(pre_activation) <= 1.0).astype(np.float32)
+        return grad_output * mask
+    np.abs(pre_activation, out=out)
+    mask = np.less_equal(out, 1.0)
+    np.multiply(grad_output, mask, out=out)
+    return out
 
 
 def hard_sigmoid(x: np.ndarray) -> np.ndarray:

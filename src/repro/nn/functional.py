@@ -67,6 +67,7 @@ def im2col(
     stride: Tuple[int, int] = (1, 1),
     padding: Tuple[int, int] = (0, 0),
     pad_value: float = 0.0,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Extract convolution patches from an NHWC tensor.
 
@@ -77,6 +78,9 @@ def im2col(
     hardware sliding-window unit streams.
 
     The returned array is a contiguous copy (the GEMM wants contiguity).
+    ``out`` supplies a preallocated C-contiguous destination of the output
+    shape and ``x.dtype`` (from a training scratch arena); patches are
+    copied into it instead of a fresh allocation.
     """
     if x.ndim != 4:
         raise ValueError(f"expected NHWC input, got shape {x.shape}")
@@ -88,7 +92,17 @@ def im2col(
     windows = windows[:, ::sh, ::sw]  # (N, out_h, out_w, C, kh, kw)
     windows = windows.transpose(0, 1, 2, 4, 5, 3)  # (N, oh, ow, kh, kw, C)
     n, oh, ow = windows.shape[:3]
-    return np.ascontiguousarray(windows).reshape(n, oh, ow, kh * kw * x.shape[3])
+    c = x.shape[3]
+    if out is None:
+        return np.ascontiguousarray(windows).reshape(n, oh, ow, kh * kw * c)
+    expected = (n, oh, ow, kh * kw * c)
+    if out.shape != expected or out.dtype != x.dtype or not out.flags.c_contiguous:
+        raise ValueError(
+            f"out must be C-contiguous {expected} {x.dtype}, got "
+            f"{out.shape} {out.dtype}"
+        )
+    np.copyto(out.reshape(n, oh, ow, kh, kw, c), windows, casting="no")
+    return out
 
 
 def col2im(
@@ -97,12 +111,18 @@ def col2im(
     kernel: Tuple[int, int],
     stride: Tuple[int, int] = (1, 1),
     padding: Tuple[int, int] = (0, 0),
+    scratch: np.ndarray = None,
 ) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add patch gradients back.
 
     ``cols`` has shape ``(N, out_h, out_w, kh * kw * C)``; returns a tensor
     of ``input_shape`` (NHWC). Pixels covered by multiple windows receive
     the sum of contributions, making this the exact transpose of im2col.
+
+    ``scratch`` supplies a preallocated buffer of the *padded* input shape
+    ``(N, H + 2*ph, W + 2*pw, C)`` and ``cols.dtype`` to accumulate into
+    (it is zeroed here). With padding the returned tensor is a view into
+    ``scratch``; the caller must consume it before reusing the buffer.
     """
     n, h, w, c = input_shape
     kh, kw = kernel
@@ -115,7 +135,17 @@ def col2im(
             f"kernel {kernel}, stride {stride}, padding {padding}"
         )
     cols6 = cols.reshape(n, out_h, out_w, kh, kw, c)
-    padded = np.zeros((n, h + 2 * ph, w + 2 * pw, c), dtype=cols.dtype)
+    padded_shape = (n, h + 2 * ph, w + 2 * pw, c)
+    if scratch is None:
+        padded = np.zeros(padded_shape, dtype=cols.dtype)
+    else:
+        if scratch.shape != padded_shape or scratch.dtype != cols.dtype:
+            raise ValueError(
+                f"scratch must be {padded_shape} {cols.dtype}, got "
+                f"{scratch.shape} {scratch.dtype}"
+            )
+        padded = scratch
+        padded.fill(0)
     # Loop only over the (kh, kw) kernel offsets; each iteration adds one
     # strided slab — fully vectorised over batch and spatial dims.
     for i in range(kh):
@@ -129,13 +159,18 @@ def col2im(
 
 
 def pool_windows(
-    x: np.ndarray, pool: Tuple[int, int], stride: Tuple[int, int]
+    x: np.ndarray,
+    pool: Tuple[int, int],
+    stride: Tuple[int, int],
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Gather pooling windows: returns ``(N, out_h, out_w, kh*kw, C)``.
 
     Requires the input to tile exactly (no padding) — the paper's
     architectures only use 2x2/2 pooling on even feature maps, and the
-    hardware max-pool unit has the same constraint.
+    hardware max-pool unit has the same constraint. ``out`` supplies a
+    preallocated C-contiguous destination of the output shape and
+    ``x.dtype`` (training scratch arena).
     """
     if x.ndim != 4:
         raise ValueError(f"expected NHWC input, got shape {x.shape}")
@@ -149,8 +184,17 @@ def pool_windows(
     windows = sliding_window_view(x, (kh, kw), axis=(1, 2))
     windows = windows[:, ::sh, ::sw]  # (N, oh, ow, C, kh, kw)
     oh, ow = windows.shape[1:3]
-    windows = windows.transpose(0, 1, 2, 4, 5, 3).reshape(n, oh, ow, kh * kw, c)
-    return np.ascontiguousarray(windows)
+    windows = windows.transpose(0, 1, 2, 4, 5, 3)  # (N, oh, ow, kh, kw, C)
+    if out is None:
+        return np.ascontiguousarray(windows).reshape(n, oh, ow, kh * kw, c)
+    expected = (n, oh, ow, kh * kw, c)
+    if out.shape != expected or out.dtype != x.dtype or not out.flags.c_contiguous:
+        raise ValueError(
+            f"out must be C-contiguous {expected} {x.dtype}, got "
+            f"{out.shape} {out.dtype}"
+        )
+    np.copyto(out.reshape(n, oh, ow, kh, kw, c), windows, casting="no")
+    return out
 
 
 def unpool_windows(
@@ -158,12 +202,15 @@ def unpool_windows(
     input_shape: Tuple[int, int, int, int],
     pool: Tuple[int, int],
     stride: Tuple[int, int],
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Adjoint of :func:`pool_windows` for non-overlapping windows.
 
     ``grads`` has shape ``(N, out_h, out_w, kh*kw, C)``. Only supports
     ``stride == pool`` (non-overlapping), which is all the paper uses; the
     scatter then becomes a pure reshape/transpose with no accumulation.
+    ``out`` supplies a preallocated C-contiguous ``input_shape`` buffer of
+    ``grads.dtype`` to scatter into.
     """
     kh, kw = pool
     sh, sw = stride
@@ -180,5 +227,17 @@ def unpool_windows(
         )
     g6 = grads.reshape(n, oh, ow, kh, kw, c)
     # Exact tiling: the scatter is a pure transpose + reshape, no adds.
-    out = g6.transpose(0, 1, 3, 2, 4, 5).reshape(n, h, w, c)
-    return np.ascontiguousarray(out)
+    transposed = g6.transpose(0, 1, 3, 2, 4, 5)  # (N, oh, kh, ow, kw, C)
+    if out is None:
+        return np.ascontiguousarray(transposed).reshape(n, h, w, c)
+    if (
+        out.shape != tuple(input_shape)
+        or out.dtype != grads.dtype
+        or not out.flags.c_contiguous
+    ):
+        raise ValueError(
+            f"out must be C-contiguous {tuple(input_shape)} {grads.dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
+    np.copyto(out.reshape(n, oh, kh, ow, kw, c), transposed, casting="no")
+    return out

@@ -42,14 +42,25 @@ class SignActivation(Module):
         self._cache = x if self.training else None
         if self.stochastic and self.training:
             return stochastic_sign(x, self._rng)
-        return sign(x)
+        arena = self._scratch_arena(x)
+        if arena is None:
+            return sign(x)
+        return sign(x, out=arena.get(self, "out", x.shape))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError(
                 "backward called without a preceding training-mode forward"
             )
-        return ste_grad(grad_output, self._cache, self.ste)
+        arena = self._scratch_arena(grad_output)
+        if arena is None or self._cache.dtype != np.float32:
+            return ste_grad(grad_output, self._cache, self.ste)
+        return ste_grad(
+            grad_output,
+            self._cache,
+            self.ste,
+            out=arena.get(self, "grad", grad_output.shape),
+        )
 
     def clear_cache(self) -> None:
         self._cache = None
@@ -64,7 +75,7 @@ class ReLU(Module):
         self._cache: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out = np.maximum(x, 0.0).astype(np.float32)
+        out = np.maximum(x, 0.0).astype(np.float32, copy=False)
         self._cache = (x > 0) if self.training else None
         return out
 
@@ -73,7 +84,7 @@ class ReLU(Module):
             raise RuntimeError(
                 "backward called without a preceding training-mode forward"
             )
-        return (grad_output * self._cache).astype(np.float32)
+        return (grad_output * self._cache).astype(np.float32, copy=False)
 
     def clear_cache(self) -> None:
         self._cache = None
@@ -92,7 +103,7 @@ class HardTanh(Module):
         self._cache: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out = np.clip(x, -1.0, 1.0).astype(np.float32)
+        out = np.clip(x, -1.0, 1.0).astype(np.float32, copy=False)
         self._cache = (np.abs(x) <= 1.0) if self.training else None
         return out
 
@@ -101,7 +112,7 @@ class HardTanh(Module):
             raise RuntimeError(
                 "backward called without a preceding training-mode forward"
             )
-        return (grad_output * self._cache).astype(np.float32)
+        return (grad_output * self._cache).astype(np.float32, copy=False)
 
     def clear_cache(self) -> None:
         self._cache = None

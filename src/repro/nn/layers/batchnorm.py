@@ -70,9 +70,19 @@ class BatchNorm(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._check(x)
         axes = tuple(range(x.ndim - 1))
+        arena = self._scratch_arena(x)
+        centred = None
         if self.training:
             mean = x.mean(axis=axes)
-            var = x.var(axis=axes)
+            if arena is None:
+                var = x.var(axis=axes)
+            else:
+                # Fused statistics: centre once into scratch, square into
+                # scratch, reduce — the centred tensor is then reused for
+                # x_hat below instead of recomputing (x - mean).
+                centred = np.subtract(x, mean, out=arena.get(self, "centred", x.shape))
+                sq = np.multiply(centred, centred, out=arena.get(self, "sq", x.shape))
+                var = sq.mean(axis=axes)
             n = x.size // self.num_features
             if n <= 1:
                 raise ValueError(
@@ -88,38 +98,73 @@ class BatchNorm(Module):
             mean = self.running_mean
             var = self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (x - mean) * inv_std
-        out = x_hat
-        if self.affine:
-            out = x_hat * self.gamma.data + self.beta.data
+        if centred is None:
+            x_hat = (x - mean) * inv_std
+            out = x_hat
+            if self.affine:
+                out = x_hat * self.gamma.data + self.beta.data
+        else:
+            x_hat = np.multiply(centred, inv_std, out=centred)
+            out = x_hat
+            if self.affine:
+                out = np.multiply(
+                    x_hat, self.gamma.data, out=arena.get(self, "out", x.shape)
+                )
+                out += self.beta.data
         # Cache in both modes: inference-mode backward is what Grad-CAM
         # uses (running statistics are constants there, so the backward
         # formula differs from the training one).
         self._cache = (
-            x_hat.astype(np.float32),
-            inv_std.astype(np.float32),
+            x_hat.astype(np.float32, copy=False),
+            inv_std.astype(np.float32, copy=False),
             bool(self.training),
         )
-        return out.astype(np.float32)
+        return out.astype(np.float32, copy=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called without a preceding forward")
         x_hat, inv_std, used_batch_stats = self._cache
         axes = tuple(range(grad_output.ndim - 1))
+        # Scratch reuse in backward additionally requires the affine form:
+        # without it ``g`` aliases ``grad_output`` (a buffer this layer
+        # does not own) and the in-place updates below would corrupt it.
+        arena = self._scratch_arena(grad_output) if self.affine else None
+        scratch = (
+            arena.get(self, "scratch", grad_output.shape) if arena is not None else None
+        )
         if self.affine:
-            self.gamma.accumulate_grad((grad_output * x_hat).sum(axis=axes))
+            if scratch is None:
+                self.gamma.accumulate_grad((grad_output * x_hat).sum(axis=axes))
+                g = grad_output * self.gamma.data
+            else:
+                self.gamma.accumulate_grad(
+                    np.multiply(grad_output, x_hat, out=scratch).sum(axis=axes)
+                )
+                g = np.multiply(
+                    grad_output, self.gamma.data, out=arena.get(self, "g", grad_output.shape)
+                )
             self.beta.accumulate_grad(grad_output.sum(axis=axes))
-            g = grad_output * self.gamma.data
         else:
             g = grad_output
         if not used_batch_stats:
             # Running stats are constants: BN is a per-channel affine map.
-            return (g * inv_std).astype(np.float32)
+            if scratch is None:
+                return (g * inv_std).astype(np.float32, copy=False)
+            np.multiply(g, inv_std, out=g)
+            return g
         # Standard batch-norm backward (batch statistics participate).
         g_mean = g.mean(axis=axes)
-        gx_mean = (g * x_hat).mean(axis=axes)
-        return ((g - g_mean - x_hat * gx_mean) * inv_std).astype(np.float32)
+        if scratch is None:
+            gx_mean = (g * x_hat).mean(axis=axes)
+            return ((g - g_mean - x_hat * gx_mean) * inv_std).astype(
+                np.float32, copy=False
+            )
+        gx_mean = np.multiply(g, x_hat, out=scratch).mean(axis=axes)
+        np.subtract(g, g_mean, out=g)
+        np.subtract(g, np.multiply(x_hat, gx_mean, out=scratch), out=g)
+        np.multiply(g, inv_std, out=g)
+        return g
 
     # -- deployment interface --------------------------------------------------
     def fused_scale_shift(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -106,10 +106,27 @@ class Conv2D(Module):
                 f"got {x.shape}"
             )
         w_eff = self.effective_weight()
-        cols = F.im2col(x, self.kernel_size, self.stride, self.padding)
-        n, oh, ow, patch = cols.shape
+        n = x.shape[0]
+        oh, ow = F.conv_output_hw(
+            (x.shape[1], x.shape[2]), self.kernel_size, self.stride, self.padding
+        )
+        kh, kw = self.kernel_size
+        patch = kh * kw * self.in_channels
         w2d = w_eff.reshape(patch, self.out_channels)
-        out = cols.reshape(-1, patch) @ w2d
+        arena = self._scratch_arena(x)
+        if arena is None:
+            cols = F.im2col(x, self.kernel_size, self.stride, self.padding)
+            out = cols.reshape(-1, patch) @ w2d
+        else:
+            cols = F.im2col(
+                x,
+                self.kernel_size,
+                self.stride,
+                self.padding,
+                out=arena.get(self, "cols", (n, oh, ow, patch)),
+            )
+            out = arena.get(self, "out", (n * oh * ow, self.out_channels))
+            np.matmul(cols.reshape(-1, patch), w2d, out=out)
         out = out.reshape(n, oh, ow, self.out_channels)
         if self.bias is not None:
             out += self.bias.data
@@ -117,7 +134,7 @@ class Conv2D(Module):
             self._cache = (x.shape, cols, w_eff)
         else:
             self._cache = None
-        return out.astype(np.float32)
+        return out.astype(np.float32, copy=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -134,10 +151,27 @@ class Conv2D(Module):
         if self.bias is not None:
             self.bias.accumulate_grad(g2d.sum(axis=0))
         # dL/dcols = g @ W_eff^T, scattered back to the input.
-        grad_cols = (g2d @ w_eff.reshape(patch, self.out_channels).T).reshape(
-            n, oh, ow, patch
+        w2d_t = w_eff.reshape(patch, self.out_channels).T
+        arena = self._scratch_arena(grad_output)
+        if arena is None or cols.dtype != np.float32:
+            grad_cols = (g2d @ w2d_t).reshape(n, oh, ow, patch)
+            return F.col2im(
+                grad_cols, x_shape, self.kernel_size, self.stride, self.padding
+            )
+        grad_cols = arena.get(self, "grad_cols", (n * oh * ow, patch))
+        np.matmul(g2d, w2d_t, out=grad_cols)
+        grad_cols = grad_cols.reshape(n, oh, ow, patch)
+        ph, pw = self.padding
+        _, h, w, c = x_shape
+        scratch = arena.get(self, "col2im", (n, h + 2 * ph, w + 2 * pw, c))
+        return F.col2im(
+            grad_cols,
+            x_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            scratch=scratch,
         )
-        return F.col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
 
     def clear_cache(self) -> None:
         self._cache = None
@@ -168,7 +202,11 @@ class BinaryConv2D(Conv2D):
         self.weight.weight_decay = False
 
     def effective_weight(self) -> np.ndarray:
-        return sign(self.weight.data)
+        w = self.weight.data
+        arena = self._scratch_arena(w)
+        if arena is None:
+            return sign(w)
+        return sign(w, out=arena.get(self, "w_sign", w.shape))
 
     def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
         return ste_grad(grad_w, self.weight.data, self.ste)

@@ -74,11 +74,16 @@ class Dense(Module):
                 f"got {x.shape}"
             )
         w_eff = self.effective_weight()
-        out = x @ w_eff
+        arena = self._scratch_arena(x)
+        if arena is None:
+            out = x @ w_eff
+        else:
+            out = arena.get(self, "out", (x.shape[0], self.out_features))
+            np.matmul(x, w_eff, out=out)
         if self.bias is not None:
             out += self.bias.data
         self._cache = (x, w_eff) if self.training else None
-        return out.astype(np.float32)
+        return out.astype(np.float32, copy=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -89,7 +94,12 @@ class Dense(Module):
         self.weight.accumulate_grad(self._weight_grad_to_latent(x.T @ grad_output))
         if self.bias is not None:
             self.bias.accumulate_grad(grad_output.sum(axis=0))
-        return grad_output @ w_eff.T
+        arena = self._scratch_arena(grad_output)
+        if arena is None:
+            return grad_output @ w_eff.T
+        grad_in = arena.get(self, "grad_in", (grad_output.shape[0], self.in_features))
+        np.matmul(grad_output, w_eff.T, out=grad_in)
+        return grad_in
 
     def clear_cache(self) -> None:
         self._cache = None
@@ -109,7 +119,11 @@ class BinaryDense(Dense):
         self.weight.weight_decay = False
 
     def effective_weight(self) -> np.ndarray:
-        return sign(self.weight.data)
+        w = self.weight.data
+        arena = self._scratch_arena(w)
+        if arena is None:
+            return sign(w)
+        return sign(w, out=arena.get(self, "w_sign", w.shape))
 
     def _weight_grad_to_latent(self, grad_w: np.ndarray) -> np.ndarray:
         return ste_grad(grad_w, self.weight.data, self.ste)

@@ -39,8 +39,21 @@ class MaxPool2D(Module):
         return (oh, ow, c)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        windows = F.pool_windows(x, self.pool_size, self.stride)
-        out = windows.max(axis=3)
+        arena = self._scratch_arena(x)
+        if arena is None:
+            windows = F.pool_windows(x, self.pool_size, self.stride)
+            out = windows.max(axis=3)
+        else:
+            n, h, w, c = x.shape
+            kh, kw = self.pool_size
+            oh, ow = F.conv_output_hw((h, w), self.pool_size, self.stride, (0, 0))
+            windows = F.pool_windows(
+                x,
+                self.pool_size,
+                self.stride,
+                out=arena.get(self, "windows", (n, oh, ow, kh * kw, c)),
+            )
+            out = windows.max(axis=3, out=arena.get(self, "out", (n, oh, ow, c)))
         if self.training:
             # Route gradients only through the first maximal element of each
             # window (ties broken by argmax), matching subgradient practice.
@@ -48,7 +61,7 @@ class MaxPool2D(Module):
             self._cache = (x.shape, argmax)
         else:
             self._cache = None
-        return out.astype(np.float32)
+        return out.astype(np.float32, copy=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -58,11 +71,21 @@ class MaxPool2D(Module):
         x_shape, argmax = self._cache
         kh, kw = self.pool_size
         n, oh, ow, c = grad_output.shape
-        window_grads = np.zeros((n, oh, ow, kh * kw, c), dtype=np.float32)
+        arena = self._scratch_arena(grad_output)
+        if arena is None:
+            window_grads = np.zeros((n, oh, ow, kh * kw, c), dtype=np.float32)
+        else:
+            window_grads = arena.get(self, "window_grads", (n, oh, ow, kh * kw, c))
+            window_grads.fill(0)
         np.put_along_axis(
             window_grads, argmax[:, :, :, None, :], grad_output[:, :, :, None, :], axis=3
         )
-        return F.unpool_windows(window_grads, x_shape, self.pool_size, self.stride)
+        unpool_out = (
+            arena.get(self, "unpool", x_shape) if arena is not None else None
+        )
+        return F.unpool_windows(
+            window_grads, x_shape, self.pool_size, self.stride, out=unpool_out
+        )
 
     def clear_cache(self) -> None:
         self._cache = None

@@ -93,6 +93,7 @@ class Module:
         self.training = True
         self._parameters: Dict[str, Parameter] = {}
         self._modules: Dict[str, "Module"] = {}
+        self._arena = None  # BufferArena installed by the trainer (or None)
 
     # -- registration -----------------------------------------------------
     def register_parameter(self, name: str, param: Parameter) -> Parameter:
@@ -144,6 +145,31 @@ class Module:
     def eval(self) -> "Module":
         """Set inference mode recursively."""
         return self.train(False)
+
+    def set_arena(self, arena) -> "Module":
+        """Install (or remove, with ``None``) a scratch-buffer arena.
+
+        Layers with big recurring allocations (im2col columns, GEMM
+        outputs, gradient scratch) route them through the arena when one
+        is installed and they are in training mode; ``None`` restores the
+        allocating path. The trainer installs one arena per fit.
+        """
+        self._arena = arena
+        for child in self._modules.values():
+            child.set_arena(arena)
+        return self
+
+    def _scratch_arena(self, ref: np.ndarray):
+        """The installed arena, or None when scratch reuse is off.
+
+        Reuse is a training-only fast path over float32 buffers (``ref``
+        is the tensor about to be processed); eval/serving and
+        exotic-dtype inputs keep the allocating path, which is also what
+        concurrent inference needs for thread safety.
+        """
+        if self.training and self._arena is not None and ref.dtype == np.float32:
+            return self._arena
+        return None
 
     # -- gradients ----------------------------------------------------------
     def zero_grad(self) -> None:

@@ -10,7 +10,7 @@ Both honour the two BNN-specific parameter flags:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,22 +84,32 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = float(momentum)
         self._velocity: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
+
+    def _scratch_for(self, p: Parameter) -> np.ndarray:
+        """Persistent per-parameter temp (parameter shapes never change)."""
+        t = self._scratch.get(id(p))
+        if t is None:
+            t = np.empty_like(p.data)
+            self._scratch[id(p)] = t
+        return t
 
     def step(self) -> None:
         """Apply one update to every managed parameter (in place)."""
         self.steps += 1
         for p in self.params:
             grad = self._decayed_grad(p)
+            t = self._scratch_for(p)
             if self.momentum > 0.0:
                 v = self._velocity.get(id(p))
                 if v is None:
                     v = np.zeros_like(p.data)
                     self._velocity[id(p)] = v
                 v *= self.momentum
-                v -= self.lr * grad
+                v -= np.multiply(self.lr, grad, out=t)
                 p.data += v
             else:
-                p.data -= self.lr * grad
+                p.data -= np.multiply(self.lr, grad, out=t)
             self._post_update(p)
 
 
@@ -128,9 +138,16 @@ class Adam(Optimizer):
         self.eps = float(eps)
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     def step(self) -> None:
-        """Apply one bias-corrected Adam update to every parameter."""
+        """Apply one bias-corrected Adam update to every parameter.
+
+        Every arithmetic step runs ``out=``-style into two persistent
+        per-parameter scratch buffers, in the same operation order as the
+        textbook expressions (see the trailing comments) — bit-identical
+        results, zero steady-state allocation.
+        """
         self.steps += 1
         bc1 = 1.0 - self.beta1**self.steps
         bc2 = 1.0 - self.beta2**self.steps
@@ -144,10 +161,20 @@ class Adam(Optimizer):
                 self._v[id(p)] = v
             else:
                 v = self._v[id(p)]
+            s = self._scratch.get(id(p))
+            if s is None:
+                s = (np.empty_like(p.data), np.empty_like(p.data))
+                self._scratch[id(p)] = s
+            t, u = s
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += np.multiply(1.0 - self.beta1, grad, out=t)
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
-            p.data -= self.lr * update
+            np.multiply(1.0 - self.beta2, grad, out=t)
+            v += np.multiply(t, grad, out=t)
+            np.divide(m, bc1, out=t)  # update = (m / bc1)
+            np.divide(v, bc2, out=u)  # ... / (sqrt(v / bc2) + eps)
+            np.sqrt(u, out=u)
+            u += self.eps
+            np.divide(t, u, out=t)
+            p.data -= np.multiply(self.lr, t, out=t)
             self._post_update(p)

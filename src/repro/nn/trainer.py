@@ -14,12 +14,20 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.nn import losses as losses_mod
+from repro.nn.arena import BufferArena
 from repro.nn.optim import Optimizer
 from repro.nn.schedules import Schedule, constant
 from repro.nn.sequential import Sequential
 from repro.utils.rng import RngLike, as_generator
 
-__all__ = ["History", "EarlyStopping", "Trainer", "evaluate_accuracy", "predict_classes"]
+__all__ = [
+    "History",
+    "EarlyStopping",
+    "Trainer",
+    "evaluate",
+    "evaluate_accuracy",
+    "predict_classes",
+]
 
 
 @dataclass
@@ -84,14 +92,49 @@ def predict_classes(
         model.train(was_training)
 
 
+def evaluate(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss="cross_entropy",
+    batch_size: int = 256,
+) -> Tuple[float, float]:
+    """Mean loss and top-1 accuracy in inference mode, in **one** sweep.
+
+    The per-epoch validation of :meth:`Trainer.fit` needs both metrics;
+    computing them from the same chunked forward passes halves validation
+    cost versus calling :func:`evaluate_accuracy` and a loss pass
+    separately. ``loss`` is a name or a ``(logits, targets) -> (loss,
+    grad)`` callable, as for :class:`Trainer`.
+    """
+    if len(x) == 0:
+        raise ValueError("cannot evaluate on an empty set")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    loss_fn = losses_mod.get(loss)
+    y = np.asarray(y)
+    was_training = model.training
+    model.eval()
+    try:
+        total_loss = 0.0
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            logits = model.forward(xb)
+            batch_loss, _ = loss_fn(logits, yb)
+            total_loss += batch_loss * len(xb)
+            correct += int((logits.argmax(axis=1) == yb).sum())
+        return total_loss / len(x), correct / len(x)
+    finally:
+        model.train(was_training)
+
+
 def evaluate_accuracy(
     model: Sequential, x: np.ndarray, y: np.ndarray, batch_size: int = 256
 ) -> float:
-    """Top-1 accuracy in inference mode."""
-    if len(x) == 0:
-        raise ValueError("cannot evaluate on an empty set")
-    preds = predict_classes(model, x, batch_size)
-    return float((preds == np.asarray(y)).mean())
+    """Top-1 accuracy in inference mode (thin wrapper over :func:`evaluate`)."""
+    return evaluate(model, x, y, batch_size=batch_size)[1]
 
 
 class Trainer:
@@ -106,6 +149,13 @@ class Trainer:
         ``(logits, targets) -> (loss, grad)``.
     schedule:
         Learning-rate schedule (multiplier per epoch).
+    use_arena:
+        Route the training loop's recurring scratch (im2col columns,
+        GEMM outputs, gradient buffers) through a persistent
+        :class:`~repro.nn.arena.BufferArena` so steady-state steps stop
+        allocating. Numerically bit-identical to the allocating path;
+        ``False`` restores it (useful for A/B timing and as the
+        reference in equivalence tests).
     """
 
     def __init__(
@@ -114,12 +164,14 @@ class Trainer:
         optimizer: Optimizer,
         loss="cross_entropy",
         schedule: Optional[Schedule] = None,
+        use_arena: bool = True,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.loss_fn = losses_mod.get(loss)
         self.schedule = schedule or constant()
         self.base_lr = optimizer.lr
+        self.arena: Optional[BufferArena] = BufferArena() if use_arena else None
 
     def train_epoch(
         self,
@@ -134,6 +186,7 @@ class Trainer:
             raise ValueError("empty training set")
         order = rng.permutation(n)
         self.model.train()
+        self.model.set_arena(self.arena)
         total_loss = 0.0
         total_correct = 0
         seen = 0
@@ -181,52 +234,52 @@ class Trainer:
         gen = as_generator(rng)
         history = History()
         has_val = x_val is not None and y_val is not None
-        for epoch in range(epochs):
-            start = time.perf_counter()
-            self.optimizer.lr = self.base_lr * self.schedule(epoch)
-            loss, acc = self.train_epoch(x_train, y_train, batch_size, gen)
-            history.train_loss.append(loss)
-            history.train_accuracy.append(acc)
-            history.learning_rate.append(self.optimizer.lr)
-            if has_val:
-                val_logits_acc = evaluate_accuracy(self.model, x_val, y_val)
-                val_loss = self._eval_loss(x_val, y_val)
-                history.val_accuracy.append(val_logits_acc)
-                history.val_loss.append(val_loss)
-            history.epoch_seconds.append(time.perf_counter() - start)
-            if verbose:
-                msg = (
-                    f"epoch {epoch + 1:3d}/{epochs}  "
-                    f"loss {loss:.4f}  acc {acc:.4f}"
-                )
+        try:
+            for epoch in range(epochs):
+                start = time.perf_counter()
+                self.optimizer.lr = self.base_lr * self.schedule(epoch)
+                loss, acc = self.train_epoch(x_train, y_train, batch_size, gen)
+                history.train_loss.append(loss)
+                history.train_accuracy.append(acc)
+                history.learning_rate.append(self.optimizer.lr)
                 if has_val:
-                    msg += (
-                        f"  val_loss {history.val_loss[-1]:.4f}"
-                        f"  val_acc {history.val_accuracy[-1]:.4f}"
+                    # One fused sweep: loss and accuracy from the same
+                    # chunked forward passes (used to be two sweeps).
+                    val_loss, val_acc = self.evaluate(x_val, y_val)
+                    history.val_accuracy.append(val_acc)
+                    history.val_loss.append(val_loss)
+                history.epoch_seconds.append(time.perf_counter() - start)
+                if verbose:
+                    msg = (
+                        f"epoch {epoch + 1:3d}/{epochs}  "
+                        f"loss {loss:.4f}  acc {acc:.4f}"
                     )
-                print(msg)
-            if callback is not None:
-                callback(epoch, history)
-            if early_stopping is not None and has_val:
-                if early_stopping.update(history.val_accuracy[-1]):
-                    break
+                    if has_val:
+                        msg += (
+                            f"  val_loss {history.val_loss[-1]:.4f}"
+                            f"  val_acc {history.val_accuracy[-1]:.4f}"
+                        )
+                    print(msg)
+                if callback is not None:
+                    callback(epoch, history)
+                if early_stopping is not None and has_val:
+                    if early_stopping.update(history.val_accuracy[-1]):
+                        break
+        finally:
+            # Leave the model clean: no scratch arena for eval/serving.
+            self.model.set_arena(None)
         self.model.eval()
         return history
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> Tuple[float, float]:
+        """Mean loss and top-1 accuracy in one inference-mode sweep."""
+        return evaluate(self.model, x, y, loss=self.loss_fn, batch_size=batch_size)
 
     def _eval_loss(
         self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
     ) -> float:
-        """Mean loss over a dataset in inference mode."""
-        was_training = self.model.training
-        self.model.eval()
-        try:
-            total = 0.0
-            for start in range(0, len(x), batch_size):
-                xb = x[start : start + batch_size]
-                yb = y[start : start + batch_size]
-                logits = self.model.forward(xb)
-                loss, _ = self.loss_fn(logits, yb)
-                total += loss * len(xb)
-            return total / len(x)
-        finally:
-            self.model.train(was_training)
+        """Mean loss over a dataset in inference mode (wrapper over
+        :meth:`evaluate`)."""
+        return self.evaluate(x, y, batch_size=batch_size)[0]

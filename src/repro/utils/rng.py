@@ -15,7 +15,7 @@ import numpy as np
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["RngLike", "as_generator", "spawn", "derive"]
+__all__ = ["RngLike", "as_generator", "spawn", "derive", "derive_entropy", "sample_seeds"]
 
 
 def as_generator(rng: RngLike = None) -> np.random.Generator:
@@ -49,14 +49,14 @@ def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
-def derive(rng: RngLike, key: str) -> np.random.Generator:
-    """Derive a named child stream from ``rng``.
+def derive_entropy(rng: RngLike, key: str) -> int:
+    """Deterministic 64-bit entropy for the named child stream of ``rng``.
 
-    Unlike :func:`spawn` this does **not** consume the parent: the child is
-    a pure function of the parent's bit-generator state hash and ``key``,
-    so components can derive their own streams without coordinating order.
-    Only integer / SeedSequence parents give fully deterministic derivation;
-    a ``Generator`` parent is sampled once.
+    This is the integer :func:`derive` seeds its generator from, exposed
+    separately so callers that need a *keyable* identity for the stream
+    (e.g. the on-disk dataset cache) can hash it without constructing the
+    generator. Only integer / SeedSequence parents give fully deterministic
+    derivation; a ``Generator`` parent is sampled once.
     """
     if isinstance(rng, (int, np.integer)):
         base = int(rng)
@@ -68,7 +68,33 @@ def derive(rng: RngLike, key: str) -> np.random.Generator:
     mixed = np.uint64(base)
     for ch in key.encode("utf-8"):
         mixed = np.uint64((int(mixed) * 1099511628211 + ch) % (2**64))
-    return np.random.default_rng(int(mixed))
+    return int(mixed)
+
+
+def derive(rng: RngLike, key: str) -> np.random.Generator:
+    """Derive a named child stream from ``rng``.
+
+    Unlike :func:`spawn` this does **not** consume the parent: the child is
+    a pure function of the parent's bit-generator state hash and ``key``,
+    so components can derive their own streams without coordinating order.
+    Only integer / SeedSequence parents give fully deterministic derivation;
+    a ``Generator`` parent is sampled once.
+    """
+    return np.random.default_rng(derive_entropy(rng, key))
+
+
+def sample_seeds(rng: RngLike, n: int) -> list[np.random.SeedSequence]:
+    """``n`` per-item child :class:`~numpy.random.SeedSequence` objects.
+
+    Draws one entropy word from ``rng`` and spawns ``n`` children from it,
+    so the result depends only on the parent's state — not on how the
+    items are later partitioned across workers. This is the scheme that
+    makes parallel dataset generation bit-identical to serial generation.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    entropy = int(as_generator(rng).integers(0, 2**63))
+    return np.random.SeedSequence(entropy).spawn(n)
 
 
 def check_probability(p: float, name: str = "p") -> float:

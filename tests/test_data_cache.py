@@ -1,0 +1,122 @@
+"""Tests for parallel deterministic generation and the on-disk dataset cache."""
+
+import numpy as np
+import pytest
+
+import repro.data.cache as cache_mod
+from repro.data.cache import DATA_VERSION, DatasetCache, dataset_cache_key
+from repro.data.dataset import build_masked_face_dataset
+from repro.data.generator import FaceSampleGenerator
+
+RAW = 48  # small enough to render in well under a second
+
+
+def _entries(root):
+    """Finished cache entry directories under ``root`` (no tmp dirs)."""
+    if not root.exists():
+        return []
+    return sorted(p for p in root.iterdir() if p.is_dir() and ".tmp-" not in p.name)
+
+
+def _assert_splits_equal(a, b):
+    for split in ("train", "val", "test"):
+        da, db = getattr(a, split), getattr(b, split)
+        np.testing.assert_array_equal(np.asarray(da.images), np.asarray(db.images))
+        np.testing.assert_array_equal(np.asarray(da.labels), np.asarray(db.labels))
+
+
+class TestParallelGeneration:
+    def test_workers_bit_identical_to_serial(self):
+        gen = FaceSampleGenerator()
+        xs, ys = gen.generate_batch(9, rng=7)
+        xp, yp = gen.generate_batch(9, rng=7, num_workers=3)
+        np.testing.assert_array_equal(xs, xp)
+        np.testing.assert_array_equal(ys, yp)
+
+    def test_pipeline_workers_bit_identical(self):
+        serial = build_masked_face_dataset(raw_size=RAW, rng=11)
+        parallel = build_masked_face_dataset(raw_size=RAW, rng=11, num_workers=2)
+        _assert_splits_equal(serial, parallel)
+
+    def test_invalid_worker_count_rejected(self):
+        gen = FaceSampleGenerator()
+        with pytest.raises(ValueError):
+            gen.generate_batch(4, rng=0, num_workers=0)
+
+
+class TestCacheKey:
+    def test_insensitive_to_dict_order(self):
+        a = dataset_cache_key({"raw_size": 10, "seed": 3})
+        b = dataset_cache_key({"seed": 3, "raw_size": 10})
+        assert a == b
+
+    def test_sensitive_to_values(self):
+        base = {"raw_size": 10, "seed": 3}
+        assert dataset_cache_key(base) != dataset_cache_key({**base, "seed": 4})
+        assert dataset_cache_key(base) != dataset_cache_key({**base, "raw_size": 11})
+
+
+class TestDatasetCache:
+    def test_hit_is_bit_identical_and_memmapped(self, tmp_path):
+        fresh = build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        assert len(_entries(tmp_path)) == 1
+        cached = build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        assert len(_entries(tmp_path)) == 1  # hit: no new entry
+        assert isinstance(cached.train.images, np.memmap)
+        _assert_splits_equal(fresh, cached)
+
+    def test_config_and_seed_changes_invalidate(self, tmp_path):
+        build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        build_masked_face_dataset(raw_size=RAW, rng=6, cache_dir=tmp_path)
+        build_masked_face_dataset(raw_size=RAW + 4, rng=5, cache_dir=tmp_path)
+        build_masked_face_dataset(
+            raw_size=RAW, rng=5, augment=False, cache_dir=tmp_path
+        )
+        assert len(_entries(tmp_path)) == 4
+
+    def test_num_workers_does_not_change_key(self, tmp_path):
+        build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        hit = build_masked_face_dataset(
+            raw_size=RAW, rng=5, num_workers=2, cache_dir=tmp_path
+        )
+        assert len(_entries(tmp_path)) == 1
+        assert isinstance(hit.train.images, np.memmap)
+
+    def test_data_version_bump_invalidates(self, tmp_path, monkeypatch):
+        build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        monkeypatch.setattr(cache_mod, "DATA_VERSION", DATA_VERSION + 1)
+        build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        assert len(_entries(tmp_path)) == 2
+
+    def test_corrupted_shard_detected_and_regenerated(self, tmp_path):
+        fresh = build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        (entry,) = _entries(tmp_path)
+        shard = entry / "train-images.npy"
+        shard.write_bytes(shard.read_bytes()[:-16])  # truncate
+        regenerated = build_masked_face_dataset(
+            raw_size=RAW, rng=5, cache_dir=tmp_path
+        )
+        _assert_splits_equal(fresh, regenerated)
+        # The repaired entry now reads as a valid hit again.
+        hit = build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        assert isinstance(hit.train.images, np.memmap)
+        _assert_splits_equal(fresh, hit)
+
+    def test_bitflip_detected_as_miss(self, tmp_path):
+        splits = build_masked_face_dataset(raw_size=RAW, rng=5, cache_dir=tmp_path)
+        (entry,) = _entries(tmp_path)
+        shard = entry / "val-labels.npy"
+        blob = bytearray(shard.read_bytes())
+        blob[-1] ^= 0xFF
+        shard.write_bytes(bytes(blob))
+        cache = DatasetCache(tmp_path)
+        manifest = (entry / "meta.json").read_text()
+        import json
+
+        config = json.loads(manifest)["config"]
+        assert cache.load(config) is None
+        del splits
+
+    def test_missing_manifest_is_miss(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        assert cache.load({"raw_size": 1}) is None
