@@ -102,6 +102,14 @@ class Baseline:
                     f"{path}:{lineno}: suppression for {rule_id} needs a "
                     f"'# justification' comment"
                 )
+            if justification.lower().startswith("todo"):
+                # The --write-baseline placeholder. Accepting it would let
+                # "write the baseline, never explain it" become permanent.
+                raise ValueError(
+                    f"{path}:{lineno}: suppression for {rule_id} still has "
+                    f"a TODO-placeholder justification ({justification!r}); "
+                    f"replace it with the actual reason"
+                )
             entries.append(
                 BaselineEntry(rule_id, target, symbol, justification, lineno)
             )

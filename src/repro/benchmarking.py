@@ -72,6 +72,10 @@ TRAIN_BENCH: Dict = {"arch": "cnv", "batch_size": 32, "steps": 8}
 #: round-trip). Worker count is ``min(4, cpu_count)`` at run time.
 GEN_BENCH: Dict = {"samples": 48, "cache_raw_size": 200}
 
+#: Telemetry-overhead benchmark config: the arch whose datapath is timed
+#: under each tracing mode, and the sparse sampling rate measured.
+TELEMETRY_BENCH: Dict = {"arch": "u-cnv", "sample_every": 64}
+
 
 def _best_seconds(fn, repeats: int, warmup: int = 1) -> float:
     """Best-of-``repeats`` wall time of ``fn()`` after ``warmup`` calls."""
@@ -221,6 +225,56 @@ def _bench_training(seed: int, arch: str, batch_size: int, steps: int) -> Dict:
     return result
 
 
+def _bench_telemetry(
+    accelerator: FinnAccelerator,
+    images: np.ndarray,
+    repeats: int,
+    sample_every: int,
+) -> Dict:
+    """Datapath throughput under each tracing mode: off / sampled / full.
+
+    ``baseline`` and ``off`` are both measured with no tracer active —
+    their gap is pure run-to-run noise, which is exactly the claim being
+    pinned: instrumented-but-disabled code costs nothing beyond noise.
+    ``sampled`` and ``full`` then quantify what turning tracing on buys
+    you into.
+    """
+    from repro.telemetry import SpanJournal, Tracer, activate, deactivate
+
+    n = images.shape[0]
+    # One mode run is a single ~tens-of-ms execute; a couple of repeats
+    # is pure noise at the 2-5% resolution this section pins down.
+    repeats = max(repeats, 10)
+    deactivate()  # make sure no ambient tracer leaks into the baseline
+    baseline_s = _best_seconds(lambda: accelerator.execute(images), repeats)
+    off_s = _best_seconds(lambda: accelerator.execute(images), repeats)
+    result: Dict = {
+        "arch": accelerator.name,
+        "images": n,
+        "baseline": {"seconds": baseline_s, "fps": n / baseline_s},
+        "off": {
+            "seconds": off_s,
+            "fps": n / off_s,
+            "overhead_vs_baseline": off_s / baseline_s - 1.0,
+        },
+    }
+    for key, every in (("sampled", sample_every), ("full", 1)):
+        journal = SpanJournal()
+        activate(Tracer(sample_every=every, journal=journal))
+        try:
+            mode_s = _best_seconds(lambda: accelerator.execute(images), repeats)
+        finally:
+            deactivate()
+        result[key] = {
+            "sample_every": every,
+            "seconds": mode_s,
+            "fps": n / mode_s,
+            "overhead_vs_off": mode_s / off_s - 1.0,
+            "spans": len(journal),
+        }
+    return result
+
+
 def run_bench(
     archs: Sequence[str] = BENCH_ARCHS,
     images: int = 16,
@@ -277,6 +331,14 @@ def run_bench(
         run["stages"][arch] = stages
         run["e2e"][arch] = e2e
 
+    tel_cfg = dict(TELEMETRY_BENCH)
+    tel_arch = tel_cfg.pop("arch")
+    model = build_architecture(tel_arch, rng=seed)
+    randomize_bn_stats(model, seed=seed + 1)
+    model.eval()
+    tel_acc = compile_model(model, table1_folding(tel_arch), name=tel_arch)
+    run["telemetry"] = _bench_telemetry(tel_acc, batch, repeats, **tel_cfg)
+
     run["generation"] = _bench_generation(seed, **gen_cfg)
     run["training"] = _bench_training(seed, **train_cfg)
     validate_run(run)
@@ -332,6 +394,18 @@ def validate_run(run: Dict) -> None:
             if not train.get(section, {}).get("steps_per_s", 0) > 0:
                 raise ValueError(
                     f"training.{section} has no positive 'steps_per_s'"
+                )
+    if "telemetry" in run:
+        tel = run["telemetry"]
+        for section in ("baseline", "off", "sampled", "full"):
+            if not tel.get(section, {}).get("fps", 0) > 0:
+                raise ValueError(
+                    f"telemetry.{section} has no positive 'fps'"
+                )
+        for section in ("sampled", "full"):
+            if "overhead_vs_off" not in tel[section]:
+                raise ValueError(
+                    f"telemetry.{section} is missing 'overhead_vs_off'"
                 )
 
 
@@ -449,6 +523,15 @@ def compare_runs(prev: Dict, cur: Dict, tolerance: float = 0.25) -> List[Dict]:
                 cur_train[section]["steps_per_s"],
                 higher_is_better=True,
             )
+    prev_tel, cur_tel = prev.get("telemetry"), cur.get("telemetry")
+    if prev_tel and cur_tel and prev_tel.get("arch") == cur_tel.get("arch"):
+        for section in ("off", "sampled", "full"):
+            add(
+                f"telemetry.{section}.fps",
+                prev_tel[section]["fps"],
+                cur_tel[section]["fps"],
+                higher_is_better=True,
+            )
     return out
 
 
@@ -503,6 +586,21 @@ def render_run(run: Dict) -> str:
                 f"epoch {entry['epoch_seconds']:.2f} s)"
             )
         lines.append(f"  train arena_speedup  x{train['arena_speedup']:.2f}")
+    tel = run.get("telemetry")
+    if tel:
+        lines.append(
+            f"  telemetry off        {tel['off']['fps']:8.1f} FPS "
+            f"({tel['arch']}, {tel['off']['overhead_vs_baseline']:+.1%} "
+            f"vs baseline)"
+        )
+        for section in ("sampled", "full"):
+            entry = tel[section]
+            lines.append(
+                f"  telemetry {section:<10s} {entry['fps']:8.1f} FPS "
+                f"(1/{entry['sample_every']} traces, "
+                f"{entry['overhead_vs_off']:+.1%} vs off, "
+                f"{entry['spans']} spans)"
+            )
     return "\n".join(lines)
 
 

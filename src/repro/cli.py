@@ -9,9 +9,15 @@ Wraps the library's main workflows for shell users:
 * ``report``   — the complete markdown reproduction report;
 * ``info``     — architecture catalog (Table I facts);
 * ``serve``    — run the dynamic-batching inference server against a
-  synthetic open-loop gate-camera arrival process;
+  synthetic open-loop gate-camera arrival process (``--telemetry`` /
+  ``--trace-out`` record a span journal);
 * ``serve-bench`` — sweep offered load through the server and tabulate
   throughput, latency percentiles and shed/rejected counts;
+* ``trace``    — summarize a saved span journal: critical path,
+  per-span-kind percentiles, slowest-stage table with modelled vs
+  measured bottleneck;
+* ``metrics``  — one-shot metrics dump (Prometheus text exposition or
+  JSON) from a saved span journal;
 * ``lint``     — static AST lint (lock discipline, numpy RNG hygiene,
   views, exceptions) with a justified suppression baseline;
 * ``verify-model`` — static model-graph verification of the registered
@@ -101,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--tile-pool", type=int, default=24,
                        help="pre-rendered gate-camera face tiles to replay")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--telemetry", action="store_true",
+                       help="activate trace spans and print a trace "
+                            "summary after the run")
+        p.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                       help="record every Nth request trace (default: "
+                            "all)")
+        p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                       help="save the span journal as JSON (implies "
+                            "--telemetry)")
 
     p_serve = sub.add_parser(
         "serve", help="dynamic-batching server on synthetic gate traffic"
@@ -121,6 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[100.0, 400.0, 1600.0])
     p_sbench.add_argument("--duration", type=float, default=2.0,
                           help="seconds of traffic per rate")
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a saved trace journal (from --trace-out)"
+    )
+    p_trace.add_argument("journal", type=Path,
+                         help="span journal JSON written by --trace-out")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="rows in the slowest-stage table")
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="one-shot metrics dump (Prometheus or JSON) from a journal",
+    )
+    p_metrics.add_argument("--journal", type=Path, default=None,
+                           help="span journal JSON to derive metrics from")
+    p_metrics.add_argument("--format", default="prometheus",
+                           choices=("prometheus", "json"),
+                           help="output format (default: prometheus)")
 
     p_lint = sub.add_parser(
         "lint", help="static AST lint over a source tree (default: repro)"
@@ -291,28 +324,69 @@ def _build_server(args):
     return InferenceServer(backends, config)
 
 
+def _start_telemetry(args):
+    """Activate tracing for serve/serve-bench when requested.
+
+    Returns the journal (or None). ``--trace-out`` implies telemetry.
+    """
+    from repro.telemetry import SpanJournal, Tracer, activate
+
+    if not (args.telemetry or args.trace_out is not None):
+        return None
+    if args.trace_sample <= 0:
+        raise SystemExit(
+            f"--trace-sample must be positive, got {args.trace_sample}"
+        )
+    journal = SpanJournal()
+    activate(Tracer(sample_every=args.trace_sample, journal=journal))
+    print(
+        f"telemetry on (sampling every "
+        f"{args.trace_sample} request trace(s))"
+    )
+    return journal
+
+
+def _finish_telemetry(args, journal) -> None:
+    from repro.telemetry import deactivate, summarize_spans
+
+    if journal is None:
+        return
+    deactivate()
+    spans = journal.snapshot()
+    print(summarize_spans(spans).render())
+    if args.trace_out is not None:
+        path = journal.save(args.trace_out)
+        print(f"wrote {len(spans)} spans to {path}")
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import StatsReporter, face_tile_pool, run_open_loop
 
+    journal = _start_telemetry(args)
     server = _build_server(args)
     print(f"rendering {args.tile_pool} gate-camera tiles ...")
     tiles = face_tile_pool(args.tile_pool, rng=args.seed)
     reporter = None
-    with server:
-        if args.report_every > 0:
-            reporter = server.reporter(interval_s=args.report_every).start()
-        print(
-            f"offering {args.rate:,.0f} req/s for {args.duration:.1f}s "
-            f"(open loop) ..."
-        )
-        result = run_open_loop(
-            server, tiles, rate_hz=args.rate, duration_s=args.duration,
-            rng=args.seed + 1,
-        )
-        if reporter is not None:
-            reporter.stop()
-        print(result.report())
-        print(server.stats().report())
+    try:
+        with server:
+            print(server.health(smoke=True).render())
+            if args.report_every > 0:
+                reporter = server.reporter(interval_s=args.report_every).start()
+            print(
+                f"offering {args.rate:,.0f} req/s for {args.duration:.1f}s "
+                f"(open loop) ..."
+            )
+            result = run_open_loop(
+                server, tiles, rate_hz=args.rate, duration_s=args.duration,
+                rng=args.seed + 1,
+            )
+            if reporter is not None:
+                reporter.stop()
+            print(result.report())
+            print(server.stats().report())
+            print(server.health().render())
+    finally:
+        _finish_telemetry(args, journal)
     return 0 if result.completed else 1
 
 
@@ -320,32 +394,36 @@ def _cmd_serve_bench(args) -> int:
     from repro.serving import face_tile_pool, run_open_loop
     from repro.utils.tables import render_table
 
+    journal = _start_telemetry(args)
     server_factory = lambda: _build_server(args)  # noqa: E731
     print(f"rendering {args.tile_pool} gate-camera tiles ...")
     tiles = face_tile_pool(args.tile_pool, rng=args.seed)
     rows = []
-    for rate in args.rates:
-        server = server_factory()
-        with server:
-            result = run_open_loop(
-                server, tiles, rate_hz=rate, duration_s=args.duration,
-                rng=args.seed + 1,
+    try:
+        for rate in args.rates:
+            server = server_factory()
+            with server:
+                result = run_open_loop(
+                    server, tiles, rate_hz=rate, duration_s=args.duration,
+                    rng=args.seed + 1,
+                )
+                stats = server.stats()
+            p50 = result.latency_percentile(50) * 1e3 if result.latencies_s else float("nan")
+            p95 = result.latency_percentile(95) * 1e3 if result.latencies_s else float("nan")
+            p99 = result.latency_percentile(99) * 1e3 if result.latencies_s else float("nan")
+            rows.append(
+                [
+                    f"{rate:,.0f}",
+                    f"{result.offered}",
+                    f"{result.achieved_qps:,.0f}",
+                    f"{p50:.1f}/{p95:.1f}/{p99:.1f}",
+                    f"{stats.mean_batch_size:.1f}",
+                    f"{result.rejected + result.shed}",
+                    f"{result.timed_out}",
+                ]
             )
-            stats = server.stats()
-        p50 = result.latency_percentile(50) * 1e3 if result.latencies_s else float("nan")
-        p95 = result.latency_percentile(95) * 1e3 if result.latencies_s else float("nan")
-        p99 = result.latency_percentile(99) * 1e3 if result.latencies_s else float("nan")
-        rows.append(
-            [
-                f"{rate:,.0f}",
-                f"{result.offered}",
-                f"{result.achieved_qps:,.0f}",
-                f"{p50:.1f}/{p95:.1f}/{p99:.1f}",
-                f"{stats.mean_batch_size:.1f}",
-                f"{result.rejected + result.shed}",
-                f"{result.timed_out}",
-            ]
-        )
+    finally:
+        _finish_telemetry(args, journal)
     print(
         render_table(
             ["offered/s", "requests", "QPS", "p50/p95/p99 ms",
@@ -354,6 +432,42 @@ def _cmd_serve_bench(args) -> int:
             title="serve-bench: offered load sweep",
         )
     )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import SpanJournal, summarize_spans
+
+    try:
+        spans = SpanJournal.load(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"error: {args.journal}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"{args.journal}: empty journal (no spans recorded)")
+        return 0
+    print(summarize_spans(spans).render(top=args.top))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.telemetry import SpanJournal, TelemetryExporter
+
+    journal = None
+    if args.journal is not None:
+        try:
+            spans = SpanJournal.load(args.journal)
+        except (OSError, ValueError) as exc:
+            print(f"error: {args.journal}: {exc}", file=sys.stderr)
+            return 1
+        journal = SpanJournal()
+        for span in spans:
+            journal.record(span)
+    exporter = TelemetryExporter(journal=journal)
+    if args.format == "json":
+        print(exporter.to_json())
+    else:
+        print(exporter.to_prometheus(), end="")
     return 0
 
 
@@ -369,7 +483,12 @@ def _cmd_lint(args) -> int:
     if args.no_baseline:
         report = lint_paths(paths, baseline=Baseline())
     elif args.baseline is not None:
-        report = lint_paths(paths, baseline=Baseline.load(args.baseline))
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"error: {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        report = lint_paths(paths, baseline=baseline)
     else:
         report = lint_paths(paths)
     if args.write_baseline is not None:
@@ -446,6 +565,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "lint": _cmd_lint,
     "verify-model": _cmd_verify_model,
     "bench": _cmd_bench,

@@ -18,6 +18,7 @@ from repro.data.attributes import FaceAttributes, sample_attributes
 from repro.data.face_renderer import render_face
 from repro.data.keypoints import FaceKeypoints, sample_keypoints
 from repro.data.mask_model import WearClass, composite_mask, place_mask
+from repro.telemetry.tracing import get_tracer
 from repro.utils import imaging
 from repro.utils.rng import RngLike, as_generator, sample_seeds
 
@@ -151,26 +152,31 @@ class FaceSampleGenerator:
         seeds = sample_seeds(gen, n)
         base_spec = spec or SampleSpec()
         workers = min(int(num_workers), n)
-        if workers == 1:
-            images = _render_samples(
-                self.image_size, self.render_size, labels, seeds, base_spec
-            )
-        else:
-            bounds = np.linspace(0, n, workers + 1).astype(int)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _render_samples,
-                        self.image_size,
-                        self.render_size,
-                        labels[lo:hi],
-                        seeds[lo:hi],
-                        base_spec,
-                    )
-                    for lo, hi in zip(bounds[:-1], bounds[1:])
-                    if hi > lo
-                ]
-                images = np.concatenate([f.result() for f in futures])
+        with get_tracer().span(
+            "data.generate_batch",
+            kind="datagen",
+            attributes={"samples": n, "workers": workers},
+        ):
+            if workers == 1:
+                images = _render_samples(
+                    self.image_size, self.render_size, labels, seeds, base_spec
+                )
+            else:
+                bounds = np.linspace(0, n, workers + 1).astype(int)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _render_samples,
+                            self.image_size,
+                            self.render_size,
+                            labels[lo:hi],
+                            seeds[lo:hi],
+                            base_spec,
+                        )
+                        for lo, hi in zip(bounds[:-1], bounds[1:])
+                        if hi > lo
+                    ]
+                    images = np.concatenate([f.result() for f in futures])
         return images, labels
 
 

@@ -31,6 +31,7 @@ from repro.hw.maxpool_unit import MaxPoolUnit, MaxPoolUnitConfig
 from repro.hw.mvtu import MVTU, MVTUConfig
 from repro.hw.swu import SlidingWindowUnit, SWUConfig
 from repro.hw.thresholding import fold_batchnorm_sign, fold_popcount_domain
+from repro.telemetry.tracing import get_tracer
 from repro.nn.binary_ops import sign
 from repro.nn.layers import (
     BatchNorm,
@@ -296,12 +297,24 @@ class FinnAccelerator:
                 ]
                 run = partial(self.execute, use_packed=use_packed)
                 if num_workers is not None and num_workers > 1:
+                    import contextvars
                     from concurrent.futures import ThreadPoolExecutor
 
+                    # Pool threads do not inherit the caller's context,
+                    # which carries the current trace span — copy it per
+                    # chunk so stage spans stay parented under the
+                    # caller's tree. One Context per chunk: a Context
+                    # can only be entered by one thread at a time.
+                    contexts = [contextvars.copy_context() for _ in chunks]
                     with ThreadPoolExecutor(
                         max_workers=min(num_workers, len(chunks))
                     ) as pool:
-                        parts = list(pool.map(run, chunks))
+                        parts = list(
+                            pool.map(
+                                lambda job: job[0].run(run, job[1]),
+                                zip(contexts, chunks),
+                            )
+                        )
                 else:
                     parts = [run(chunk) for chunk in chunks]
                 return np.concatenate(parts)
@@ -317,12 +330,29 @@ class FinnAccelerator:
             # than a crash deep in quantisation.
             logits = np.zeros((0, self.num_classes), dtype=np.int64)
             return (logits, []) if return_bits else logits
+        tracer = get_tracer()
+        trace_stages = tracer.enabled
+        own_span = None
+        if trace_stages:
+            span_parent = tracer.current_span()
+            if span_parent is None:
+                # Standalone use (no serving span active): open one root
+                # so the stage spans still form a connected tree.
+                own_span = tracer.start_span(
+                    "hw.execute",
+                    kind="hw",
+                    parent=None,
+                    attributes={"accelerator": self.name, "images": n},
+                )
+                span_parent = own_span
+            trace_stages = span_parent.recording
         packed_enabled = use_packed is None or use_packed
         current: Optional[np.ndarray] = self.quantize_input(images)
         packed: Optional[PackedBits] = None
         bits_trace = []
         flat = False
         for stage in self.stages:
+            stage_t0 = tracer.clock.monotonic() if trace_stages else 0.0
             stage_start = time.perf_counter() if stage_seconds is not None else 0.0
             cfg = stage.mvtu.config
             if stage.kind == "conv":
@@ -389,6 +419,21 @@ class FinnAccelerator:
                 stage_seconds.append(
                     (stage.name, time.perf_counter() - stage_start)
                 )
+            if trace_stages:
+                # The ``cycles`` attribute carries the stage's modelled
+                # initiation interval, so trace analysis can rank stages
+                # the way the board would (analyze_pipeline's argmax),
+                # not just by simulator wall time.
+                tracer.record(
+                    f"hw.{stage.name}",
+                    kind="hw_stage",
+                    start_s=stage_t0,
+                    end_s=tracer.clock.monotonic(),
+                    parent=span_parent,
+                    attributes={
+                        "cycles": stage.initiation_interval(), "images": n
+                    },
+                )
             if return_bits:
                 # The trace is defined in the boolean domain regardless
                 # of which path produced it (equivalence tests diff the
@@ -398,6 +443,8 @@ class FinnAccelerator:
                     if packed is not None
                     else np.asarray(current)
                 )
+        if own_span is not None:
+            own_span.finish()
         if current is None:
             raise RuntimeError(
                 "datapath ended in the packed domain — the final stage "

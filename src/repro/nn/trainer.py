@@ -18,6 +18,7 @@ from repro.nn.arena import BufferArena
 from repro.nn.optim import Optimizer
 from repro.nn.schedules import Schedule, constant
 from repro.nn.sequential import Sequential
+from repro.telemetry.tracing import get_tracer
 from repro.utils.rng import RngLike, as_generator
 
 __all__ = [
@@ -187,19 +188,27 @@ class Trainer:
         order = rng.permutation(n)
         self.model.train()
         self.model.set_arena(self.arena)
+        tracer = get_tracer()
         total_loss = 0.0
         total_correct = 0
         seen = 0
+        step = 0
         for start in range(0, n, batch_size):
             idx = order[start : start + batch_size]
             if len(idx) < 2:
                 continue  # batch-norm needs >1 sample; drop a trailing singleton
             xb, yb = x[idx], y[idx]
-            self.optimizer.zero_grad()
-            logits = self.model.forward(xb)
-            loss, grad = self.loss_fn(logits, yb)
-            self.model.backward(grad)
-            self.optimizer.step()
+            with tracer.span(
+                "train.step",
+                kind="train_step",
+                attributes={"step": step, "size": len(idx)},
+            ):
+                self.optimizer.zero_grad()
+                logits = self.model.forward(xb)
+                loss, grad = self.loss_fn(logits, yb)
+                self.model.backward(grad)
+                self.optimizer.step()
+            step += 1
             total_loss += loss * len(idx)
             total_correct += int((logits.argmax(axis=1) == yb).sum())
             seen += len(idx)
@@ -234,20 +243,28 @@ class Trainer:
         gen = as_generator(rng)
         history = History()
         has_val = x_val is not None and y_val is not None
+        tracer = get_tracer()
         try:
             for epoch in range(epochs):
                 start = time.perf_counter()
                 self.optimizer.lr = self.base_lr * self.schedule(epoch)
-                loss, acc = self.train_epoch(x_train, y_train, batch_size, gen)
-                history.train_loss.append(loss)
-                history.train_accuracy.append(acc)
-                history.learning_rate.append(self.optimizer.lr)
-                if has_val:
-                    # One fused sweep: loss and accuracy from the same
-                    # chunked forward passes (used to be two sweeps).
-                    val_loss, val_acc = self.evaluate(x_val, y_val)
-                    history.val_accuracy.append(val_acc)
-                    history.val_loss.append(val_loss)
+                with tracer.span(
+                    "train.epoch",
+                    kind="train_epoch",
+                    attributes={"epoch": epoch, "batch_size": batch_size},
+                ):
+                    loss, acc = self.train_epoch(
+                        x_train, y_train, batch_size, gen
+                    )
+                    history.train_loss.append(loss)
+                    history.train_accuracy.append(acc)
+                    history.learning_rate.append(self.optimizer.lr)
+                    if has_val:
+                        # One fused sweep: loss and accuracy from the same
+                        # chunked forward passes (used to be two sweeps).
+                        val_loss, val_acc = self.evaluate(x_val, y_val)
+                        history.val_accuracy.append(val_acc)
+                        history.val_loss.append(val_loss)
                 history.epoch_seconds.append(time.perf_counter() - start)
                 if verbose:
                     msg = (

@@ -15,11 +15,11 @@ TIMED_OUT here, at collection time — they never occupy a batch slot.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, List, Optional
 
 from repro.serving.admission import AdmissionQueue
 from repro.serving.request import InferenceRequest, RequestStatus
+from repro.utils.clock import MONOTONIC, Clock
 
 __all__ = ["MicroBatcher"]
 
@@ -38,6 +38,7 @@ class MicroBatcher:
         max_batch_size: int = 32,
         max_wait_ms: float = 5.0,
         on_timeout: Optional[Callable[[InferenceRequest], None]] = None,
+        clock: Clock = MONOTONIC,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError(
@@ -49,12 +50,13 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1e3
         self._on_timeout = on_timeout
+        self._clock = clock
 
     def _admit(self, request: InferenceRequest, batch: List[InferenceRequest]) -> None:
         """Add a live request to the batch; expire/skip dead ones."""
         if request.status is not RequestStatus.PENDING:
             return  # cancelled while queued
-        if request.expired():
+        if request.expired(now=self._clock.monotonic()):
             if request.resolve(
                 RequestStatus.TIMED_OUT, detail="deadline expired while queued"
             ):
@@ -81,16 +83,16 @@ class MicroBatcher:
                 if request is None:
                     return batch  # idle poll expired (or queue closed)
             else:
-                remaining = close_at - time.monotonic()
+                remaining = close_at - self._clock.monotonic()
                 if remaining <= 0:
                     return batch  # deadline trigger
                 request = self.queue.pop(timeout=remaining)
                 if request is None:
-                    if self.queue.closed or time.monotonic() >= close_at:
+                    if self.queue.closed or self._clock.monotonic() >= close_at:
                         return batch
                     continue  # spurious wakeup; deadline not reached yet
             self._admit(request, batch)
             if batch and close_at is None:
-                close_at = time.monotonic() + self.max_wait_s
+                close_at = self._clock.monotonic() + self.max_wait_s
             if len(batch) >= self.max_batch_size:
                 return batch  # size trigger

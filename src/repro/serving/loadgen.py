@@ -13,7 +13,6 @@ Everything is deterministic from an ``RngLike`` seed via
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,6 +21,7 @@ import numpy as np
 from repro.data.stream import GateTrigger, render_approach_sequence
 from repro.serving.request import RequestStatus
 from repro.serving.server import InferenceServer
+from repro.utils.clock import MONOTONIC, Clock
 from repro.utils.rng import RngLike, as_generator
 
 __all__ = ["face_tile_pool", "OpenLoopReport", "run_open_loop"]
@@ -127,6 +127,7 @@ def run_open_loop(
     priorities: Sequence[int] = (0,),
     timeout_s: Optional[float] = None,
     resolve_grace_s: float = 30.0,
+    clock: Clock = MONOTONIC,
 ) -> OpenLoopReport:
     """Drive Poisson arrivals at ``rate_hz`` for ``duration_s`` seconds.
 
@@ -145,27 +146,27 @@ def run_open_loop(
         raise ValueError(f"tiles must be (N, H, W, C), got {tiles.shape}")
     gen = as_generator(rng)
     handles = []
-    start = time.monotonic()
+    start = clock.monotonic()
     next_arrival = start + float(gen.exponential(1.0 / rate_hz))
     end = start + duration_s
     while next_arrival < end:
-        delay = next_arrival - time.monotonic()
+        delay = next_arrival - clock.monotonic()
         if delay > 0:
-            time.sleep(delay)
+            clock.sleep(delay)
         idx = int(gen.integers(0, len(tiles)))
         priority = int(priorities[int(gen.integers(0, len(priorities)))])
         handles.append(
             server.submit(tiles[idx], priority=priority, timeout_s=timeout_s)
         )
         next_arrival += float(gen.exponential(1.0 / rate_hz))
-    elapsed = time.monotonic() - start
+    elapsed = clock.monotonic() - start
 
     outcomes: Dict[str, int] = {}
     latencies: List[float] = []
     labels: List[Optional[int]] = []
-    deadline = time.monotonic() + resolve_grace_s
+    deadline = clock.monotonic() + resolve_grace_s
     for handle in handles:
-        status = handle.wait(timeout=max(0.0, deadline - time.monotonic()))
+        status = handle.wait(timeout=max(0.0, deadline - clock.monotonic()))
         outcomes[status.value] = outcomes.get(status.value, 0) + 1
         labels.append(handle.label)
         if status is RequestStatus.COMPLETED and handle.latency_s is not None:

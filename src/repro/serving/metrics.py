@@ -15,13 +15,13 @@ reports current behaviour, not lifetime averages.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.utils.clock import MONOTONIC, Clock
 from repro.utils.profiling import Stopwatch
 
 __all__ = ["MetricsRegistry", "ServerStats", "StatsReporter"]
@@ -139,18 +139,22 @@ class MetricsRegistry:
     """Thread-safe accumulator for the serving layer's observability."""
 
     def __init__(
-        self, stopwatch: Optional[Stopwatch] = None, window: int = 4096
+        self,
+        stopwatch: Optional[Stopwatch] = None,
+        window: int = 4096,
+        clock: Clock = MONOTONIC,
     ) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.stopwatch = stopwatch or Stopwatch()
+        self.clock = clock
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._latencies: deque = deque(maxlen=window)  # seconds
         self._waits: deque = deque(maxlen=window)  # seconds
         self._completion_marks: deque = deque(maxlen=window)  # monotonic stamps
         self._batch_histogram: Dict[int, int] = {}
-        self._started_at = time.monotonic()
+        self._started_at = clock.monotonic()
 
     # -- recording -----------------------------------------------------------
     def increment(self, name: str, n: int = 1) -> None:
@@ -159,7 +163,7 @@ class MetricsRegistry:
 
     def observe_completion(self, latency_s: float) -> None:
         """A request completed end-to-end in ``latency_s`` seconds."""
-        now = time.monotonic()
+        now = self.clock.monotonic()
         with self._lock:
             self._counters["completed"] = self._counters.get("completed", 0) + 1
             self._latencies.append(latency_s)
@@ -182,7 +186,7 @@ class MetricsRegistry:
             return self._counters.get(name, 0)
 
     def snapshot(self, queue_depth: int = 0) -> ServerStats:
-        now = time.monotonic()
+        now = self.clock.monotonic()
         with self._lock:
             counters = dict(self._counters)
             latencies = list(self._latencies)

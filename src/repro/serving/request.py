@@ -93,6 +93,7 @@ class InferenceRequest:
         "backend_name",
         "completed_at",
         "started_at",
+        "trace_span",
         "_status",
         "_lock",
         "_done",
@@ -124,6 +125,10 @@ class InferenceRequest:
         self.backend_name: Optional[str] = None
         self.completed_at: Optional[float] = None
         self.started_at: Optional[float] = None
+        # Set by the server when telemetry is active: the request's
+        # trace span, finished here at resolution (duck-typed — a
+        # tracing Span or the shared no-op; None when telemetry is off).
+        self.trace_span = None
         self._status = RequestStatus.PENDING
         self._lock = threading.Lock()
         self._done = threading.Event()
@@ -168,6 +173,10 @@ class InferenceRequest:
             self.detail = detail
             self.completed_at = time.monotonic()
         self._done.set()
+        span = self.trace_span
+        if span is not None:
+            span.set_attribute("status", status.value)
+            span.finish()
         return True
 
     def cancel(self) -> bool:
@@ -179,6 +188,10 @@ class InferenceRequest:
             self.detail = "cancelled by caller"
             self.completed_at = time.monotonic()
         self._done.set()
+        span = self.trace_span
+        if span is not None:
+            span.set_attribute("status", RequestStatus.CANCELLED.value)
+            span.finish()
         return True
 
     # -- derived timings -----------------------------------------------------

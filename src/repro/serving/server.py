@@ -40,6 +40,13 @@ from repro.serving.request import (
     ResultHandle,
 )
 from repro.serving.workers import WorkerPool
+from repro.telemetry.health import (
+    HealthReport,
+    probe_backend_smoke,
+    probe_queue,
+    probe_workers,
+)
+from repro.telemetry.tracing import get_tracer
 
 __all__ = ["ServingConfig", "InferenceServer"]
 
@@ -228,6 +235,18 @@ class InferenceServer:
                 self.config.default_timeout_s if timeout_s is None else timeout_s
             ),
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The trace root: starts here on the submit thread, finishes
+            # wherever the request resolves (worker, batcher, shutdown).
+            request.trace_span = tracer.start_span(
+                "serving.request",
+                kind="request",
+                parent=None,
+                attributes={
+                    "request_id": request.request_id, "priority": int(priority)
+                },
+            )
         self.metrics.increment("submitted")
         admission = self._queue.offer(request)
         if admission.shed is not None:
@@ -268,6 +287,35 @@ class InferenceServer:
             ]
             labels.extend(h.result(timeout=timeout) for h in handles)
         return np.asarray(labels)
+
+    # -- health --------------------------------------------------------------
+    def health(self, smoke: bool = False) -> HealthReport:
+        """Probe the server: queue saturation, worker liveness, backends.
+
+        ``smoke`` additionally pushes one zero image straight through
+        every backend (bypassing the queue) — the expensive, conclusive
+        readiness check. The report never raises; failing backends show
+        up as FAILING probes.
+        """
+        probes = [
+            probe_queue(
+                self._queue.depth(),
+                self.config.queue_capacity,
+                closed=self._queue.closed,
+            ),
+            probe_workers(
+                self._workers.workers_alive,
+                self.config.num_workers,
+                running=self.running,
+            ),
+        ]
+        if smoke:
+            probes.extend(probe_backend_smoke(b) for b in self._workers.backends)
+        return HealthReport(probes=tuple(probes))
+
+    def ready(self) -> bool:
+        """Readiness: running, healthy, and every backend smoke-predicts."""
+        return self.running and self.health(smoke=True).ok
 
     # -- observability -------------------------------------------------------
     def stats(self) -> ServerStats:

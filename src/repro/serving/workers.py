@@ -23,6 +23,7 @@ from repro.serving.backends import InferenceBackend
 from repro.serving.batcher import MicroBatcher
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.request import InferenceRequest, RequestStatus
+from repro.telemetry.tracing import NOOP_SPAN, get_tracer
 
 __all__ = ["WorkerPool"]
 
@@ -61,6 +62,11 @@ class WorkerPool:
     @property
     def running(self) -> bool:
         return bool(self._threads) and not self._stop.is_set()
+
+    @property
+    def workers_alive(self) -> int:
+        """How many worker threads are actually alive (health probe)."""
+        return sum(1 for t in self._threads if t.is_alive())
 
     def start(self) -> None:
         if self._threads:
@@ -127,46 +133,83 @@ class WorkerPool:
         images = np.stack([r.image for r in now_batch])
         self.metrics.observe_batch(len(now_batch))
 
+        # The batch span parents under the first traced request and
+        # *links* to the rest — a micro-batch belongs to one trace tree
+        # but serves many requests, and links keep the others findable.
+        tracer = get_tracer()
+        if tracer.enabled:
+            traced = [
+                r.trace_span
+                for r in now_batch
+                if r.trace_span is not None and r.trace_span.recording
+            ]
+            batch_span = tracer.start_span(
+                "serving.batch",
+                kind="batch",
+                parent=traced[0] if traced else NOOP_SPAN,
+                links=[s.span_id for s in traced[1:]],
+                attributes={"size": len(now_batch)},
+            )
+        else:
+            batch_span = NOOP_SPAN
+
         last_error: Optional[BaseException] = None
         tried: List[str] = []
-        for attempt in range(len(self.backends)):
-            if attempt == 0:
-                backend, slot = self._acquire_backend()
-            else:
-                backend = next(
-                    (b for b in self.backends if b.name not in tried), None
-                )
-                if backend is None:
-                    break
-                slot = self._slots[backend.name]
-                slot.acquire()
-                self.metrics.increment("fallbacks")
-            tried.append(backend.name)
-            try:
-                with self.metrics.stopwatch.section(f"infer.{backend.name}"):
-                    labels = np.asarray(backend.infer(images))
-            except Exception as exc:  # noqa: BLE001 — fall back, then report
-                last_error = exc
-                self.metrics.increment("backend_errors")
-                continue
-            finally:
-                slot.release()
-            if labels.shape[0] != len(now_batch):
-                last_error = RuntimeError(
-                    f"backend {backend.name!r} returned {labels.shape[0]} "
-                    f"labels for a batch of {len(now_batch)}"
-                )
-                self.metrics.increment("backend_errors")
-                continue
-            self._complete(now_batch, labels, backend.name)
-            return
-        for request in now_batch:
-            if request.resolve(
-                RequestStatus.FAILED,
-                error=last_error,
-                detail=f"all backends failed ({', '.join(tried)}): {last_error}",
-            ):
-                self.metrics.increment("failed")
+        try:
+            for attempt in range(len(self.backends)):
+                if attempt == 0:
+                    backend, slot = self._acquire_backend()
+                else:
+                    backend = next(
+                        (b for b in self.backends if b.name not in tried), None
+                    )
+                    if backend is None:
+                        break
+                    slot = self._slots[backend.name]
+                    slot.acquire()
+                    self.metrics.increment("fallbacks")
+                tried.append(backend.name)
+                try:
+                    # The backend span is *current* for the infer call, so
+                    # datapath-internal spans (per-hw-stage) nest under it.
+                    with self.metrics.stopwatch.section(
+                        f"infer.{backend.name}"
+                    ), tracer.span(
+                        "serving.infer",
+                        kind="backend",
+                        parent=batch_span,
+                        attributes={
+                            "backend": backend.name, "size": len(now_batch)
+                        },
+                    ):
+                        labels = np.asarray(backend.infer(images))
+                except Exception as exc:  # noqa: BLE001 — fall back, then report
+                    last_error = exc
+                    self.metrics.increment("backend_errors")
+                    continue
+                finally:
+                    slot.release()
+                if labels.shape[0] != len(now_batch):
+                    last_error = RuntimeError(
+                        f"backend {backend.name!r} returned {labels.shape[0]} "
+                        f"labels for a batch of {len(now_batch)}"
+                    )
+                    self.metrics.increment("backend_errors")
+                    continue
+                batch_span.set_attribute("backend", backend.name)
+                self._complete(now_batch, labels, backend.name)
+                return
+            for request in now_batch:
+                if request.resolve(
+                    RequestStatus.FAILED,
+                    error=last_error,
+                    detail=(
+                        f"all backends failed ({', '.join(tried)}): {last_error}"
+                    ),
+                ):
+                    self.metrics.increment("failed")
+        finally:
+            batch_span.finish()
 
     def _complete(
         self, batch: List[InferenceRequest], labels: np.ndarray, backend_name: str

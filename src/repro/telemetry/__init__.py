@@ -1,0 +1,75 @@
+"""Telemetry: trace spans, metric exporters, health probes.
+
+The observability layer the serving/compile/train stack reports
+through. Four pieces:
+
+* :mod:`repro.telemetry.tracing` — hierarchical :class:`Span` trees
+  with ``contextvars`` propagation, sampling, and an ambient
+  process-wide tracer (:func:`activate` / :func:`get_tracer`);
+* :mod:`repro.telemetry.journal` — per-thread ring buffers holding the
+  most recent finished spans (:class:`SpanJournal`);
+* :mod:`repro.telemetry.export` — one collected metrics document
+  rendered as Prometheus text exposition or JSON
+  (:class:`TelemetryExporter`);
+* :mod:`repro.telemetry.health` — queue/worker/backend probes behind
+  :class:`HealthReport` (surfaced as ``InferenceServer.health()``).
+
+Instrumented call sites all follow the same pattern::
+
+    tracer = get_tracer()          # NULL_TRACER when nothing is active
+    with tracer.span("thing", kind="work"):
+        ...
+
+which costs one global read and one attribute check when telemetry is
+off — the layer is free unless someone turns it on.
+"""
+
+from repro.telemetry.journal import SpanJournal, TRACE_SCHEMA
+from repro.telemetry.tracing import (
+    NOOP_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    activate,
+    deactivate,
+    get_tracer,
+)
+from repro.telemetry.export import (
+    TELEMETRY_SCHEMA,
+    TelemetryExporter,
+    escape_label_value,
+    validate_telemetry_doc,
+)
+from repro.telemetry.health import (
+    HealthReport,
+    ProbeResult,
+    ProbeStatus,
+    probe_backend_smoke,
+    probe_queue,
+    probe_workers,
+)
+from repro.telemetry.summary import TraceSummary, summarize_spans
+
+__all__ = [
+    "SpanJournal",
+    "TRACE_SCHEMA",
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "NULL_TRACER",
+    "activate",
+    "deactivate",
+    "get_tracer",
+    "TELEMETRY_SCHEMA",
+    "TelemetryExporter",
+    "escape_label_value",
+    "validate_telemetry_doc",
+    "HealthReport",
+    "ProbeResult",
+    "ProbeStatus",
+    "probe_queue",
+    "probe_workers",
+    "probe_backend_smoke",
+    "TraceSummary",
+    "summarize_spans",
+]

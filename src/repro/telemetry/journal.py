@@ -1,0 +1,113 @@
+"""The span journal: bounded, per-thread ring buffers of finished spans.
+
+Hot paths (a worker finishing a span per micro-batch, the datapath
+finishing one per hardware stage) append to a ``collections.deque`` that
+belongs to the *recording thread alone*, so the steady-state cost of an
+append is one thread-local lookup plus one deque append — no lock is
+taken. The journal's only lock guards the buffer registry, touched once
+per thread lifetime (registration) and on snapshot.
+
+``maxlen`` on each deque makes the journal a ring buffer: a long-running
+server keeps the most recent ``capacity_per_thread`` spans per thread
+and silently drops the oldest, bounding memory forever.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["SpanJournal", "TRACE_SCHEMA"]
+
+#: Version tag written into (and required from) saved journal files.
+TRACE_SCHEMA = "repro-trace/v1"
+
+
+class SpanJournal:
+    """Collects finished spans from any number of threads.
+
+    Spans are stored as plain dicts (the :meth:`Span.to_dict
+    <repro.telemetry.tracing.Span.to_dict>` form) so a snapshot is
+    directly JSON-serialisable.
+    """
+
+    def __init__(self, capacity_per_thread: int = 4096) -> None:
+        if capacity_per_thread <= 0:
+            raise ValueError(
+                f"capacity_per_thread must be positive, got {capacity_per_thread}"
+            )
+        self.capacity_per_thread = int(capacity_per_thread)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._buffers: List[deque] = []
+
+    # -- recording (lock-free steady state) ----------------------------------
+    def _buffer(self) -> deque:
+        buf = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = deque(maxlen=self.capacity_per_thread)
+            self._local.buf = buf
+            with self._lock:
+                self._buffers.append(buf)
+        return buf
+
+    def record(self, span_dict: Dict) -> None:
+        """Append one finished span (called from the recording thread)."""
+        self._buffer().append(span_dict)
+
+    # -- reading -------------------------------------------------------------
+    def snapshot(self) -> List[Dict]:
+        """All retained spans, merged across threads, ordered by start time.
+
+        Buffers that belonged to finished threads are still readable (the
+        registry keeps them alive). A buffer being appended to while we
+        copy it can raise ``RuntimeError`` (deque mutated during
+        iteration); the copy is simply retried — appends are fast, so the
+        retry converges immediately.
+        """
+        with self._lock:
+            buffers = list(self._buffers)
+        spans: List[Dict] = []
+        for buf in buffers:
+            while True:
+                try:
+                    spans.extend(buf)
+                    break
+                except RuntimeError:
+                    continue
+        spans.sort(key=lambda s: (s.get("start_s", 0.0), s.get("span_id", 0)))
+        return spans
+
+    def clear(self) -> None:
+        """Drop all retained spans (buffers stay registered)."""
+        with self._lock:
+            buffers = list(self._buffers)
+        for buf in buffers:
+            buf.clear()
+
+    def __len__(self) -> int:
+        return len(self.snapshot())
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path) -> Path:
+        """Write the current snapshot as a JSON journal file."""
+        path = Path(path)
+        doc = {"schema": TRACE_SCHEMA, "spans": self.snapshot()}
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        return path
+
+    @staticmethod
+    def load(path) -> List[Dict]:
+        """Spans from a saved journal file (validated schema tag)."""
+        doc = json.loads(Path(path).read_text())
+        if not isinstance(doc, dict) or doc.get("schema") != TRACE_SCHEMA:
+            raise ValueError(
+                f"{path}: not a trace journal (expected schema {TRACE_SCHEMA!r})"
+            )
+        spans = doc.get("spans")
+        if not isinstance(spans, list):
+            raise ValueError(f"{path}: journal has no span list")
+        return spans

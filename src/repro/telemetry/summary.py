@@ -1,0 +1,240 @@
+"""Trace-journal analysis: per-kind percentiles, critical path, bottleneck.
+
+This is the read side of the tracing tentpole — ``repro trace`` renders
+one :class:`TraceSummary` over a saved journal. The hardware-stage table
+carries *two* rankings on purpose:
+
+* ``bottleneck_modelled`` — the stage with the largest initiation
+  interval in **cycles** (each ``hw_stage`` span records its stage's II
+  as the ``cycles`` attribute). This is the board-relevant bottleneck
+  and matches :func:`repro.hw.pipeline.analyze_pipeline`'s analytic
+  argmax exactly, including its first-wins tie-break in pipeline order.
+* ``bottleneck_measured`` — the stage with the largest measured
+  simulator wall time. The two can disagree (the numpy SWU makes early
+  conv stages wall-time heavy while the board's II argmax sits in the
+  FC layers); showing both side by side is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.tables import render_table
+
+__all__ = ["KindStats", "StageRow", "TraceSummary", "summarize_spans"]
+
+
+@dataclass(frozen=True)
+class KindStats:
+    """Duration statistics for one span kind."""
+
+    kind: str
+    count: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+
+
+@dataclass(frozen=True)
+class StageRow:
+    """Aggregated view of one hardware stage across all its spans."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_ms: float
+    cycles: Optional[int]  # modelled initiation interval (II)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything ``repro trace`` prints about one journal."""
+
+    span_count: int
+    trace_count: int
+    kinds: Tuple[KindStats, ...]
+    hw_stages: Tuple[StageRow, ...]  # pipeline (first-seen) order
+    bottleneck_modelled: Optional[str]  # argmax II cycles
+    bottleneck_measured: Optional[str]  # argmax wall seconds
+    critical_path: Tuple[Dict, ...] = field(default=())
+
+    def render(self, top: int = 10) -> str:
+        lines = [
+            f"trace journal: {self.span_count} spans across "
+            f"{self.trace_count} traces"
+        ]
+        if self.kinds:
+            rows = [
+                [
+                    k.kind,
+                    str(k.count),
+                    f"{k.p50_ms:.3f}",
+                    f"{k.p95_ms:.3f}",
+                    f"{k.p99_ms:.3f}",
+                    f"{k.mean_ms:.3f}",
+                ]
+                for k in self.kinds
+            ]
+            lines.append(
+                render_table(
+                    ["kind", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
+                    rows,
+                    title="per-span-kind latency",
+                )
+            )
+        if self.hw_stages:
+            ranked = sorted(
+                self.hw_stages, key=lambda s: s.total_s, reverse=True
+            )[:top]
+            rows = [
+                [
+                    s.name,
+                    str(s.count),
+                    f"{s.total_s * 1e3:.2f}",
+                    f"{s.mean_ms:.3f}",
+                    str(s.cycles) if s.cycles is not None else "-",
+                ]
+                for s in ranked
+            ]
+            lines.append(
+                render_table(
+                    ["stage", "spans", "total ms", "mean ms", "II cycles"],
+                    rows,
+                    title="slowest hardware stages (by measured wall time)",
+                )
+            )
+            lines.append(
+                f"bottleneck (modelled, II argmax): {self.bottleneck_modelled}"
+            )
+            lines.append(
+                f"bottleneck (measured wall time):  {self.bottleneck_measured}"
+            )
+        if self.critical_path:
+            lines.append("critical path of the slowest trace:")
+            for depth, span in enumerate(self.critical_path):
+                duration = (span.get("end_s") or 0.0) - span.get("start_s", 0.0)
+                indent = "  " * depth
+                lines.append(
+                    f"  {indent}{span.get('name')} [{span.get('kind')}] "
+                    f"{duration * 1e3:.3f} ms"
+                )
+        return "\n".join(lines)
+
+
+def _duration(span: Dict) -> float:
+    end = span.get("end_s")
+    if end is None:
+        return 0.0
+    return float(end) - float(span.get("start_s", 0.0))
+
+
+def _kind_stats(spans: List[Dict]) -> Tuple[KindStats, ...]:
+    groups: Dict[str, List[float]] = {}
+    for span in spans:
+        groups.setdefault(span.get("kind", ""), []).append(_duration(span))
+    out = []
+    for kind in sorted(groups):
+        arr = np.asarray(groups[kind], dtype=np.float64) * 1e3
+        out.append(
+            KindStats(
+                kind=kind,
+                count=len(arr),
+                p50_ms=float(np.percentile(arr, 50)),
+                p95_ms=float(np.percentile(arr, 95)),
+                p99_ms=float(np.percentile(arr, 99)),
+                mean_ms=float(arr.mean()),
+            )
+        )
+    return tuple(out)
+
+
+def _stage_table(spans: List[Dict]) -> Tuple[StageRow, ...]:
+    """hw_stage spans aggregated by stage, in first-seen (pipeline) order."""
+    order: List[str] = []
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    cycles: Dict[str, Optional[int]] = {}
+    for span in spans:
+        if span.get("kind") != "hw_stage":
+            continue
+        name = span.get("name", "")
+        if name.startswith("hw."):
+            name = name[3:]
+        if name not in totals:
+            order.append(name)
+            totals[name] = 0.0
+            counts[name] = 0
+            cycles[name] = None
+        totals[name] += _duration(span)
+        counts[name] += 1
+        ii = span.get("attributes", {}).get("cycles")
+        if ii is not None:
+            cycles[name] = int(ii)
+    return tuple(
+        StageRow(
+            name=name,
+            count=counts[name],
+            total_s=totals[name],
+            mean_ms=totals[name] / counts[name] * 1e3,
+            cycles=cycles[name],
+        )
+        for name in order
+    )
+
+
+def _critical_path(spans: List[Dict]) -> Tuple[Dict, ...]:
+    """Longest-child chain of the slowest root span.
+
+    Prefers ``request`` roots (a served request's full story) over other
+    root kinds when both are present.
+    """
+    children: Dict[int, List[Dict]] = {}
+    roots: List[Dict] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is None:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+    if not roots:
+        return ()
+    request_roots = [r for r in roots if r.get("kind") == "request"]
+    pool = request_roots or roots
+    root = max(pool, key=_duration)
+    path = [root]
+    current = root
+    while True:
+        kids = children.get(current.get("span_id"), [])
+        if not kids:
+            break
+        current = max(kids, key=_duration)
+        path.append(current)
+    return tuple(path)
+
+
+def summarize_spans(spans: List[Dict]) -> TraceSummary:
+    """Aggregate a journal snapshot (or loaded journal file) for display."""
+    finished = [s for s in spans if s.get("end_s") is not None]
+    stage_rows = _stage_table(finished)
+    bottleneck_modelled = None
+    bottleneck_measured = None
+    with_cycles = [s for s in stage_rows if s.cycles is not None]
+    if with_cycles:
+        # max() keeps the first maximum — the same first-wins tie-break
+        # as analyze_pipeline's argmax over pipeline-ordered stages.
+        bottleneck_modelled = max(with_cycles, key=lambda s: s.cycles).name
+    if stage_rows:
+        bottleneck_measured = max(stage_rows, key=lambda s: s.total_s).name
+    return TraceSummary(
+        span_count=len(finished),
+        trace_count=len({s.get("trace_id") for s in finished}),
+        kinds=_kind_stats(finished),
+        hw_stages=stage_rows,
+        bottleneck_modelled=bottleneck_modelled,
+        bottleneck_measured=bottleneck_measured,
+        critical_path=_critical_path(finished),
+    )

@@ -1,0 +1,348 @@
+"""Hierarchical trace spans with ``contextvars`` propagation and sampling.
+
+A :class:`Span` is one timed operation; spans form trees via
+``parent_id`` (one request → its micro-batch → the backend call → each
+hardware stage). The *current* span is carried in a ``contextvars``
+context variable, so nested instrumentation picks up its parent
+automatically within a thread; crossing threads (submit thread → worker
+thread) is explicit — the serving layer hands the request span over on
+the request object, and the datapath copies the context into its chunk
+workers.
+
+Design constraints, in order:
+
+1. **Disabled must be free.** Every instrumentation site goes through
+   :func:`get_tracer`; with no tracer activated that returns
+   :data:`NULL_TRACER`, whose ``span()`` hands back one shared no-op
+   context manager — no allocation, no clock read, no journal touch.
+2. **Sampling bounds enabled overhead.** A tracer with
+   ``sample_every=N`` records every Nth trace *root*; descendants follow
+   their root's fate (a sampled-out request records nothing anywhere
+   down its tree), so the journal holds complete trees, never fragments.
+3. **Recording is lock-free.** Finished spans go to a
+   :class:`~repro.telemetry.journal.SpanJournal` per-thread ring buffer.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.journal import SpanJournal
+from repro.utils.clock import MONOTONIC, Clock
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "NULL_TRACER",
+    "activate",
+    "deactivate",
+    "get_tracer",
+]
+
+_SPAN_IDS = itertools.count(1)  # next() is atomic under the GIL
+
+_current_span: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+#: Sentinel distinguishing "no parent given" from "explicitly a root".
+_FROM_CONTEXT = object()
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    ``finish()`` stamps the end time and journals the span; it is
+    write-once — later calls are no-ops, so a span resolved from two
+    racing paths is recorded exactly once with the first end time.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "kind",
+        "start_s",
+        "end_s",
+        "attributes",
+        "links",
+        "_tracer",
+    )
+
+    #: Real spans record; the no-op span overrides this with ``False``.
+    recording = True
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        tracer: "Tracer",
+        parent: Optional["Span"] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+        links: Sequence[int] = (),
+    ) -> None:
+        self.span_id = next(_SPAN_IDS)
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            self.trace_id = self.span_id
+            self.parent_id = None
+        self.name = name
+        self.kind = kind
+        self.start_s = tracer.clock.monotonic()
+        self.end_s: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.links: List[int] = list(links)
+        self._tracer = tracer
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def finish(self, end_s: Optional[float] = None) -> None:
+        """Stamp the end time and journal the span (write-once)."""
+        if self.end_s is not None:
+            return
+        self.end_s = (
+            self._tracer.clock.monotonic() if end_s is None else float(end_s)
+        )
+        self._tracer.journal.record(self.to_dict())
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attributes": self.attributes,
+            "links": self.links,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, id={self.span_id}, "
+            f"trace={self.trace_id}, parent={self.parent_id})"
+        )
+
+
+class _NoOpSpan:
+    """Shared inert span: sampled-out or disabled instrumentation sites
+    hold this instead of ``None`` so call sites never branch."""
+
+    __slots__ = ()
+    recording = False
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    name = ""
+    kind = ""
+    start_s = 0.0
+    end_s = 0.0
+    links: List[int] = []
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def finish(self, end_s: Optional[float] = None) -> None:
+        pass
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = _NoOpSpan()
+
+
+class _DisabledContext:
+    """The context manager a disabled tracer returns: does nothing at
+    all — it does not even touch the context variable."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoOpSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_DISABLED_CONTEXT = _DisabledContext()
+
+
+class _ActiveContext:
+    """Context manager for one span (real or sampled-out no-op): sets it
+    as the current span on entry, finishes and restores on exit."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span) -> None:
+        self._span = span
+        self._token = None
+
+    def __enter__(self):
+        self._token = _current_span.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _current_span.reset(self._token)
+        if exc_type is not None:
+            self._span.set_attribute("error", exc_type.__name__)
+        self._span.finish()
+        return False
+
+
+class Tracer:
+    """Creates, samples and journals spans.
+
+    ``sample_every=N`` keeps every Nth *root* span (and, always, the
+    full subtree of every kept root); ``1`` keeps everything. A
+    disabled tracer (``enabled=False``) records nothing and costs one
+    attribute check per instrumentation site.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_every: int = 1,
+        journal: Optional[SpanJournal] = None,
+        clock: Clock = MONOTONIC,
+    ) -> None:
+        if sample_every <= 0:
+            raise ValueError(f"sample_every must be positive, got {sample_every}")
+        self.enabled = bool(enabled)
+        self.sample_every = int(sample_every)
+        # Explicit None check: an *empty* journal is falsy (len 0) but
+        # still the caller's journal.
+        self.journal = SpanJournal() if journal is None else journal
+        self.clock = clock
+        self._roots_seen = itertools.count()
+
+    # -- sampling ------------------------------------------------------------
+    def _sample_root(self) -> bool:
+        if self.sample_every == 1:
+            return True
+        return next(self._roots_seen) % self.sample_every == 0
+
+    # -- span creation -------------------------------------------------------
+    def current_span(self) -> Optional[Span]:
+        """The context's current span (None outside any traced scope)."""
+        return _current_span.get()
+
+    def start_span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent=_FROM_CONTEXT,
+        attributes: Optional[Dict[str, Any]] = None,
+        links: Sequence[int] = (),
+    ):
+        """A span the caller finishes manually (``span.finish()``).
+
+        Used where a span's lifetime crosses threads (the request span
+        starts on the submit thread and finishes on a worker). The span
+        is *not* made current. Returns :data:`NOOP_SPAN` when disabled,
+        when the parent is sampled out, or when this would start a
+        sampled-out root.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        if parent is _FROM_CONTEXT:
+            parent = _current_span.get()
+        if parent is not None:
+            if not parent.recording:
+                return NOOP_SPAN
+        elif not self._sample_root():
+            return NOOP_SPAN
+        return Span(name, kind, self, parent=parent, attributes=attributes, links=links)
+
+    def span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent=_FROM_CONTEXT,
+        attributes: Optional[Dict[str, Any]] = None,
+        links: Sequence[int] = (),
+    ):
+        """Context manager: the span is current inside the ``with`` body.
+
+        A sampled-out root still installs the no-op span as current, so
+        the whole subtree is consistently dropped rather than its
+        descendants re-rooting themselves.
+        """
+        if not self.enabled:
+            return _DISABLED_CONTEXT
+        span = self.start_span(
+            name, kind, parent=parent, attributes=attributes, links=links
+        )
+        return _ActiveContext(span)
+
+    def record(
+        self,
+        name: str,
+        kind: str,
+        start_s: float,
+        end_s: float,
+        parent=_FROM_CONTEXT,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Journal an externally-timed, already-finished span.
+
+        Lets hot loops that measure their own start/end stamps (the
+        datapath's stage loop) emit spans without a ``with`` block.
+        """
+        if not self.enabled:
+            return
+        if parent is _FROM_CONTEXT:
+            parent = _current_span.get()
+        if parent is not None and not parent.recording:
+            return
+        if parent is None and not self._sample_root():
+            return
+        span = Span(name, kind, self, parent=parent, attributes=attributes)
+        span.start_s = float(start_s)
+        span.end_s = float(end_s)
+        self.journal.record(span.to_dict())
+
+
+#: The inert tracer: what :func:`get_tracer` yields when none is active.
+NULL_TRACER = Tracer(enabled=False)
+
+_active_tracer: Tracer = NULL_TRACER
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide ambient tracer.
+
+    The ambient tracer is a module global rather than a context
+    variable on purpose: worker threads are created before tracing is
+    configured and do not inherit the creating context, but they must
+    still see the active tracer.
+    """
+    global _active_tracer
+    _active_tracer = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    """Restore the inert :data:`NULL_TRACER`."""
+    global _active_tracer
+    _active_tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The ambient tracer (never None; disabled by default)."""
+    return _active_tracer

@@ -1,5 +1,6 @@
-"""Shared utilities: RNG plumbing, imaging, profiling, tables, checkpoints."""
+"""Shared utilities: RNG plumbing, imaging, profiling, clocks, tables."""
 
+from repro.utils.clock import MONOTONIC, Clock, FakeClock, MonotonicClock
 from repro.utils.rng import RngLike, as_generator, derive, spawn
 from repro.utils.profiling import OpCounter, Stopwatch, timed
 from repro.utils.tables import render_matrix, render_table
@@ -9,6 +10,10 @@ __all__ = [
     "as_generator",
     "derive",
     "spawn",
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
+    "MONOTONIC",
     "OpCounter",
     "Stopwatch",
     "timed",

@@ -1,0 +1,69 @@
+"""Injectable time sources for timing-sensitive code.
+
+Production code paths (serving metrics, the micro-batcher, the load
+generator, the tracer) take a :class:`Clock` instead of calling
+``time.monotonic()`` directly, so tests can drive deadlines and sliding
+windows deterministically with a :class:`FakeClock` instead of sleeping
+and hoping the scheduler cooperates.
+
+The module-level :data:`MONOTONIC` singleton is the default everywhere;
+it delegates straight to :func:`time.monotonic` / :func:`time.sleep`.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "FakeClock", "MONOTONIC"]
+
+
+class Clock:
+    """Minimal time-source interface: a monotonic stamp and a sleep."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonically non-decreasing clock."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds``."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real wall clock (``time.monotonic`` / ``time.sleep``)."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A manually-advanced clock for deterministic tests.
+
+    ``sleep`` advances the clock instead of blocking, so code under test
+    that waits for a deadline completes instantly; ``advance`` moves
+    time forward explicitly. Never moves backwards.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new stamp."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards ({seconds})")
+        self._now += float(seconds)
+        return self._now
+
+
+#: Shared default clock — the real monotonic wall clock.
+MONOTONIC = MonotonicClock()

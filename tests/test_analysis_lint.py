@@ -308,9 +308,24 @@ class TestBaseline:
         report = lint_paths([src], baseline=Baseline())
         baseline = Baseline.from_diagnostics(report.diagnostics)
         path = baseline.save(tmp_path / BASELINE_FILENAME)
+        # The freshly written file carries TODO placeholders: it must NOT
+        # load until a human replaces them with real justifications.
+        with pytest.raises(ValueError, match="TODO-placeholder"):
+            Baseline.load(path)
+        path.write_text(
+            path.read_text().replace(
+                "TODO: justify this suppression", "seeded test data"
+            )
+        )
         reloaded = Baseline.load(path)
         assert len(reloaded) == 1
         assert lint_paths([src], baseline=reloaded).rule_ids == []
+
+    def test_todo_placeholder_rejected_case_insensitive(self, tmp_path):
+        bl = tmp_path / BASELINE_FILENAME
+        bl.write_text("NP001 mod.py sample  # todo: explain later\n")
+        with pytest.raises(ValueError, match="TODO-placeholder"):
+            Baseline.load(bl)
 
 
 # -- the tier-1 gate: repo at head is clean ------------------------------------
@@ -371,7 +386,17 @@ class TestCliSmoke:
         bl = tmp_path / BASELINE_FILENAME
         assert main(["lint", str(bad), "--write-baseline", str(bl)]) == 0
         assert bl.exists()
-        # TODO-justified entries still parse and suppress
+        # The written entries carry TODO placeholders, which no longer
+        # parse: the CLI reports the unjustified baseline and fails.
+        assert main(["lint", str(bad), "--baseline", str(bl)]) == 2
+        err = capsys.readouterr().err
+        assert "TODO-placeholder" in err
+        # Filling in a real justification makes the baseline usable.
+        bl.write_text(
+            bl.read_text().replace(
+                "TODO: justify this suppression", "seeded test data"
+            )
+        )
         assert main(["lint", str(bad), "--baseline", str(bl)]) == 0
 
     def test_lint_rules_listing(self, capsys):

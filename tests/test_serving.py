@@ -35,6 +35,7 @@ from repro.serving import (
 from repro.core.architectures import table1_folding
 from repro.hw.compiler import FoldingConfig, compile_model
 from repro.testing import grid_images, make_tiny_bnn, randomize_bn_stats
+from repro.utils.clock import FakeClock
 from repro.utils.profiling import Stopwatch
 
 pytestmark = pytest.mark.serving
@@ -167,16 +168,20 @@ class TestMicroBatcher:
         assert batcher.next_batch(poll_timeout_s=0.01) == []
 
     def test_expired_requests_resolved_not_batched(self):
+        # A fake clock makes the expiry deterministic: no real sleep, no
+        # flaking when the host stalls between offer and collection.
+        clock = FakeClock()
         q = AdmissionQueue(capacity=4)
         timeouts = []
         batcher = MicroBatcher(
-            q, max_batch_size=4, max_wait_ms=5.0, on_timeout=timeouts.append
+            q, max_batch_size=4, max_wait_ms=0.0,
+            on_timeout=timeouts.append, clock=clock,
         )
-        dead = make_request(timeout_s=0.01)
-        live = make_request()
+        dead = make_request(timeout_s=0.01, now=clock.monotonic())
+        live = make_request(now=clock.monotonic())
         q.offer(dead)
         q.offer(live)
-        time.sleep(0.03)  # let the deadline expire while queued
+        clock.advance(0.03)  # the deadline expires while queued
         batch = batcher.next_batch()
         assert batch == [live]
         assert dead.status is RequestStatus.TIMED_OUT
@@ -370,6 +375,56 @@ class TestWorkerPoolAndServer:
         assert stats.qps > 0
         report = stats.report()
         assert "12 submitted" in report and "batches" in report
+
+    def test_distribution_empty_and_single_windows(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        stats = registry.snapshot()
+        # Empty windows render no percentiles at all, not zeros.
+        assert stats.latency_ms == {} and stats.queue_wait_ms == {}
+        registry.observe_completion(0.004)
+        registry.observe_queue_wait(0.002)
+        stats = registry.snapshot()
+        # One observation: every percentile collapses onto that value.
+        for key in ("p50", "p95", "p99", "mean"):
+            assert stats.latency_ms[key] == pytest.approx(4.0)
+            assert stats.queue_wait_ms[key] == pytest.approx(2.0)
+
+    def test_report_with_zero_completions(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        registry.increment("submitted", 3)
+        registry.increment("rejected", 3)
+        clock.advance(2.0)
+        stats = registry.snapshot(queue_depth=1)
+        assert stats.qps == 0.0
+        assert stats.uptime_s == pytest.approx(2.0)
+        assert stats.mean_batch_size == 0.0
+        report = stats.report()
+        assert "3 submitted" in report and "0 completed" in report
+        # no latency/batch lines without observations
+        assert "latency ms" not in report and "batches" not in report
+
+    def test_qps_over_wrapped_window(self):
+        # More completions than the window holds: QPS must reflect the
+        # surviving (most recent) marks, not the lifetime count.
+        clock = FakeClock()
+        registry = MetricsRegistry(window=4, clock=clock)
+        for _ in range(10):
+            clock.advance(1.0)
+            registry.observe_completion(0.001)
+        stats = registry.snapshot()
+        # 4 retained marks spanning 3 seconds -> 1 completion/s.
+        assert stats.qps == pytest.approx(1.0)
+        assert stats.completed == 10  # the counter, unlike the window, is lifetime
+
+    def test_qps_single_completion_uses_uptime(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        clock.advance(4.0)
+        registry.observe_completion(0.001)
+        stats = registry.snapshot()
+        assert stats.qps == pytest.approx(1.0 / 4.0)
 
     def test_sync_predict_roundtrip(self):
         stub = StubBackend()
