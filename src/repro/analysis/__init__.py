@@ -1,7 +1,7 @@
 """Static analysis for the BinaryCoP codebase (``repro lint`` /
-``repro verify-model``).
+``repro verify-model`` / ``repro lockgraph``).
 
-Two engines over one structured-diagnostic core
+Four engines over one structured-diagnostic core
 (:mod:`~repro.analysis.diagnostics`):
 
 * the **model-graph verifier** (:func:`verify_model`) — symbolic
@@ -10,17 +10,33 @@ Two engines over one structured-diagnostic core
   threshold-fold legality, PE/SIMD folding divisibility, dead-layer and
   dtype-narrowing detection). A model that verifies error-free cannot
   fail structurally in :func:`repro.hw.compiler.compile_model`;
-* the **AST lint pass** (:func:`lint_paths`) — stdlib-``ast`` rules for
-  lock discipline, global numpy RNG use, in-place ops on views, bare
-  excepts and mutable defaults, with a justified suppression baseline
-  (:class:`Baseline`, ``.repro-lint-baseline``).
+* the **AST lint pass** — per-file stdlib-``ast`` rules for lock
+  discipline, global numpy RNG use, in-place ops on views, bare excepts
+  and mutable defaults;
+* the **concurrency pass** (:func:`analyze_concurrency`, CC001–CC005) —
+  whole-program lock resolution + call graph: lock-order cycles,
+  blocking under a mutex, unguarded shared-state writes;
+* the **aliasing pass** (:func:`analyze_aliasing`, AL001–AL003) —
+  arena-view taint through the allocation-free fast path: overlapping
+  ``out=``, escaping views, use-after-reset.
+
+:func:`lint_paths` drives the last three (selectable via ``passes=``)
+with a justified suppression baseline (:class:`Baseline`,
+``.repro-lint-baseline``).
 """
 
+from repro.analysis.aliasing import analyze_aliasing
 from repro.analysis.baseline import (
     BASELINE_FILENAME,
     Baseline,
     BaselineEntry,
     find_baseline,
+)
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.concurrency import (
+    LockOrderGraph,
+    analyze_concurrency,
+    build_lock_graph,
 )
 from repro.analysis.diagnostics import (
     RULES,
@@ -31,7 +47,13 @@ from repro.analysis.diagnostics import (
     rules_table,
 )
 from repro.analysis.graph import verify_model
-from repro.analysis.lint import collect_sources, lint_file, lint_paths
+from repro.analysis.lint import (
+    PASSES,
+    collect_sources,
+    lint_file,
+    lint_paths,
+    prune_baseline,
+)
 
 __all__ = [
     "BASELINE_FILENAME",
@@ -39,13 +61,20 @@ __all__ = [
     "BaselineEntry",
     "Diagnostic",
     "DiagnosticReport",
+    "LockOrderGraph",
+    "PASSES",
+    "ProjectIndex",
     "RULES",
     "Rule",
     "Severity",
+    "analyze_aliasing",
+    "analyze_concurrency",
+    "build_lock_graph",
     "collect_sources",
     "find_baseline",
     "lint_file",
     "lint_paths",
+    "prune_baseline",
     "rules_table",
     "verify_model",
 ]

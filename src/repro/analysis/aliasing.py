@@ -1,0 +1,314 @@
+"""Arena/out= aliasing analysis for the allocation-free fast path
+(AL001–AL003).
+
+The training fast path (PR 4) routes every large intermediate through a
+:class:`~repro.nn.arena.BufferArena`: ``arena.get(owner, role, shape)``
+returns the *same* ndarray every step, and kernels write into it via
+``out=``. That trades allocation for aliasing hazards, none of which
+numpy will ever raise on:
+
+- **AL001** — the same buffer is an input *and* the ``out=`` target of
+  a non-elementwise op (``np.matmul(a, b, out=a)`` reads ``a`` while
+  overwriting it: silent garbage). Elementwise ufuncs process value-by-
+  value and are explicitly in-place-safe, so a whitelist exempts them.
+- **AL002** — an arena view *escapes* the step scope: returned from a
+  function or stored on ``self``. The arena recycles the buffer next
+  step, so the escapee is silently overwritten. ``forward``/``backward``
+  returns are exempt: the layer-chain contract documented in
+  ``nn/arena.py`` is that a layer's output lives only until the next
+  layer of the same step consumes it.
+- **AL003** — an arena view is read after the arena was reset
+  (``set_arena(None)``, ``arena.clear()``): the storage may already be
+  re-handed to another owner.
+
+Taint is intraprocedural and syntactic: a variable is arena-tainted if
+it is assigned from ``<arena>.get(...)``, from an ``out=``-carrying call
+whose ``out=`` is tainted, from an alias-preserving view method
+(``reshape``/``ravel``/``astype``/...) of a tainted variable, or from a
+plain copy of one. Calls with unknown effects drop taint — like the
+concurrency pass, unresolved facts never manufacture findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["analyze_aliasing", "ELEMENTWISE_SAFE"]
+
+#: ufunc-style ops that are safe with ``out=`` aliasing an input: they
+#: read and write each element exactly once, in order.
+ELEMENTWISE_SAFE = {
+    "add", "subtract", "multiply", "divide", "true_divide", "floor_divide",
+    "maximum", "minimum", "clip", "copyto", "negative", "positive", "abs",
+    "absolute", "fabs", "sign", "exp", "log", "sqrt", "square", "tanh",
+    "where", "logical_and", "logical_or", "logical_not", "logical_xor",
+    "bitwise_and", "bitwise_or", "bitwise_xor", "invert", "left_shift",
+    "right_shift", "power", "mod", "remainder", "greater", "greater_equal",
+    "less", "less_equal", "equal", "not_equal", "rint", "floor", "ceil",
+    "round", "heaviside",
+}
+
+#: ndarray methods that return a view (or an alias under ``copy=False``)
+#: of their receiver.
+_VIEW_METHODS = {
+    "reshape", "ravel", "view", "astype", "transpose", "squeeze", "swapaxes",
+}
+_VIEW_ATTRS = {"T"}
+
+#: methods whose receiver-is-arena call resets/recycles all arena storage.
+_RESET_METHODS = {"clear", "reset"}
+
+
+def _call_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_arena_expr(expr: ast.AST, arena_locals: Set[str]) -> bool:
+    """Is ``expr`` a reference to an arena object?"""
+    if isinstance(expr, ast.Name):
+        return expr.id in arena_locals or "arena" in expr.id.lower()
+    if isinstance(expr, ast.Attribute):
+        if "arena" in expr.attr.lower():
+            return True
+    return False
+
+
+def _names_in(expr: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+class _FunctionAliasing:
+    """One function's linear taint walk."""
+
+    def __init__(self, fn: FunctionInfo) -> None:
+        self.fn = fn
+        self.tainted: Dict[str, Tuple[str, int]] = {}  # name -> (origin, line)
+        #: names of locals bound to an arena object
+        self.arena_locals: Set[str] = set()
+        self.arena_dead_since: Optional[int] = None  # line of the reset
+        self.diags: List[Diagnostic] = []
+
+    # -- taint sources --------------------------------------------------------
+    def _taint_of_expr(self, expr: ast.AST) -> Optional[str]:
+        """Origin label when ``expr`` evaluates to an arena-aliased array."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.tainted:
+                return self.tainted[expr.id][0]
+            return None
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in _VIEW_ATTRS:
+                return self._taint_of_expr(expr.value)
+            return None
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr.func)
+            # <arena>.get(...) — the canonical source
+            if name == "get" and isinstance(expr.func, ast.Attribute) and (
+                _is_arena_expr(expr.func.value, self.arena_locals)
+            ):
+                return f"arena.get at line {expr.lineno}"
+            # view methods of a tainted receiver
+            if name in _VIEW_METHODS and isinstance(expr.func, ast.Attribute):
+                return self._taint_of_expr(expr.func.value)
+            # any call returning its out= buffer
+            for kw in expr.keywords:
+                if kw.arg in ("out", "scratch"):
+                    origin = self._taint_of_expr(kw.value)
+                    if origin is not None:
+                        return origin
+            return None
+        return None
+
+    # -- per-statement processing ---------------------------------------------
+    def _check_call(self, call: ast.Call) -> None:
+        func_name = _call_name(call.func)
+        out_kw = next(
+            (kw for kw in call.keywords if kw.arg == "out"), None
+        )
+        if out_kw is not None and func_name not in ELEMENTWISE_SAFE:
+            out_names = (
+                {out_kw.value.id}
+                if isinstance(out_kw.value, ast.Name)
+                else set()
+            )
+            for arg in call.args:
+                overlap = out_names & _names_in(arg) if out_names else set()
+                if overlap:
+                    name = sorted(overlap)[0]
+                    self.diags.append(
+                        Diagnostic(
+                            "AL001",
+                            f"'{name}' is both an input and the out= target "
+                            f"of {func_name}(), which reads inputs while "
+                            f"writing the output; the result is undefined",
+                            path=self.fn.path,
+                            line=call.lineno,
+                            symbol=self.fn.qualname,
+                            fix_hint="write into a distinct arena role, or "
+                            "use an elementwise op",
+                        )
+                    )
+        # arena reset?
+        if (
+            func_name in _RESET_METHODS
+            and isinstance(call.func, ast.Attribute)
+            and _is_arena_expr(call.func.value, self.arena_locals)
+        ):
+            self.arena_dead_since = call.lineno
+        if func_name == "set_arena" and call.args:
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant) and arg.value is None:
+                self.arena_dead_since = call.lineno
+
+    def _check_reads(self, expr: ast.AST) -> None:
+        """AL003: tainted reads after the arena was reset."""
+        if self.arena_dead_since is None:
+            return
+        for name in sorted(_names_in(expr) & set(self.tainted)):
+            origin, _ = self.tainted[name]
+            self.diags.append(
+                Diagnostic(
+                    "AL003",
+                    f"'{name}' ({origin}) read after the arena was reset at "
+                    f"line {self.arena_dead_since}; its storage may already "
+                    f"be reused",
+                    path=self.fn.path,
+                    line=expr.lineno if hasattr(expr, "lineno") else 0,
+                    symbol=self.fn.qualname,
+                    fix_hint="copy the value out before resetting the arena",
+                )
+            )
+            # report once per name
+            del self.tainted[name]
+
+    def _escape(self, expr: ast.AST, how: str, line: int) -> None:
+        origin = self._taint_of_expr(expr)
+        if origin is None and isinstance(expr, ast.Tuple):
+            for elt in expr.elts:
+                origin = self._taint_of_expr(elt)
+                if origin is not None:
+                    break
+        if origin is None:
+            return
+        self.diags.append(
+            Diagnostic(
+                "AL002",
+                f"arena view ({origin}) escapes via {how}; the arena "
+                f"recycles this buffer on the next step, silently "
+                f"overwriting the escapee",
+                path=self.fn.path,
+                line=line,
+                symbol=self.fn.qualname,
+                fix_hint="copy() before storing, or keep the view inside "
+                "the step scope",
+            )
+        )
+
+    def _handle_assign(self, node: ast.Assign) -> None:
+        for call in ast.walk(node.value):
+            if isinstance(call, ast.Call):
+                self._check_call(call)
+        self._check_reads(node.value)
+        origin = self._taint_of_expr(node.value)
+        # arena-object locals: arena = self._scratch_arena(x)
+        is_arena_obj = False
+        if isinstance(node.value, ast.Call):
+            callee = _call_name(node.value.func)
+            if "arena" in callee.lower():
+                is_arena_obj = True
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_arena_obj:
+                    self.arena_locals.add(target.id)
+                    continue
+                if origin is not None:
+                    self.tainted[target.id] = (origin, node.lineno)
+                else:
+                    self.tainted.pop(target.id, None)
+            elif isinstance(target, ast.Attribute) and (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self._escape(
+                    node.value, f"self.{target.attr}", node.lineno
+                )
+            elif isinstance(target, ast.Tuple) and isinstance(
+                node.value, ast.Tuple
+            ) and len(target.elts) == len(node.value.elts):
+                for t, v in zip(target.elts, node.value.elts):
+                    if isinstance(t, ast.Name):
+                        sub = self._taint_of_expr(v)
+                        if sub is not None:
+                            self.tainted[t.id] = (sub, node.lineno)
+                        else:
+                            self.tainted.pop(t.id, None)
+
+    def run(self) -> List[Diagnostic]:
+        exempt_returns = self.fn.name in ("forward", "backward")
+        for stmt in _linear_statements(self.fn.node):
+            if isinstance(stmt, ast.Assign):
+                self._handle_assign(stmt)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                wrapped = ast.Assign(targets=[stmt.target], value=stmt.value)
+                ast.copy_location(wrapped, stmt)
+                self._handle_assign(wrapped)
+            elif isinstance(stmt, ast.AugAssign):
+                self._check_reads(stmt.value)
+                for call in ast.walk(stmt.value):
+                    if isinstance(call, ast.Call):
+                        self._check_call(call)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._check_reads(stmt.value)
+                for call in ast.walk(stmt.value):
+                    if isinstance(call, ast.Call):
+                        self._check_call(call)
+                if not exempt_returns:
+                    self._escape(stmt.value, "return", stmt.lineno)
+            elif isinstance(stmt, ast.Expr):
+                self._check_reads(stmt.value)
+                for call in ast.walk(stmt.value):
+                    if isinstance(call, ast.Call):
+                        self._check_call(call)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._check_reads(stmt.test)
+            elif isinstance(stmt, ast.For):
+                self._check_reads(stmt.iter)
+        return self.diags
+
+
+def _linear_statements(fn: ast.AST) -> Iterable[ast.stmt]:
+    """Statements of ``fn`` in source order, bodies flattened, nested
+    function/class definitions skipped (they run on their own clock)."""
+    work: List[ast.stmt] = list(fn.body)
+    while work:
+        stmt = work.pop(0)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield stmt
+        inner: List[ast.stmt] = []
+        for field_name in ("body", "orelse", "finalbody"):
+            inner.extend(getattr(stmt, field_name, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            inner.extend(handler.body)
+        work[:0] = inner
+
+
+def analyze_aliasing(
+    sources: Iterable[Tuple[Path, ast.Module]],
+    index: Optional[ProjectIndex] = None,
+) -> List[Diagnostic]:
+    """Run AL001–AL003 over every function in ``sources``."""
+    if index is None:
+        index = ProjectIndex.build(sources)
+    diags: List[Diagnostic] = []
+    for fn in index.all_functions():
+        diags.extend(_FunctionAliasing(fn).run())
+    return diags

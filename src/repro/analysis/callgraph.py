@@ -1,0 +1,385 @@
+"""Whole-program index and call graph for the interprocedural passes.
+
+The concurrency analyzer needs to answer questions the per-file AST
+rules cannot: *which method does ``self._queue.pop()`` land in?* and
+*what locks does that method take?* This module builds the
+infrastructure both passes share:
+
+* :class:`ProjectIndex` — every parsed module's classes, methods,
+  module-level functions and import aliases, plus per-class attribute
+  types recovered from ``__init__`` (``self.x = ClassName(...)`` and
+  ``self.x = param`` with an annotated parameter);
+* :func:`ProjectIndex.resolve_call` — a best-effort, *precision-first*
+  resolver: ``self.m()``, ``self.attr.m()`` (through attribute types,
+  chained), ``ClassName(...)`` (to ``__init__``), ``ClassName.m()``,
+  locally-typed ``var.m()`` and plain/imported ``f()``. Anything it
+  cannot prove resolves to ``None`` and the analyses treat the call as
+  opaque — an unresolved call never manufactures a finding.
+
+Resolution is by source text only: nothing is imported or executed, so
+the linter can safely chew on broken or side-effecting code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "ProjectIndex", "module_name"]
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path``, walking up through packages.
+
+    ``src/repro/serving/admission.py`` -> ``repro.serving.admission``
+    regardless of the directory the linter was invoked from; a loose
+    file (test fixture in a tmp dir) is just its stem.
+    """
+    path = Path(path).resolve()
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:  # filesystem root; cannot happen in practice
+            break
+        directory = parent
+    return ".".join(parts) or path.stem
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method."""
+
+    module: str
+    qualname: str  # "Class.method" or "function"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    path: str
+    cls: Optional["ClassInfo"] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def ref(self) -> str:
+        """Globally-unique key: ``module::Class.method``."""
+        return f"{self.module}::{self.qualname}"
+
+    @property
+    def display(self) -> str:
+        return f"{Path(self.path).name}:{self.qualname}"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus the facts the analyses need."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: instance attribute -> class-name string (unresolved, see
+    #: ProjectIndex.attr_class) recovered from constructor assignments.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    base_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: str
+    tree: ast.Module
+    #: local alias -> fully qualified name ("np" -> "numpy",
+    #: "AdmissionQueue" -> "repro.serving.admission.AdmissionQueue").
+    imports: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The class-name string of a simple annotation.
+
+    Handles ``Foo``, ``module.Foo``, ``Optional[Foo]`` and ``"Foo"``
+    (string annotations); anything fancier returns None.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("[")[0].split(".")[-1].strip('"\' ')
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        head = _annotation_name(node.value)
+        if head in ("Optional", "Final", "ClassVar"):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple):  # pragma: no cover - odd Optional
+                return None
+            return _annotation_name(inner)
+    return None
+
+
+def _param_annotations(fn: ast.AST) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        name = _annotation_name(arg.annotation)
+        if name is not None:
+            out[arg.arg] = name
+    return out
+
+
+def _first_class_call(expr: ast.AST) -> Optional[str]:
+    """Name of the first plausible constructor call inside ``expr``.
+
+    Covers ``Foo(...)``, ``foo or Foo(...)``, ``Foo(...) if c else None``.
+    Only capitalised names are considered constructors — a heuristic,
+    but one that matches both PEP 8 and this codebase.
+    """
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id[:1].isupper()
+        ):
+            return node.func.id
+    return None
+
+
+class ProjectIndex:
+    """Parsed view of a whole source tree, queryable without imports."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        #: class name -> every ClassInfo with that name (usually one).
+        self._classes_by_name: Dict[str, List[ClassInfo]] = {}
+        for mod in modules.values():
+            for cls in mod.classes.values():
+                self._classes_by_name.setdefault(cls.name, []).append(cls)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def build(cls, sources: Iterable[Tuple[Path, ast.Module]]) -> "ProjectIndex":
+        modules: Dict[str, ModuleInfo] = {}
+        for path, tree in sources:
+            name = module_name(path)
+            mod = ModuleInfo(name=name, path=str(path), tree=tree)
+            cls._index_module(mod)
+            modules[name] = mod
+        return cls(modules)
+
+    @staticmethod
+    def _index_module(mod: ModuleInfo) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mod.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    mod.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        for node in mod.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    module=mod.name,
+                    name=node.name,
+                    node=node,
+                    path=mod.path,
+                    base_names=[
+                        b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+                        for b in node.bases
+                    ],
+                )
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods[item.name] = FunctionInfo(
+                            module=mod.name,
+                            qualname=f"{node.name}.{item.name}",
+                            node=item,
+                            path=mod.path,
+                            cls=info,
+                        )
+                ProjectIndex._infer_attr_types(info)
+                mod.classes[node.name] = info
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                mod.functions[node.name] = FunctionInfo(
+                    module=mod.name,
+                    qualname=node.name,
+                    node=node,
+                    path=mod.path,
+                )
+
+    @staticmethod
+    def _infer_attr_types(info: ClassInfo) -> None:
+        """Fill ``attr_types`` from constructor-style assignments."""
+        for method in info.methods.values():
+            annotations = _param_annotations(method.node)
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    type_name = None
+                    value = node.value
+                    if isinstance(value, ast.Name):
+                        type_name = annotations.get(value.id)
+                    else:
+                        type_name = _first_class_call(value)
+                    if type_name and target.attr not in info.attr_types:
+                        info.attr_types[target.attr] = type_name
+
+    # -- queries -------------------------------------------------------------
+    def all_functions(self) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        for mod in self.modules.values():
+            out.extend(mod.functions.values())
+            for cls in mod.classes.values():
+                out.extend(cls.methods.values())
+        return out
+
+    def all_classes(self) -> List[ClassInfo]:
+        return [c for m in self.modules.values() for c in m.classes.values()]
+
+    def resolve_class(
+        self, name: Optional[str], from_module: Optional[str] = None
+    ) -> Optional[ClassInfo]:
+        """The :class:`ClassInfo` a class-name string refers to.
+
+        Same-module definitions win, then explicit imports, then a
+        project-wide unique name; an ambiguous name resolves to None.
+        """
+        if not name:
+            return None
+        if from_module and from_module in self.modules:
+            mod = self.modules[from_module]
+            if name in mod.classes:
+                return mod.classes[name]
+            qualified = mod.imports.get(name)
+            if qualified:
+                target_mod, _, target_name = qualified.rpartition(".")
+                target = self.modules.get(target_mod)
+                if target and target_name in target.classes:
+                    return target.classes[target_name]
+        candidates = self._classes_by_name.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def lookup_method(
+        self, cls: Optional[ClassInfo], name: str, _depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        """Find ``name`` on ``cls`` or (single-inheritance) its bases."""
+        if cls is None or _depth > 8:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base_name in cls.base_names:
+            base = self.resolve_class(base_name, from_module=cls.module)
+            found = self.lookup_method(base, name, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def attr_class(
+        self, cls: Optional[ClassInfo], attr: str
+    ) -> Optional[ClassInfo]:
+        """The class of ``self.<attr>`` inside methods of ``cls``."""
+        if cls is None:
+            return None
+        return self.resolve_class(cls.attr_types.get(attr), from_module=cls.module)
+
+    # -- expression typing and call resolution -------------------------------
+    def type_of(
+        self,
+        expr: ast.AST,
+        caller: FunctionInfo,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> Optional[ClassInfo]:
+        """Static type of ``expr`` in ``caller``'s scope (or None)."""
+        local_types = local_types or {}
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return caller.cls
+            return self.resolve_class(
+                local_types.get(expr.id), from_module=caller.module
+            )
+        if isinstance(expr, ast.Attribute):
+            owner = self.type_of(expr.value, caller, local_types)
+            return self.attr_class(owner, expr.attr)
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Name):
+                cls = self.resolve_class(expr.func.id, from_module=caller.module)
+                if cls is not None:
+                    return cls
+        return None
+
+    def local_types(self, caller: FunctionInfo) -> Dict[str, str]:
+        """Per-function variable -> class-name map (annotations + ctors)."""
+        out = _param_annotations(caller.node)
+        for node in ast.walk(caller.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                name = _first_class_call(node.value)
+                if name is not None:
+                    out[node.targets[0].id] = name
+        return out
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        caller: FunctionInfo,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` a call lands in, or None if opaque."""
+        return self.resolve_callable(call.func, caller, local_types)
+
+    def resolve_callable(
+        self,
+        func: ast.AST,
+        caller: FunctionInfo,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> Optional[FunctionInfo]:
+        """Like :meth:`resolve_call` for a bare callable expression
+        (``target=self._loop`` thread targets, ``pool.submit(fn)``)."""
+        local_types = local_types if local_types is not None else self.local_types(
+            caller
+        )
+        if isinstance(func, ast.Name):
+            cls = self.resolve_class(func.id, from_module=caller.module)
+            if cls is not None:  # ClassName(...) -> __init__
+                return self.lookup_method(cls, "__init__")
+            mod = self.modules.get(caller.module)
+            if mod and func.id in mod.functions:
+                return mod.functions[func.id]
+            if mod:
+                qualified = mod.imports.get(func.id)
+                if qualified:
+                    target_mod, _, target_name = qualified.rpartition(".")
+                    target = self.modules.get(target_mod)
+                    if target and target_name in target.functions:
+                        return target.functions[target_name]
+            return None
+        if isinstance(func, ast.Attribute):
+            # ClassName.method (static-style call)
+            if isinstance(func.value, ast.Name):
+                cls = self.resolve_class(func.value.id, from_module=caller.module)
+                if cls is not None and func.value.id[:1].isupper():
+                    return self.lookup_method(cls, func.attr)
+            owner = self.type_of(func.value, caller, local_types)
+            if owner is not None:
+                return self.lookup_method(owner, func.attr)
+        return None

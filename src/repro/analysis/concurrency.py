@@ -1,0 +1,658 @@
+"""Whole-program lock-order and shared-state analysis (CC001–CC005).
+
+Pipeline: :class:`~repro.analysis.callgraph.ProjectIndex` resolves
+classes and calls, :func:`~repro.analysis.locks.resolve_locks` finds
+every lock, :func:`~repro.analysis.locks.extract_events` summarises each
+function, then a fixed-point pass propagates *transitively acquired
+locks* and *may-block* through resolved calls. From those summaries:
+
+- **CC001** — the global lock-acquisition-order graph (edge ``A -> B``
+  when ``B`` is taken while ``A`` is held, directly or through a
+  resolved call) contains a cycle: two threads interleaving those paths
+  can deadlock. The message carries both acquisition sites.
+- **CC002** — a ``Lock``/``RLock``/``Condition`` is held around a call
+  that blocks indefinitely (``Event.wait``, ``queue.get``, a callee
+  that may block). ``Condition.wait`` on the *held* condition is exempt:
+  waiting releases that lock by design.
+- **CC003** — an attribute of a lock-owning class is written without
+  any lock from code reachable from a thread entry point, while other
+  accesses of the same attribute are lock-guarded.
+- **CC004** — the same attribute is guarded by two *different* locks in
+  different places, so neither guards anything.
+- **CC005** — a lock created as a function local: it is born unshared,
+  so it cannot exclude anybody.
+
+Everything unresolved is opaque: an unknown callee contributes no
+edges and no blocking. The analysis under-approximates (misses) rather
+than over-approximates (false alarms).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.locks import (
+    FunctionEvents,
+    LockRegistry,
+    extract_events,
+    resolve_locks,
+)
+
+__all__ = [
+    "LockOrderGraph",
+    "ConcurrencyAnalysis",
+    "build_analysis",
+    "build_lock_graph",
+    "analyze_concurrency",
+]
+
+#: lock kinds whose holders must not block (semaphores are designed to
+#: be held across long-running work, so they are exempt from CC002).
+_MUTEX_KINDS = {"Lock", "RLock", "Condition"}
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """One witness that ``src`` was held while ``dst`` was acquired."""
+
+    src_path: str
+    src_line: int
+    dst_path: str
+    dst_line: int
+    via: str  # "" for a direct nested acquisition, else "call to X"
+
+
+class LockOrderGraph:
+    """Directed graph over lock identities (alias roots)."""
+
+    def __init__(self) -> None:
+        self.registry = LockRegistry()
+        self.edges: Dict[Tuple[str, str], List[EdgeSite]] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_edge(self, src: str, dst: str, site: EdgeSite) -> None:
+        if src == dst:
+            return  # re-acquisition is not an ordering fact
+        self.edges.setdefault((src, dst), []).append(site)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        roots = {
+            self.registry.root(ident)
+            for ident, info in self.registry.locks.items()
+        }
+        for src, dst in self.edges:
+            roots.add(src)
+            roots.add(dst)
+        return sorted(roots)
+
+    def display(self, ident: str) -> str:
+        info = self.registry.locks.get(ident)
+        return info.display if info else ident.split("::", 1)[-1]
+
+    def cycles(self) -> List[List[str]]:
+        """Elementary cycles, one representative per strongly-connected
+        component (enough for reporting: any SCC edge set deadlocks)."""
+        adj: Dict[str, List[str]] = {}
+        for src, dst in self.edges:
+            adj.setdefault(src, []).append(dst)
+        sccs = _tarjan(adj)
+        out = []
+        for scc in sccs:
+            if len(scc) < 2:
+                continue
+            cycle = _walk_cycle(adj, set(scc))
+            if cycle:
+                out.append(cycle)
+        return out
+
+    # -- output --------------------------------------------------------------
+    def to_dot(self) -> str:
+        lines = [
+            "digraph lock_order {",
+            '  rankdir=LR;',
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for ident in self.nodes:
+            info = self.registry.locks.get(ident)
+            kind = f"\\n({info.kind})" if info else ""
+            lines.append(
+                f'  "{ident}" [label="{self.display(ident)}{kind}"];'
+            )
+        for (src, dst), sites in sorted(self.edges.items()):
+            first = sites[0]
+            label = f"{Path(first.dst_path).name}:{first.dst_line}"
+            lines.append(f'  "{src}" -> "{dst}" [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "nodes": [
+                {
+                    "id": ident,
+                    "display": self.display(ident),
+                    "kind": (
+                        self.registry.locks[ident].kind
+                        if ident in self.registry.locks
+                        else "unknown"
+                    ),
+                    "path": (
+                        self.registry.locks[ident].path
+                        if ident in self.registry.locks
+                        else ""
+                    ),
+                    "line": (
+                        self.registry.locks[ident].line
+                        if ident in self.registry.locks
+                        else 0
+                    ),
+                }
+                for ident in self.nodes
+            ],
+            "edges": [
+                {
+                    "from": src,
+                    "to": dst,
+                    "sites": [
+                        {
+                            "held_at": f"{s.src_path}:{s.src_line}",
+                            "acquired_at": f"{s.dst_path}:{s.dst_line}",
+                            "via": s.via,
+                        }
+                        for s in sites
+                    ],
+                }
+                for (src, dst), sites in sorted(self.edges.items())
+            ],
+            "cycles": self.cycles(),
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2)
+
+
+def _tarjan(adj: Dict[str, List[str]]) -> List[List[str]]:
+    """Iterative Tarjan SCC (small graphs, but no recursion limits)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[List[str]] = []
+    nodes = set(adj)
+    for targets in adj.values():
+        nodes.update(targets)
+
+    for start in sorted(nodes):
+        if start in index:
+            continue
+        work = [(start, iter(adj.get(start, ())))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adj.get(nxt, ()))))
+                    advanced = True
+                    break
+                elif nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def _walk_cycle(
+    adj: Dict[str, List[str]], scc: Set[str]
+) -> Optional[List[str]]:
+    """A concrete cycle through ``scc`` starting at its smallest node."""
+    start = min(scc)
+    path = [start]
+    seen = {start}
+    node = start
+    while True:
+        nxts = [n for n in adj.get(node, ()) if n in scc]
+        if not nxts:
+            return None
+        nxt = min(nxts)
+        if nxt == start:
+            return path
+        if nxt in seen:
+            # fall into the loop; trim the tail before the repeat
+            i = path.index(nxt)
+            return path[i:]
+        seen.add(nxt)
+        path.append(nxt)
+        node = nxt
+
+
+@dataclass
+class ConcurrencyAnalysis:
+    """Shared intermediate state: index, locks, per-function summaries."""
+
+    index: ProjectIndex
+    registry: LockRegistry
+    events: Dict[str, FunctionEvents]
+    #: ref -> lock roots the function may acquire (incl. via calls),
+    #: with one representative acquisition site per root.
+    acquires: Dict[str, Dict[str, Tuple[str, int]]] = field(default_factory=dict)
+    #: ref -> (label, path, line) when the function may block.
+    blocks: Dict[str, Optional[Tuple[str, str, int]]] = field(default_factory=dict)
+    #: refs of thread entry points and everything reachable from them.
+    thread_reachable: Set[str] = field(default_factory=set)
+
+
+def build_analysis(
+    sources: Iterable[Tuple[Path, ast.Module]]
+) -> ConcurrencyAnalysis:
+    index = ProjectIndex.build(sources)
+    registry = resolve_locks(index)
+    events: Dict[str, FunctionEvents] = {}
+    for fn in index.all_functions():
+        events[fn.ref] = extract_events(fn, index, registry)
+    analysis = ConcurrencyAnalysis(index=index, registry=registry, events=events)
+    _fixed_point(analysis)
+    _thread_reachability(analysis)
+    return analysis
+
+
+def _fixed_point(analysis: ConcurrencyAnalysis) -> None:
+    """Propagate acquired-lock sets and may-block through resolved calls."""
+    registry = analysis.registry
+    acquires: Dict[str, Dict[str, Tuple[str, int]]] = {}
+    blocks: Dict[str, Optional[Tuple[str, str, int]]] = {}
+    for ref, ev in analysis.events.items():
+        direct: Dict[str, Tuple[str, int]] = {}
+        for acq in ev.acquisitions:
+            root = registry.root(acq.ident)
+            direct.setdefault(root, (acq.path, acq.line))
+        acquires[ref] = direct
+        blocks[ref] = (
+            (ev.blocking[0].what, ev.blocking[0].path, ev.blocking[0].line)
+            if ev.blocking
+            else None
+        )
+
+    changed = True
+    while changed:
+        changed = False
+        for ref, ev in analysis.events.items():
+            mine = acquires[ref]
+            for call in ev.calls:
+                if call.callee is None:
+                    continue
+                callee_ref = call.callee.ref
+                for root, site in acquires.get(callee_ref, {}).items():
+                    if root not in mine:
+                        mine[root] = site
+                        changed = True
+                if blocks[ref] is None and blocks.get(callee_ref) is not None:
+                    what, _, _ = blocks[callee_ref]
+                    blocks[ref] = (
+                        f"{call.callee.display} ({what})",
+                        ev.fn.path,
+                        call.line,
+                    )
+                    changed = True
+    analysis.acquires = acquires
+    analysis.blocks = blocks
+
+
+def _thread_entry_refs(analysis: ConcurrencyAnalysis) -> Set[str]:
+    """Functions handed to ``threading.Thread(target=...)`` or
+    ``executor.submit(fn, ...)`` anywhere in the project."""
+    entries: Set[str] = set()
+    for ref, ev in analysis.events.items():
+        local_types = analysis.index.local_types(ev.fn)
+        for call in ev.calls:
+            func = call.node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else getattr(func, "id", "")
+            )
+            candidates: List[ast.AST] = []
+            if name == "Thread":
+                candidates += [
+                    kw.value for kw in call.node.keywords if kw.arg == "target"
+                ]
+            elif name in ("submit", "map") and isinstance(func, ast.Attribute):
+                if call.node.args:
+                    candidates.append(call.node.args[0])
+            for cand in candidates:
+                target = analysis.index.resolve_callable(
+                    cand, ev.fn, local_types
+                )
+                if target is not None:
+                    entries.add(target.ref)
+    return entries
+
+
+def _thread_reachability(analysis: ConcurrencyAnalysis) -> None:
+    frontier = list(_thread_entry_refs(analysis))
+    reachable = set(frontier)
+    while frontier:
+        ref = frontier.pop()
+        ev = analysis.events.get(ref)
+        if ev is None:
+            continue
+        for call in ev.calls:
+            if call.callee is not None and call.callee.ref not in reachable:
+                reachable.add(call.callee.ref)
+                frontier.append(call.callee.ref)
+    analysis.thread_reachable = reachable
+
+
+def build_lock_graph(
+    sources: Iterable[Tuple[Path, ast.Module]],
+    analysis: Optional[ConcurrencyAnalysis] = None,
+) -> LockOrderGraph:
+    if analysis is None:
+        analysis = build_analysis(sources)
+    graph = LockOrderGraph()
+    graph.registry = analysis.registry
+    registry = analysis.registry
+    for ref, ev in analysis.events.items():
+        for acq in ev.acquisitions:
+            dst = registry.root(acq.ident)
+            for held_ident, held_path, held_line in acq.held:
+                graph.add_edge(
+                    registry.root(held_ident),
+                    dst,
+                    EdgeSite(held_path, held_line, acq.path, acq.line, ""),
+                )
+        for call in ev.calls:
+            if call.callee is None or not call.held:
+                continue
+            for root, (site_path, site_line) in analysis.acquires.get(
+                call.callee.ref, {}
+            ).items():
+                for held_ident, held_path, held_line in call.held:
+                    graph.add_edge(
+                        registry.root(held_ident),
+                        root,
+                        EdgeSite(
+                            held_path,
+                            held_line,
+                            site_path,
+                            site_line,
+                            f"call to {call.callee.display} at "
+                            f"{Path(ev.fn.path).name}:{call.line}",
+                        ),
+                    )
+    return graph
+
+
+# -- rules ---------------------------------------------------------------------
+
+
+def analyze_concurrency(
+    sources: Iterable[Tuple[Path, ast.Module]],
+    analysis: Optional[ConcurrencyAnalysis] = None,
+) -> List[Diagnostic]:
+    if analysis is None:
+        analysis = build_analysis(sources)
+    graph = build_lock_graph((), analysis)
+    diags: List[Diagnostic] = []
+    diags += _cc001_cycles(graph)
+    diags += _cc002_blocking(analysis)
+    diags += _cc003_004_shared_state(analysis)
+    diags += _cc005_local_locks(analysis)
+    return diags
+
+
+def _cc001_cycles(graph: LockOrderGraph) -> List[Diagnostic]:
+    diags = []
+    for cycle in graph.cycles():
+        hops = []
+        first_site: Optional[EdgeSite] = None
+        for i, src in enumerate(cycle):
+            dst = cycle[(i + 1) % len(cycle)]
+            sites = graph.edges.get((src, dst), [])
+            site = sites[0] if sites else None
+            if site is not None and first_site is None:
+                first_site = site
+            where = (
+                f" [{Path(site.dst_path).name}:{site.dst_line}"
+                + (f" {site.via}" if site.via else "")
+                + "]"
+                if site
+                else ""
+            )
+            hops.append(f"{graph.display(src)} -> {graph.display(dst)}{where}")
+        diags.append(
+            Diagnostic(
+                "CC001",
+                "lock-order cycle (potential deadlock): "
+                + "; ".join(hops),
+                path=first_site.dst_path if first_site else "",
+                line=first_site.dst_line if first_site else None,
+                symbol=" -> ".join(graph.display(n) for n in cycle),
+                fix_hint=(
+                    "impose a global acquisition order (always take "
+                    f"{graph.display(min(cycle))} first) or merge the locks"
+                ),
+            )
+        )
+    return diags
+
+
+def _cc002_blocking(analysis: ConcurrencyAnalysis) -> List[Diagnostic]:
+    registry = analysis.registry
+    diags = []
+
+    def mutex_held(held) -> List[str]:
+        roots = []
+        for ident, _, _ in held:
+            root = registry.root(ident)
+            info = registry.locks.get(root)
+            if info is not None and info.kind in _MUTEX_KINDS:
+                roots.append(root)
+        return roots
+
+    for ref, ev in analysis.events.items():
+        for site in ev.blocking:
+            roots = mutex_held(site.held)
+            if not roots:
+                continue
+            if site.receiver_root is not None and site.receiver_root in roots:
+                # Condition.wait releases the condition's own lock; only
+                # *other* held locks are a problem.
+                roots = [r for r in roots if r != site.receiver_root]
+                if not roots:
+                    continue
+            held_names = ", ".join(
+                sorted(analysis.registry.locks[r].display for r in roots
+                       if r in analysis.registry.locks)
+            ) or "a lock"
+            diags.append(
+                Diagnostic(
+                    "CC002",
+                    f"{site.what} called while holding {held_names}; every "
+                    f"other thread needing that lock stalls for the full wait",
+                    path=site.path,
+                    line=site.line,
+                    symbol=ev.fn.display,
+                    fix_hint="release the lock before blocking, or use a "
+                    "Condition tied to that lock",
+                )
+            )
+        for call in ev.calls:
+            if call.callee is None or not call.held:
+                continue
+            roots = mutex_held(call.held)
+            if not roots:
+                continue
+            blocked = analysis.blocks.get(call.callee.ref)
+            if blocked is None:
+                continue
+            # calling into a function that waits on a condition aliased
+            # to a held lock is the AdmissionQueue.pop pattern — exempt
+            # when every held mutex is that condition's root.
+            callee_ev = analysis.events.get(call.callee.ref)
+            if callee_ev is not None:
+                cond_roots = {
+                    b.receiver_root
+                    for b in callee_ev.blocking
+                    if b.receiver_root is not None
+                }
+                if cond_roots and all(r in cond_roots for r in roots):
+                    continue
+            held_names = ", ".join(
+                sorted(analysis.registry.locks[r].display for r in roots
+                       if r in analysis.registry.locks)
+            ) or "a lock"
+            diags.append(
+                Diagnostic(
+                    "CC002",
+                    f"call to {call.callee.display} (may block: {blocked[0]}) "
+                    f"while holding {held_names}",
+                    path=ev.fn.path,
+                    line=call.line,
+                    symbol=ev.fn.display,
+                    fix_hint="move the blocking call outside the lock",
+                )
+            )
+    return diags
+
+
+def _cc003_004_shared_state(analysis: ConcurrencyAnalysis) -> List[Diagnostic]:
+    registry = analysis.registry
+    diags = []
+    for mod in analysis.index.modules.values():
+        for cls in mod.classes.values():
+            lock_attrs = registry.class_lock_attrs(cls)
+            if not lock_attrs:
+                continue
+            # attr -> list of (method, access, class-lock roots held)
+            profile: Dict[str, List[Tuple[FunctionInfo, object, Set[str]]]] = {}
+            for method in cls.methods.values():
+                ev = analysis.events.get(method.ref)
+                if ev is None:
+                    continue
+                for acc in ev.attr_accesses:
+                    if acc.attr in lock_attrs or acc.attr.startswith("__"):
+                        continue
+                    roots = {
+                        registry.root(ident) for ident, _, _ in acc.held
+                    }
+                    profile.setdefault(acc.attr, []).append(
+                        (method, acc, roots)
+                    )
+            for attr, accesses in profile.items():
+                guarded = [entry for entry in accesses if entry[2]]
+                if not guarded:
+                    continue  # never guarded anywhere: not a lock-discipline attr
+                # the guard is consistent iff one lock is held at *every*
+                # guarded access (extra locks on top are fine)
+                common = set.intersection(*(roots for _, _, roots in guarded))
+                guard_roots = set()
+                for _, _, roots in guarded:
+                    guard_roots |= roots
+                if not common:
+                    methods = sorted(
+                        {m.display for m, _, roots in accesses if roots}
+                    )
+                    first = min(
+                        (m for m, a, roots in accesses if roots),
+                        key=lambda m: m.node.lineno,
+                    )
+                    diags.append(
+                        Diagnostic(
+                            "CC004",
+                            f"attribute '{attr}' is guarded by "
+                            f"{len(guard_roots)} different locks ("
+                            + ", ".join(
+                                sorted(
+                                    registry.locks[r].display
+                                    for r in guard_roots
+                                    if r in registry.locks
+                                )
+                            )
+                            + f") across {', '.join(methods)}; no single lock "
+                            f"protects it",
+                            path=cls.path,
+                            line=first.node.lineno,
+                            symbol=f"{cls.name}.{attr}",
+                            fix_hint="pick one lock for the attribute and use "
+                            "it everywhere",
+                        )
+                    )
+                    continue
+                for method, acc, roots in accesses:
+                    if roots or not acc.is_write:
+                        continue
+                    if method.name == "__init__":
+                        continue  # construction happens-before publication
+                    if method.ref not in analysis.thread_reachable:
+                        continue
+                    diags.append(
+                        Diagnostic(
+                            "CC003",
+                            f"attribute '{attr}' written without a lock in "
+                            f"{method.display} (reachable from a thread entry "
+                            f"point) but guarded by "
+                            + next(
+                                (registry.locks[r].display
+                                 for r in sorted(common)
+                                 if r in registry.locks),
+                                "a lock",
+                            )
+                            + " elsewhere",
+                            path=method.path,
+                            line=acc.line,
+                            symbol=f"{cls.name}.{attr}",
+                            fix_hint="take the guarding lock around the write",
+                        )
+                    )
+    return diags
+
+
+def _cc005_local_locks(analysis: ConcurrencyAnalysis) -> List[Diagnostic]:
+    diags = []
+    for ref, ev in analysis.events.items():
+        if ev.fn.name == "__init__":
+            continue  # locks born in __init__ are stored on self by the
+            # assignment resolver; plain locals there are still suspect,
+            # but the resolver already claimed self-attr bindings.
+        for name, line in ev.local_locks:
+            diags.append(
+                Diagnostic(
+                    "CC005",
+                    f"lock '{name}' is a function local: each call creates a "
+                    f"fresh lock, so it excludes nothing",
+                    path=ev.fn.path,
+                    line=line,
+                    symbol=ev.fn.display,
+                    fix_hint="hoist the lock to the instance or module scope",
+                )
+            )
+    return diags

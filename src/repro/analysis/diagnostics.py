@@ -108,6 +108,31 @@ RULES: Dict[str, Rule] = {
              "bare except swallows KeyboardInterrupt/SystemExit"),
         Rule("PY002", "lint", Severity.WARNING, "mutable-default",
              "mutable default argument is shared across calls"),
+        # -- interprocedural concurrency analysis -----------------------------
+        Rule("CC001", "concurrency", Severity.ERROR, "lock-order-cycle",
+             "the global lock-acquisition-order graph has a cycle; two "
+             "threads interleaving those paths deadlock"),
+        Rule("CC002", "concurrency", Severity.WARNING, "blocking-under-lock",
+             "a mutex is held around a call that can block indefinitely "
+             "(Event.wait, queue.get, a may-block callee)"),
+        Rule("CC003", "concurrency", Severity.WARNING, "unguarded-shared-write",
+             "an attribute guarded elsewhere is written lock-free from "
+             "code reachable from a thread entry point"),
+        Rule("CC004", "concurrency", Severity.WARNING, "inconsistent-guard",
+             "the same attribute is guarded by different locks in "
+             "different methods, so no lock actually protects it"),
+        Rule("CC005", "concurrency", Severity.WARNING, "function-local-lock",
+             "a lock created as a function local is born unshared and "
+             "excludes nothing"),
+        # -- arena aliasing analysis ------------------------------------------
+        Rule("AL001", "aliasing", Severity.ERROR, "overlapping-out",
+             "the same buffer is an input and the out= target of a "
+             "non-elementwise op; the result is undefined"),
+        Rule("AL002", "aliasing", Severity.WARNING, "arena-view-escape",
+             "an arena-backed view escapes its step scope (stored on "
+             "self or returned); the arena will recycle it"),
+        Rule("AL003", "aliasing", Severity.WARNING, "use-after-arena-reset",
+             "an arena-backed view is read after the arena was reset"),
     )
 }
 
@@ -163,6 +188,10 @@ class DiagnosticReport:
         self.target = target
         self.diagnostics: List[Diagnostic] = []
         self.suppressed: List[Tuple[Diagnostic, str]] = []  # (diag, why)
+        #: baseline entries that matched nothing (set by the lint driver).
+        self.stale_entries: list = []
+        #: the Baseline the driver applied, for --prune-baseline.
+        self.baseline = None
 
     # -- collection ----------------------------------------------------------
     def add(self, diag: Diagnostic) -> Diagnostic:
@@ -209,6 +238,123 @@ class DiagnosticReport:
 
     def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
         return 0 if self.clean(fail_on) else 1
+
+    # -- machine-readable output ---------------------------------------------
+    def to_dict(self) -> dict:
+        """Stable JSON-ready structure (``repro lint --format json``)."""
+
+        def one(diag: Diagnostic) -> dict:
+            return {
+                "rule_id": diag.rule_id,
+                "severity": str(diag.severity),
+                "message": diag.message,
+                "path": diag.path,
+                "line": diag.line,
+                "symbol": diag.symbol,
+                "fix_hint": diag.fix_hint,
+            }
+
+        return {
+            "target": self.target,
+            "diagnostics": [one(d) for d in self.diagnostics],
+            "suppressed": [
+                {**one(d), "justification": why}
+                for d, why in self.suppressed
+            ],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+    def to_sarif(self) -> dict:
+        """SARIF 2.1.0 log, one run, rule metadata from :data:`RULES`.
+
+        Suppressed findings are included with a SARIF ``suppressions``
+        entry so CI annotations show (but do not fail on) them.
+        """
+        used = sorted(
+            {d.rule_id for d in self.diagnostics}
+            | {d.rule_id for d, _ in self.suppressed}
+        )
+        rule_index = {rule_id: i for i, rule_id in enumerate(used)}
+        sarif_level = {"error": "error", "warning": "warning", "info": "note"}
+
+        def result(diag: Diagnostic, justification: Optional[str]) -> dict:
+            out = {
+                "ruleId": diag.rule_id,
+                "ruleIndex": rule_index[diag.rule_id],
+                "level": sarif_level[str(diag.severity)],
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": diag.path},
+                            "region": {"startLine": diag.line or 1},
+                        },
+                        **(
+                            {
+                                "logicalLocations": [
+                                    {"fullyQualifiedName": diag.symbol}
+                                ]
+                            }
+                            if diag.symbol
+                            else {}
+                        ),
+                    }
+                ],
+            }
+            if justification is not None:
+                out["suppressions"] = [
+                    {
+                        "kind": "external",
+                        "justification": justification,
+                    }
+                ]
+            return out
+
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": (
+                                "https://github.com/binarycop/repro"
+                            ),
+                            "rules": [
+                                {
+                                    "id": rule_id,
+                                    "name": RULES[rule_id].title,
+                                    "shortDescription": {
+                                        "text": RULES[rule_id].title
+                                    },
+                                    "fullDescription": {
+                                        "text": RULES[rule_id].rationale
+                                    },
+                                    "defaultConfiguration": {
+                                        "level": sarif_level[
+                                            str(RULES[rule_id].severity)
+                                        ]
+                                    },
+                                }
+                                for rule_id in used
+                            ],
+                        }
+                    },
+                    "results": [
+                        *(result(d, None) for d in self.diagnostics),
+                        *(result(d, why) for d, why in self.suppressed),
+                    ],
+                }
+            ],
+        }
 
     # -- rendering -----------------------------------------------------------
     def render(self) -> str:

@@ -1,0 +1,224 @@
+"""Seeded-defect sources for analyzer soundness tests.
+
+Each constant is a complete, syntactically valid module containing
+exactly one engineered defect (or none, for the ``CLEAN_*`` variants).
+The test suite parses them and asserts the analyzers report *exactly*
+the intended rule — no more, no less — which is the soundness contract:
+an analyzer that cannot find a planted deadlock proves nothing by
+finding the repo clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+__all__ = [
+    "ABBA_DEADLOCK",
+    "BLOCKING_UNDER_LOCK",
+    "UNGUARDED_SHARED_WRITE",
+    "MIXED_GUARDS",
+    "LOCAL_LOCK",
+    "CLEAN_LOCK_ORDER",
+    "OVERLAPPING_OUT",
+    "ARENA_ESCAPE",
+    "USE_AFTER_RESET",
+    "CLEAN_ARENA",
+]
+
+#: CC001 — classic ABBA across two lock classes: ``Ledger.post`` takes
+#: Ledger._lock then (through a call) Journal._lock, while ``reconcile``
+#: takes them in the opposite order.
+ABBA_DEADLOCK = textwrap.dedent(
+    '''
+    import threading
+
+
+    class Journal:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.entries = []
+
+        def record(self, entry):
+            with self._lock:
+                self.entries.append(entry)
+
+
+    class Ledger:
+        def __init__(self, journal: Journal):
+            self._lock = threading.Lock()
+            self.journal = journal
+            self.balance = 0
+
+        def post(self, amount):
+            with self._lock:
+                self.balance += amount
+                self.journal.record(amount)
+
+
+    def reconcile(journal: Journal, ledger: Ledger):
+        with journal._lock:
+            with ledger._lock:
+                return ledger.balance
+    '''
+)
+
+#: CC002 — Event.wait while holding the registry lock.
+BLOCKING_UNDER_LOCK = textwrap.dedent(
+    '''
+    import threading
+
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._ready = threading.Event()
+            self.items = {}
+
+        def wait_ready(self):
+            with self._lock:
+                self._ready.wait()
+                return dict(self.items)
+    '''
+)
+
+#: CC003 — counter guarded in poll() but written bare from the thread loop.
+UNGUARDED_SHARED_WRITE = textwrap.dedent(
+    '''
+    import threading
+
+
+    class Sampler:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+            self._thread = threading.Thread(target=self._run)
+
+        def _run(self):
+            self.count = self.count + 1
+
+        def poll(self):
+            with self._lock:
+                return self.count
+    '''
+)
+
+#: CC004 — the same attribute guarded by two different locks.
+MIXED_GUARDS = textwrap.dedent(
+    '''
+    import threading
+
+
+    class Split:
+        def __init__(self):
+            self._read_lock = threading.Lock()
+            self._write_lock = threading.Lock()
+            self.value = 0
+
+        def read(self):
+            with self._read_lock:
+                return self.value
+
+        def write(self, v):
+            with self._write_lock:
+                self.value = v
+    '''
+)
+
+#: CC005 — a lock created per call guards nothing.
+LOCAL_LOCK = textwrap.dedent(
+    '''
+    import threading
+
+    counter = 0
+
+
+    def bump():
+        lock = threading.Lock()
+        with lock:
+            global counter
+            counter = counter + 1
+    '''
+)
+
+#: Clean: two locks, always taken in the same order; Condition aliased
+#: to the mutex; waits only on the held condition.
+CLEAN_LOCK_ORDER = textwrap.dedent(
+    '''
+    import threading
+
+
+    class Pipeline:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cv = threading.Condition(self._lock)
+            self._stage_lock = threading.Lock()
+            self.items = []
+
+        def push(self, item):
+            with self._lock:
+                self.items.append(item)
+                with self._stage_lock:
+                    pass
+            with self._cv:
+                self._cv.notify()
+
+        def pop(self):
+            with self._cv:
+                while not self.items:
+                    self._cv.wait()
+                with self._stage_lock:
+                    return self.items.pop()
+    '''
+)
+
+#: AL001 — the same arena view is an input and the out= of a matmul.
+OVERLAPPING_OUT = textwrap.dedent(
+    '''
+    import numpy as np
+
+
+    def fused_step(arena, w):
+        view = arena.get(None, "acts", (8, 8))
+        np.matmul(view, w, out=view)
+        total = float(view.sum())
+        return total
+    '''
+)
+
+#: AL002 — an arena view stored on self outlives the step.
+ARENA_ESCAPE = textwrap.dedent(
+    '''
+    class Layer:
+        def warm(self, arena, x):
+            scratch = arena.get(self, "scratch", x.shape)
+            self.keep = scratch
+            return None
+    '''
+)
+
+#: AL003 — an arena view read after the arena was reset.
+USE_AFTER_RESET = textwrap.dedent(
+    '''
+    def finish(arena):
+        buf = arena.get(None, "logits", (4,))
+        arena.clear()
+        return float(buf.sum())
+    '''
+)
+
+#: Clean: elementwise in-place ops, view consumed before reset, nothing
+#: escapes a non-forward scope.
+CLEAN_ARENA = textwrap.dedent(
+    '''
+    import numpy as np
+
+
+    def safe_step(arena, w):
+        view = arena.get(None, "acts", (8, 8))
+        np.multiply(view, 2.0, out=view)
+        np.add(view, 1.0, out=view)
+        total = float(view.sum())
+        arena.clear()
+        return total
+    '''
+)

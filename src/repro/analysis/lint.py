@@ -1,32 +1,63 @@
-"""Lint driver: walk source trees, run AST rules, apply the baseline.
+"""Lint driver: walk source trees, run analysis passes, apply the baseline.
 
 ``lint_paths`` is the engine behind ``repro lint``: it collects
 ``*.py`` files (a file path is taken as-is, a directory is walked
-recursively), parses each once, runs every rule in
-:mod:`repro.analysis.astrules` and moves baseline-matched findings into
-the report's ``suppressed`` list. Exit semantics live on the report:
+recursively), parses each exactly once, then runs the selected passes
+over the shared trees:
+
+- ``ast`` — the per-file rules in :mod:`repro.analysis.astrules`;
+- ``concurrency`` — the whole-program lock-order / shared-state
+  analysis (:mod:`repro.analysis.concurrency`, CC001–CC005);
+- ``aliasing`` — the arena/``out=`` aliasing pass
+  (:mod:`repro.analysis.aliasing`, AL001–AL003).
+
+Baseline-matched findings move into the report's ``suppressed`` list;
+baseline entries that matched nothing (for an engine that actually ran)
+are recorded on ``report.stale_entries`` so the CLI can warn and
+``--prune-baseline`` can drop them. Exit semantics live on the report:
 any unsuppressed finding makes ``repro lint`` exit non-zero.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import ast
 
+from repro.analysis.aliasing import analyze_aliasing
 from repro.analysis.astrules import run_ast_rules
-from repro.analysis.baseline import Baseline, find_baseline
-from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.baseline import Baseline, BaselineEntry, find_baseline
+from repro.analysis.concurrency import analyze_concurrency
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, RULES
 
-__all__ = ["collect_sources", "lint_file", "lint_paths"]
+__all__ = [
+    "PASSES", "collect_sources", "lint_file", "lint_paths", "prune_baseline",
+]
 
-#: Directories never descended into.
+#: Directories never descended into — and never accepted even when a
+#: file inside one is passed explicitly.
 _SKIP_DIRS = {"__pycache__", ".git", ".binarycop_cache"}
+
+#: All analysis passes, in execution order.
+PASSES = ("ast", "concurrency", "aliasing")
+
+#: pass name -> the rule-catalog engine whose findings it produces.
+_PASS_ENGINES = {
+    "ast": "lint",
+    "concurrency": "concurrency",
+    "aliasing": "aliasing",
+}
 
 
 def collect_sources(paths: Iterable[Path]) -> List[Path]:
-    """Every python file under ``paths``, stable-sorted, deduplicated."""
+    """Every python file under ``paths``, stable-sorted, deduplicated.
+
+    The skip-set applies to explicitly named files too (a stray
+    ``__pycache__`` artifact is never lintable), and deduplication is on
+    resolved paths so the same file reached through a symlink and
+    directly collapses to one entry.
+    """
     out = []
     seen = set()
     for path in paths:
@@ -37,6 +68,8 @@ def collect_sources(paths: Iterable[Path]) -> List[Path]:
                 if not (set(p.parts) & _SKIP_DIRS)
             )
         elif path.suffix == ".py":
+            if set(path.resolve().parts) & _SKIP_DIRS:
+                continue
             candidates = [path]
         else:
             raise ValueError(f"{path}: not a python file or directory")
@@ -48,15 +81,14 @@ def collect_sources(paths: Iterable[Path]) -> List[Path]:
     return out
 
 
-def lint_file(path: Path) -> List[Diagnostic]:
-    """All raw (un-suppressed) findings for one file."""
+def _parse_file(path: Path) -> Tuple[Optional[ast.Module], List[Diagnostic]]:
     source = Path(path).read_text()
     try:
-        tree = ast.parse(source, filename=str(path))
+        return ast.parse(source, filename=str(path)), []
     except SyntaxError as exc:
         # A file the linter cannot parse is a shape-inference failure of
         # its own kind; surface it via the closest existing rule.
-        return [
+        return None, [
             Diagnostic(
                 "PY001",
                 f"file does not parse: {exc.msg}",
@@ -64,6 +96,13 @@ def lint_file(path: Path) -> List[Diagnostic]:
                 fix_hint="fix the syntax error",
             )
         ]
+
+
+def lint_file(path: Path) -> List[Diagnostic]:
+    """All raw (un-suppressed) per-file AST findings for one file."""
+    tree, diags = _parse_file(path)
+    if tree is None:
+        return diags
     return list(run_ast_rules(str(path), tree))
 
 
@@ -71,6 +110,7 @@ def lint_paths(
     paths: Sequence[Path],
     baseline: Optional[Baseline] = None,
     baseline_path: Optional[Path] = None,
+    passes: Sequence[str] = PASSES,
 ) -> DiagnosticReport:
     """Lint ``paths``; returns the aggregated, baseline-filtered report.
 
@@ -78,6 +118,11 @@ def lint_paths(
     suppression file is discovered by walking up from the first path
     (``.repro-lint-baseline``).
     """
+    unknown = set(passes) - set(PASSES)
+    if unknown:
+        raise ValueError(
+            f"unknown pass(es) {sorted(unknown)!r}; valid: {', '.join(PASSES)}"
+        )
     files = collect_sources(paths)
     if baseline is None:
         if baseline_path is None and files:
@@ -88,11 +133,53 @@ def lint_paths(
     report = DiagnosticReport(
         target=", ".join(str(p) for p in paths)
     )
+
+    raw: List[Diagnostic] = []
+    parsed: List[Tuple[Path, ast.Module]] = []
     for path in files:
-        for diag in lint_file(path):
-            entry = baseline.match(diag)
-            if entry is not None:
-                report.suppressed.append((diag, entry.justification))
-            else:
-                report.add(diag)
+        tree, parse_diags = _parse_file(path)
+        raw.extend(parse_diags)
+        if tree is not None:
+            parsed.append((path, tree))
+    if "ast" in passes:
+        for path, tree in parsed:
+            raw.extend(run_ast_rules(str(path), tree))
+    if "concurrency" in passes:
+        raw.extend(analyze_concurrency(parsed))
+    if "aliasing" in passes:
+        raw.extend(analyze_aliasing(parsed))
+
+    used_entries = set()
+    for diag in raw:
+        entry = baseline.match(diag)
+        if entry is not None:
+            used_entries.add(id(entry))
+            report.suppressed.append((diag, entry.justification))
+        else:
+            report.add(diag)
+
+    # A baseline entry is stale only relative to engines that ran: an
+    # ast-only invocation must not call the AL002 entries dead.
+    active_engines = {_PASS_ENGINES[p] for p in passes}
+    report.stale_entries = [
+        entry
+        for entry in baseline.entries
+        if id(entry) not in used_entries
+        and entry.rule_id in RULES
+        and RULES[entry.rule_id].engine in active_engines
+    ]
+    report.baseline = baseline
     return report
+
+
+def prune_baseline(report: DiagnosticReport) -> Optional[Baseline]:
+    """The report's baseline minus its stale entries (or None when the
+    report carries no baseline). Justifications pass through verbatim."""
+    baseline: Optional[Baseline] = getattr(report, "baseline", None)
+    if baseline is None:
+        return None
+    stale = {id(e) for e in getattr(report, "stale_entries", [])}
+    kept: List[BaselineEntry] = [
+        e for e in baseline.entries if id(e) not in stale
+    ]
+    return Baseline(kept, path=baseline.path)

@@ -1,0 +1,504 @@
+"""Lock resolution and per-function lock/attribute event extraction.
+
+The first half answers *what locks exist*: every ``threading.Lock`` /
+``RLock`` / ``Condition`` / ``(Bounded)Semaphore`` bound to an instance
+attribute (plain assignment, dataclass ``field(default_factory=...)``,
+or buried inside a container comprehension like ``WorkerPool._slots``)
+or to a module-level global. A ``Condition(self._lock)`` records an
+*alias*: acquiring the condition acquires the underlying lock, so the
+two must be one node for held-set and ordering purposes.
+
+The second half answers *what one function does with them*: a
+syntax-directed walk that tracks the set of locks held at every
+statement (``with self._lock:`` scoping, ``x.acquire()``/``x.release()``
+pairs, locals bound to lock attributes) and records four event streams —
+acquisitions, resolved/opaque call sites, ``self`` attribute accesses
+and potentially-blocking calls — each stamped with the held set at that
+point. The concurrency rules are all written against these summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import ClassInfo, FunctionInfo, ProjectIndex
+
+__all__ = [
+    "LOCK_FACTORIES",
+    "LockInfo",
+    "LockRegistry",
+    "resolve_locks",
+    "Acquisition",
+    "CallSite",
+    "AttrAccess",
+    "BlockingSite",
+    "FunctionEvents",
+    "extract_events",
+]
+
+#: threading factories that create a mutual-exclusion primitive.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+#: factories that create waitable-but-not-lock primitives (CC002 fodder).
+EVENT_FACTORIES = {"Event", "Barrier"}
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One lock-valued attribute (or module global)."""
+
+    ident: str  # unique: "module::Class.attr" or "module::NAME"
+    display: str  # short: "Class.attr" / "NAME"
+    kind: str  # Lock | RLock | Condition | Semaphore | BoundedSemaphore
+    path: str
+    line: int
+    alias_of: Optional[str] = None  # ident of the underlying lock
+
+
+class LockRegistry:
+    """All resolved locks, with alias-chasing and per-class lookup."""
+
+    def __init__(self) -> None:
+        self.locks: Dict[str, LockInfo] = {}
+        #: idents of Event-like waitables (not locks, but block waiters).
+        self.events: Set[str] = set()
+
+    def add(self, info: LockInfo) -> None:
+        self.locks.setdefault(info.ident, info)
+
+    def root(self, ident: str) -> str:
+        """Follow the alias chain to the underlying lock identity."""
+        seen = set()
+        while ident in self.locks and self.locks[ident].alias_of:
+            if ident in seen:  # defensive: cyclic aliases cannot normally occur
+                break
+            seen.add(ident)
+            ident = self.locks[ident].alias_of
+        return ident
+
+    def class_lock_attrs(self, cls: ClassInfo) -> Set[str]:
+        prefix = f"{cls.module}::{cls.name}."
+        return {
+            ident[len(prefix):]
+            for ident in self.locks
+            if ident.startswith(prefix)
+        }
+
+    def __len__(self) -> int:
+        return len(self.locks)
+
+
+def _factory_call(node: ast.AST, factories) -> Optional[ast.Call]:
+    """The first ``threading.X(...)``/bare ``X(...)`` call (X in
+    ``factories``) anywhere inside ``node``."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in factories:
+            return sub
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _factory_name(call: ast.Call) -> str:
+    func = call.func
+    return func.attr if isinstance(func, ast.Attribute) else func.id
+
+
+def resolve_locks(index: ProjectIndex) -> LockRegistry:
+    """Find every lock attribute and module-level lock in the project."""
+    registry = LockRegistry()
+    for mod in index.modules.values():
+        # module-level locks: NAME = threading.Lock()
+        for node in mod.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+                isinstance(node.targets[0], ast.Name)
+            ):
+                call = _factory_call(node.value, LOCK_FACTORIES)
+                if call is not None and isinstance(node.value, ast.Call):
+                    registry.add(
+                        LockInfo(
+                            ident=f"{mod.name}::{node.targets[0].id}",
+                            display=node.targets[0].id,
+                            kind=_factory_name(call),
+                            path=mod.path,
+                            line=node.lineno,
+                        )
+                    )
+        for cls in mod.classes.values():
+            _resolve_class_locks(registry, cls)
+    return registry
+
+
+def _resolve_class_locks(registry: LockRegistry, cls: ClassInfo) -> None:
+    pending_aliases: List[Tuple[LockInfo, str]] = []
+
+    def add_attr(attr: str, call: ast.Call, line: int) -> None:
+        kind = _factory_name(call)
+        info = LockInfo(
+            ident=f"{cls.module}::{cls.name}.{attr}",
+            display=f"{cls.name}.{attr}",
+            kind=kind,
+            path=cls.path,
+            line=line,
+        )
+        if kind in EVENT_FACTORIES:
+            registry.events.add(info.ident)
+            return
+        # Condition(self._lock): acquiring the condition acquires the lock.
+        if kind == "Condition" and call.args:
+            underlying = _self_attr(call.args[0])
+            if underlying is not None:
+                pending_aliases.append((info, underlying))
+                return
+        registry.add(info)
+
+    # dataclass-style: `_lock: threading.Lock = field(default_factory=...)`
+    for item in cls.node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            if item.value is None:
+                continue
+            call = _factory_call(item.value, LOCK_FACTORIES | EVENT_FACTORIES)
+            if call is None:
+                # default_factory=threading.Lock passes the factory
+                # *uncalled* — look for the bare reference.
+                for sub in ast.walk(item.value):
+                    if (
+                        isinstance(sub, ast.keyword)
+                        and sub.arg == "default_factory"
+                    ):
+                        name = (
+                            sub.value.attr
+                            if isinstance(sub.value, ast.Attribute)
+                            else getattr(sub.value, "id", None)
+                        )
+                        if name in LOCK_FACTORIES:
+                            registry.add(
+                                LockInfo(
+                                    ident=f"{cls.module}::{cls.name}."
+                                    f"{item.target.id}",
+                                    display=f"{cls.name}.{item.target.id}",
+                                    kind=name,
+                                    path=cls.path,
+                                    line=item.lineno,
+                                )
+                            )
+            else:
+                add_attr(item.target.id, call, item.lineno)
+
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                # self._slots: Dict[str, BoundedSemaphore] = {...}
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                call = _factory_call(value, LOCK_FACTORIES | EVENT_FACTORIES)
+                if call is not None:
+                    add_attr(attr, call, node.lineno)
+
+    for info, underlying in pending_aliases:
+        target_ident = f"{cls.module}::{cls.name}.{underlying}"
+        registry.add(
+            LockInfo(
+                ident=info.ident,
+                display=info.display,
+                kind=info.kind,
+                path=info.path,
+                line=info.line,
+                alias_of=target_ident if target_ident in registry.locks else None,
+            )
+        )
+
+
+# -- per-function event extraction ---------------------------------------------
+
+#: a held lock: (ident, acquisition file, acquisition line)
+Held = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    ident: str
+    path: str
+    line: int
+    held: Tuple[Held, ...]  # locks already held when this one is taken
+
+
+@dataclass(frozen=True)
+class CallSite:
+    callee: Optional[FunctionInfo]  # None = opaque
+    node: ast.Call
+    held: Tuple[Held, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    attr: str
+    is_write: bool
+    held: Tuple[Held, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    what: str  # human label, e.g. "Event.wait" / "time.sleep"
+    receiver_root: Optional[str]  # lock root when the receiver is a Condition
+    path: str
+    line: int
+    held: Tuple[Held, ...]
+
+
+@dataclass
+class FunctionEvents:
+    """Everything the concurrency rules need to know about one function."""
+
+    fn: FunctionInfo
+    acquisitions: List[Acquisition] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    attr_accesses: List[AttrAccess] = field(default_factory=list)
+    blocking: List[BlockingSite] = field(default_factory=list)
+    #: lock factories bound to plain locals (CC005 fodder): (name, line)
+    local_locks: List[Tuple[str, int]] = field(default_factory=list)
+
+
+def extract_events(
+    fn: FunctionInfo, index: ProjectIndex, registry: LockRegistry
+) -> FunctionEvents:
+    """One pass over ``fn``'s body collecting lock-relevant events."""
+    events = FunctionEvents(fn=fn)
+    local_types = index.local_types(fn)
+    # locals bound to a lock object: name -> lock ident
+    lock_locals: Dict[str, str] = {}
+    # .acquire()d locks not yet .release()d (per-function approximation)
+    explicit_held: List[Held] = []
+    path = fn.path
+
+    def lock_ident_of(expr: ast.AST) -> Optional[str]:
+        """Resolve an expression to a lock identity, if it is one."""
+        attr = _self_attr(expr)
+        if attr is not None and fn.cls is not None:
+            ident = f"{fn.cls.module}::{fn.cls.name}.{attr}"
+            if ident in registry.locks or ident in registry.events:
+                return ident
+            return None
+        if isinstance(expr, ast.Attribute):
+            # other._lock, where `other` has a statically known class
+            owner = index.type_of(expr.value, fn, local_types)
+            if owner is not None:
+                ident = f"{owner.module}::{owner.name}.{expr.attr}"
+                if ident in registry.locks or ident in registry.events:
+                    return ident
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in lock_locals:
+                return lock_locals[expr.id]
+            ident = f"{fn.module}::{expr.id}"
+            if ident in registry.locks:
+                return ident
+            return None
+        # self._slots[key] — a lock pulled out of a lock container
+        if isinstance(expr, ast.Subscript):
+            return lock_ident_of(expr.value)
+        return None
+
+    def held_now(scoped: Tuple[Held, ...]) -> Tuple[Held, ...]:
+        return scoped + tuple(explicit_held)
+
+    def record_acquisition(ident: str, line: int, scoped: Tuple[Held, ...]) -> None:
+        if ident in registry.events:
+            return  # events are not locks; they never order anything
+        events.acquisitions.append(
+            Acquisition(ident=ident, path=path, line=line, held=held_now(scoped))
+        )
+
+    def visit_call(node: ast.Call, scoped: Tuple[Held, ...]) -> None:
+        held = held_now(scoped)
+        func = node.func
+        # x.acquire() / x.release()
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+            ident = lock_ident_of(func.value)
+            if ident is not None and ident not in registry.events:
+                if func.attr == "acquire":
+                    record_acquisition(ident, node.lineno, scoped)
+                    explicit_held.append((ident, path, node.lineno))
+                else:
+                    for i, (held_ident, _, _) in enumerate(explicit_held):
+                        if held_ident == ident:
+                            explicit_held.pop(i)
+                            break
+                return
+        # blocking calls
+        blocked = _blocking_label(func, lock_ident_of, registry)
+        if blocked is not None:
+            label, receiver_root = blocked
+            events.blocking.append(
+                BlockingSite(
+                    what=label,
+                    receiver_root=receiver_root,
+                    path=path,
+                    line=node.lineno,
+                    held=held,
+                )
+            )
+        callee = index.resolve_call(node, fn, local_types)
+        events.calls.append(
+            CallSite(callee=callee, node=node, held=held, line=node.lineno)
+        )
+
+    def visit(node: ast.AST, scoped: Tuple[Held, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node is not fn.node
+        ):
+            return  # nested defs run later, under their own discipline
+        if isinstance(node, ast.With):
+            entered: List[Held] = []
+            for item in node.items:
+                visit(item.context_expr, scoped)
+                ident = None
+                if isinstance(item.context_expr, ast.Call):
+                    pass  # `with lock_factory():` etc. — not a held lock attr
+                else:
+                    ident = lock_ident_of(item.context_expr)
+                if ident is not None and ident not in registry.events:
+                    record_acquisition(
+                        ident, item.context_expr.lineno, scoped + tuple(entered)
+                    )
+                    entered.append((ident, path, item.context_expr.lineno))
+            inner = scoped + tuple(entered)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Assign):
+            visit(node.value, scoped)
+            # track locals bound to locks: x = self._lock / x = self._slots[k]
+            targets = node.targets
+            if len(targets) == 1 and isinstance(targets[0], ast.Tuple) and (
+                isinstance(node.value, ast.Tuple)
+                and len(targets[0].elts) == len(node.value.elts)
+            ):
+                pairs = list(zip(targets[0].elts, node.value.elts))
+            else:
+                pairs = [(t, node.value) for t in targets]
+            for target, value in pairs:
+                if isinstance(target, ast.Name):
+                    ident = lock_ident_of(value)
+                    if ident is not None:
+                        lock_locals[target.name if False else target.id] = ident
+                    else:
+                        lock_locals.pop(target.id, None)
+                        call = (
+                            _factory_call(value, LOCK_FACTORIES)
+                            if isinstance(value, ast.Call)
+                            else None
+                        )
+                        if call is not None and value is call:
+                            events.local_locks.append((target.id, node.lineno))
+                            lock_locals[target.id] = f"<local>::{target.id}"
+                visit_attr_target(target, scoped)
+            return
+        if isinstance(node, ast.Call):
+            for child in ast.iter_child_nodes(node):
+                visit(child, scoped)
+            visit_call(node, scoped)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                events.attr_accesses.append(
+                    AttrAccess(
+                        attr=attr,
+                        is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                        held=held_now(scoped),
+                        line=node.lineno,
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            visit(child, scoped)
+
+    def visit_attr_target(target: ast.AST, scoped: Tuple[Held, ...]) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            events.attr_accesses.append(
+                AttrAccess(
+                    attr=attr, is_write=True, held=held_now(scoped),
+                    line=target.lineno,
+                )
+            )
+        else:
+            for child in ast.iter_child_nodes(target):
+                visit(child, scoped)
+
+    for stmt in fn.node.body:
+        visit(stmt, ())
+    return events
+
+
+#: module-level callables that block the calling thread.
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"): "time.sleep",
+}
+#: method names that block when invoked on a waitable.
+_BLOCKING_METHODS = {"wait": "wait", "get": "queue.get", "put": "queue.put"}
+
+
+def _blocking_label(
+    func: ast.AST, lock_ident_of, registry: LockRegistry
+) -> Optional[Tuple[str, Optional[str]]]:
+    """``(label, receiver_lock_root)`` when ``func`` is a blocking call.
+
+    The receiver root is non-None only for ``Condition.wait`` — the one
+    blocking call that *releases* its own lock while waiting, which the
+    CC002 rule must exempt when that lock is the one held.
+    """
+    if isinstance(func, ast.Attribute):
+        if (
+            isinstance(func.value, ast.Name)
+            and (func.value.id, func.attr) in _BLOCKING_MODULE_CALLS
+        ):
+            return _BLOCKING_MODULE_CALLS[(func.value.id, func.attr)], None
+        if func.attr == "wait":
+            ident = lock_ident_of(func.value)
+            if ident is not None and ident in registry.events:
+                return "Event.wait", None
+            if ident is not None:
+                info = registry.locks.get(ident)
+                if info is not None and info.kind == "Condition":
+                    return "Condition.wait", registry.root(ident)
+                return f"{info.kind}.wait" if info else "wait", None
+            # UNRESOLVED receiver: only treat known waitable names as
+            # blocking; arbitrary `.wait()` would be too noisy.
+            name = getattr(func.value, "attr", getattr(func.value, "id", ""))
+            if name.lstrip("_") in ("done", "stop", "event", "ready", "closed",
+                                    "finished", "cv", "cond", "condition"):
+                return "wait", None
+            return None
+        if func.attr in ("get", "put"):
+            # only stdlib queue.Queue-ish receivers by name
+            name = getattr(func.value, "attr", getattr(func.value, "id", ""))
+            if "queue" in name.lower() and lock_ident_of(func.value) is None:
+                return _BLOCKING_METHODS[func.attr], None
+    return None

@@ -18,8 +18,12 @@ Wraps the library's main workflows for shell users:
   measured bottleneck;
 * ``metrics``  — one-shot metrics dump (Prometheus text exposition or
   JSON) from a saved span journal;
-* ``lint``     — static AST lint (lock discipline, numpy RNG hygiene,
-  views, exceptions) with a justified suppression baseline;
+* ``lint``     — static analysis (per-file AST rules plus the
+  whole-program concurrency and arena-aliasing passes, selectable via
+  ``--passes``) with a justified suppression baseline and
+  text/JSON/SARIF output;
+* ``lockgraph`` — dump the whole-program lock-acquisition-order graph
+  (DOT or JSON); exits non-zero when the graph has a cycle;
 * ``verify-model`` — static model-graph verification of the registered
   architectures against their Table I foldings;
 * ``bench``    — throughput measurement (kernels, per-stage wall time,
@@ -35,6 +39,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis.lint import PASSES as LINT_PASSES
 from repro.core.architectures import ARCHITECTURES, architecture_summary
 from repro.core.classifier import BinaryCoP, TrainingBudget
 from repro.data.dataset import build_masked_face_dataset
@@ -172,6 +177,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="accept current findings into FILE and exit 0")
     p_lint.add_argument("--rules", action="store_true",
                         help="print the rule catalog and exit")
+    p_lint.add_argument("--passes", default=",".join(LINT_PASSES),
+                        metavar="P1,P2",
+                        help="comma-separated analysis passes to run "
+                             f"(default: {','.join(LINT_PASSES)})")
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="report format (default: text)")
+    p_lint.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline file without stale "
+                             "entries (justifications preserved verbatim)")
+
+    p_lockgraph = sub.add_parser(
+        "lockgraph",
+        help="dump the whole-program lock-acquisition-order graph",
+    )
+    p_lockgraph.add_argument("paths", nargs="*", type=Path,
+                             help="files/directories to analyze "
+                                  "(default: the installed repro package)")
+    p_lockgraph.add_argument("--format", default="dot",
+                             choices=("dot", "json"),
+                             help="graph output format (default: dot)")
+    p_lockgraph.add_argument("--out", type=Path, default=None,
+                             help="write to FILE instead of stdout")
 
     p_verify = sub.add_parser(
         "verify-model",
@@ -472,32 +500,92 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from repro.analysis import Baseline, lint_paths, rules_table
+    from repro.analysis.lint import prune_baseline
 
     if args.rules:
         print(rules_table())
         return 0
     import repro as _repro
 
-    paths = args.paths or [Path(_repro.__file__).parent]
-    if args.no_baseline:
-        report = lint_paths(paths, baseline=Baseline())
-    elif args.baseline is not None:
-        try:
-            baseline = Baseline.load(args.baseline)
-        except ValueError as exc:
-            print(f"error: {args.baseline}: {exc}", file=sys.stderr)
-            return 2
-        report = lint_paths(paths, baseline=baseline)
-    else:
-        report = lint_paths(paths)
+    passes = tuple(p.strip() for p in args.passes.split(",") if p.strip())
+    try:
+        paths = args.paths or [Path(_repro.__file__).parent]
+        if args.no_baseline:
+            report = lint_paths(paths, baseline=Baseline(), passes=passes)
+        elif args.baseline is not None:
+            try:
+                baseline = Baseline.load(args.baseline)
+            except ValueError as exc:
+                print(f"error: {args.baseline}: {exc}", file=sys.stderr)
+                return 2
+            report = lint_paths(paths, baseline=baseline, passes=passes)
+        else:
+            report = lint_paths(paths, passes=passes)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.write_baseline is not None:
         baseline = Baseline.from_diagnostics(report.diagnostics)
         path = baseline.save(args.write_baseline)
         print(f"wrote {len(baseline)} suppression(s) to {path}")
         return 0
-    print(report.render())
+    if args.prune_baseline:
+        pruned = prune_baseline(report)
+        if pruned is None or pruned.path is None:
+            print("error: --prune-baseline needs a baseline file",
+                  file=sys.stderr)
+            return 2
+        dropped = len(report.stale_entries)
+        pruned.save(pruned.path)
+        print(f"pruned {dropped} stale entrie(s) from {pruned.path}")
+        return 0
+    for entry in report.stale_entries:
+        print(
+            f"warning: stale baseline entry (matches no current finding): "
+            f"{entry.render()}",
+            file=sys.stderr,
+        )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(report.to_sarif(), indent=2))
+    else:
+        print(report.render())
     return report.exit_code()
+
+
+def _cmd_lockgraph(args) -> int:
+    import ast as _ast
+
+    from repro.analysis.concurrency import build_lock_graph
+    from repro.analysis.lint import collect_sources
+
+    import repro as _repro
+
+    paths = args.paths or [Path(_repro.__file__).parent]
+    sources = []
+    for path in collect_sources(paths):
+        try:
+            sources.append(
+                (path, _ast.parse(path.read_text(), filename=str(path)))
+            )
+        except SyntaxError as exc:
+            print(f"warning: skipping {path}: {exc.msg}", file=sys.stderr)
+    graph = build_lock_graph(sources)
+    text = graph.render_json() if args.format == "json" else graph.to_dot()
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(
+            f"wrote {len(graph.nodes)} node(s), {len(graph.edges)} edge(s) "
+            f"to {args.out}"
+        )
+    else:
+        print(text)
+    # a cycle in the lock graph is a finding, mirror lint's exit semantics
+    return 1 if graph.cycles() else 0
 
 
 def _cmd_verify_model(args) -> int:
@@ -568,6 +656,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "lint": _cmd_lint,
+    "lockgraph": _cmd_lockgraph,
     "verify-model": _cmd_verify_model,
     "bench": _cmd_bench,
 }

@@ -1,0 +1,144 @@
+"""Arena aliasing analysis: soundness demos + the nn/ fast-path gate.
+
+The AL fixtures must each produce exactly their seeded rule; the
+repo-at-head test pins the four known (justified) AL002 escapes and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import analyze_aliasing, collect_sources
+from repro.analysis import fixtures
+
+pytestmark = pytest.mark.analysis
+
+
+def parse(tmp_path: Path, code: str, name: str = "mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(code))
+    return path, ast.parse(textwrap.dedent(code), filename=str(path))
+
+
+def al_ids(tmp_path: Path, code: str) -> list:
+    return [d.rule_id for d in analyze_aliasing([parse(tmp_path, code)])]
+
+
+class TestOverlappingOut:
+    def test_same_view_in_and_out_yields_exactly_al001(self, tmp_path):
+        diags = analyze_aliasing([parse(tmp_path, fixtures.OVERLAPPING_OUT)])
+        assert [d.rule_id for d in diags] == ["AL001"]
+        assert "matmul" in diags[0].message
+
+    def test_elementwise_inplace_is_safe(self, tmp_path):
+        assert al_ids(tmp_path, fixtures.CLEAN_ARENA) == []
+
+    def test_distinct_out_buffer_passes(self, tmp_path):
+        assert al_ids(
+            tmp_path,
+            """
+            import numpy as np
+
+
+            def step(arena, w):
+                a = arena.get(None, "a", (8, 8))
+                b = arena.get(None, "b", (8, 8))
+                np.matmul(a, w, out=b)
+                return float(b.sum())
+            """,
+        ) == []
+
+
+class TestArenaEscape:
+    def test_store_on_self_flagged(self, tmp_path):
+        diags = analyze_aliasing([parse(tmp_path, fixtures.ARENA_ESCAPE)])
+        assert [d.rule_id for d in diags] == ["AL002"]
+        assert "self.keep" in diags[0].message
+
+    def test_forward_return_is_exempt(self, tmp_path):
+        # the layer-chain contract: forward's output is consumed by the
+        # next layer within the same step.
+        assert al_ids(
+            tmp_path,
+            """
+            class Layer:
+                def forward(self, arena, x):
+                    out = arena.get(self, "out", x.shape)
+                    return out
+            """,
+        ) == []
+
+    def test_non_forward_return_flagged(self, tmp_path):
+        assert al_ids(
+            tmp_path,
+            """
+            class Layer:
+                def scratch(self, arena, x):
+                    out = arena.get(self, "out", x.shape)
+                    return out
+            """,
+        ) == ["AL002"]
+
+    def test_view_method_keeps_taint(self, tmp_path):
+        assert al_ids(
+            tmp_path,
+            """
+            class Layer:
+                def pack(self, arena, x):
+                    buf = arena.get(self, "buf", x.shape)
+                    flat = buf.reshape(-1)
+                    self.stash = flat
+            """,
+        ) == ["AL002"]
+
+    def test_copy_breaks_taint(self, tmp_path):
+        assert al_ids(
+            tmp_path,
+            """
+            class Layer:
+                def pack(self, arena, x):
+                    buf = arena.get(self, "buf", x.shape)
+                    self.stash = buf.copy()
+            """,
+        ) == []
+
+
+class TestUseAfterReset:
+    def test_read_after_clear_flagged(self, tmp_path):
+        assert al_ids(tmp_path, fixtures.USE_AFTER_RESET) == ["AL003"]
+
+    def test_read_before_clear_passes(self, tmp_path):
+        assert al_ids(tmp_path, fixtures.CLEAN_ARENA) == []
+
+    def test_set_arena_none_counts_as_reset(self, tmp_path):
+        assert al_ids(
+            tmp_path,
+            """
+            def run(arena, set_arena):
+                buf = arena.get(None, "x", (4,))
+                set_arena(None)
+                return float(buf.sum())
+            """,
+        ) == ["AL003"]
+
+
+class TestRepoAtHead:
+    def test_only_the_four_justified_escapes(self):
+        files = collect_sources([Path(repro.__file__).parent])
+        sources = [
+            (p, ast.parse(p.read_text(), filename=str(p))) for p in files
+        ]
+        diags = analyze_aliasing(sources)
+        found = sorted((d.rule_id, d.symbol) for d in diags)
+        assert found == [
+            ("AL002", "BatchNorm.forward"),
+            ("AL002", "BinaryConv2D.effective_weight"),
+            ("AL002", "BinaryDense.effective_weight"),
+            ("AL002", "Conv2D.forward"),
+        ]

@@ -346,6 +346,210 @@ class TestRepoIsClean:
         assert suppressed_rules <= {e.rule_id for e in baseline.entries}
 
 
+# -- collect_sources hygiene ---------------------------------------------------
+class TestCollectSources:
+    def test_explicit_file_in_skip_dir_is_ignored(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        stray = write(cache, "x = 1\n", "stray.py")
+        from repro.analysis import collect_sources
+
+        assert collect_sources([stray]) == []
+
+    def test_symlinked_duplicate_collapses(self, tmp_path):
+        real = write(tmp_path, "x = 1\n", "real.py")
+        link = tmp_path / "link.py"
+        link.symlink_to(real)
+        from repro.analysis import collect_sources
+
+        assert len(collect_sources([real, link])) == 1
+
+
+# -- stale baseline entries and pruning ----------------------------------------
+class TestStaleBaseline:
+    LIVE = """
+    import numpy as np
+
+    def sample():
+        return np.random.rand(4)
+    """
+
+    def _baseline(self, tmp_path, extra: str = "") -> Path:
+        bl = tmp_path / BASELINE_FILENAME
+        bl.write_text(
+            "NP001 mod.py sample  # legacy demo code\n" + extra
+        )
+        return bl
+
+    def test_stale_entry_reported(self, tmp_path):
+        src = write(tmp_path, self.LIVE, "mod.py")
+        bl = self._baseline(
+            tmp_path, "PY001 mod.py gone  # function was removed\n"
+        )
+        report = lint_paths([src], baseline=Baseline.load(bl))
+        assert [e.symbol for e in report.stale_entries] == ["gone"]
+        assert len(report.suppressed) == 1
+
+    def test_stale_is_relative_to_run_passes(self, tmp_path):
+        # an aliasing-engine entry is NOT stale when only the ast pass ran
+        src = write(tmp_path, self.LIVE, "mod.py")
+        bl = self._baseline(
+            tmp_path, "AL002 mod.py Layer.forward  # arena step contract\n"
+        )
+        ast_only = lint_paths(
+            [src], baseline=Baseline.load(bl), passes=("ast",)
+        )
+        assert ast_only.stale_entries == []
+        all_passes = lint_paths([src], baseline=Baseline.load(bl))
+        assert [e.rule_id for e in all_passes.stale_entries] == ["AL002"]
+
+    def test_prune_baseline_cli_preserves_justifications(self, tmp_path, capsys):
+        src = write(tmp_path, self.LIVE, "mod.py")
+        bl = self._baseline(
+            tmp_path, "PY001 mod.py gone  # function was removed\n"
+        )
+        assert main(
+            ["lint", str(src), "--baseline", str(bl), "--prune-baseline"]
+        ) == 0
+        pruned = Baseline.load(bl)
+        assert [e.rule_id for e in pruned.entries] == ["NP001"]
+        # the surviving justification is byte-identical
+        assert "# legacy demo code" in bl.read_text()
+        assert "gone" not in bl.read_text()
+
+    def test_stale_warning_on_stderr(self, tmp_path, capsys):
+        src = write(tmp_path, self.LIVE, "mod.py")
+        bl = self._baseline(
+            tmp_path, "PY001 mod.py gone  # function was removed\n"
+        )
+        assert main(["lint", str(src), "--baseline", str(bl)]) == 0
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err and "gone" in err
+
+    def test_lifecycle_write_edit_roundtrip_prune(self, tmp_path):
+        """--write-baseline -> justify -> reload -> prune keeps it all."""
+        src = write(tmp_path, self.LIVE, "mod.py")
+        report = lint_paths([src], baseline=Baseline())
+        bl_path = tmp_path / BASELINE_FILENAME
+        Baseline.from_diagnostics(report.diagnostics).save(bl_path)
+        text = bl_path.read_text().replace(
+            "TODO: justify this suppression", "demo code keeps legacy RNG"
+        )
+        bl_path.write_text(text)
+        reloaded = Baseline.load(bl_path)
+        assert [e.justification for e in reloaded.entries] == [
+            "demo code keeps legacy RNG"
+        ]
+        report = lint_paths([src], baseline=reloaded)
+        assert report.rule_ids == [] and report.stale_entries == []
+        from repro.analysis import prune_baseline
+
+        pruned = prune_baseline(report)
+        assert len(pruned) == len(reloaded)
+
+    def test_checked_in_lk001_request_entries_still_match(self):
+        """Regression: the two historical request.py waivers stay live."""
+        baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+        report = lint_paths(
+            [Path(repro.__file__).parent / "serving" / "request.py"],
+            baseline=baseline,
+            passes=("ast",),
+        )
+        lk = [
+            d.symbol for d, _ in report.suppressed if d.rule_id == "LK001"
+        ]
+        assert sorted(lk) == [
+            "InferenceRequest.completed_at",
+            "InferenceRequest.started_at",
+        ]
+
+
+# -- output formats ------------------------------------------------------------
+class TestOutputFormats:
+    BAD = """
+    import numpy as np
+
+    def sample():
+        return np.random.rand(4)
+    """
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        src = write(tmp_path, self.BAD, "mod.py")
+        assert main(
+            ["lint", str(src), "--no-baseline", "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["warnings"] == 1
+        assert payload["diagnostics"][0]["rule_id"] == "NP001"
+
+    def test_sarif_format(self, tmp_path, capsys):
+        import json
+
+        src = write(tmp_path, self.BAD, "mod.py")
+        assert main(
+            ["lint", str(src), "--no-baseline", "--format", "sarif"]
+        ) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == {"NP001"}
+        result = run["results"][0]
+        assert result["ruleId"] == "NP001"
+        assert result["level"] == "warning"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("mod.py")
+
+    def test_sarif_marks_suppressed_findings(self, tmp_path, capsys):
+        import json
+
+        src = write(tmp_path, self.BAD, "mod.py")
+        bl = tmp_path / BASELINE_FILENAME
+        bl.write_text("NP001 mod.py sample  # legacy demo code\n")
+        assert main(
+            ["lint", str(src), "--baseline", str(bl), "--format", "sarif"]
+        ) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        result = sarif["runs"][0]["results"][0]
+        assert result["suppressions"][0]["justification"] == (
+            "legacy demo code"
+        )
+
+    def test_repo_sarif_is_wellformed(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        ids = {r["ruleId"] for r in sarif["runs"][0]["results"]}
+        assert {"AL002", "LK001"} <= ids  # the justified baseline entries
+
+
+# -- pass selection ------------------------------------------------------------
+class TestPassSelection:
+    def test_unknown_pass_rejected(self, capsys):
+        assert main(["lint", "--passes", "ast,bogus"]) == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_concurrency_and_aliasing_only(self, capsys):
+        assert main(["lint", "--passes", "concurrency,aliasing"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_ast_only_skips_whole_program_rules(self, tmp_path):
+        from repro.analysis import fixtures
+
+        src = write(tmp_path, fixtures.ABBA_DEADLOCK, "abba.py")
+        assert lint_paths(
+            [src], baseline=Baseline(), passes=("ast",)
+        ).rule_ids == []
+        assert lint_paths(
+            [src], baseline=Baseline(), passes=("concurrency",)
+        ).rule_ids == ["CC001"]
+
+
 # -- CLI smoke -----------------------------------------------------------------
 class TestCliSmoke:
     def test_lint_clean_repo_exit_zero(self, capsys):
