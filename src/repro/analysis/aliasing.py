@@ -16,7 +16,12 @@ numpy will ever raise on:
   step, so the escapee is silently overwritten. ``forward``/``backward``
   returns are exempt: the layer-chain contract documented in
   ``nn/arena.py`` is that a layer's output lives only until the next
-  layer of the same step consumes it.
+  layer of the same step consumes it. Methods of an **arena-owner
+  class** — one that binds an arena to an attribute whose name contains
+  ``arena`` (e.g. ``repro.hw.plan.ExecutionPlan``) — are also exempt:
+  owning the arena's lifecycle *is* holding long-lived views into it,
+  and such classes carry their own staleness guard (the arena epoch
+  check) instead of the step-scope contract.
 - **AL003** — an arena view is read after the arena was reset
   (``set_arena(None)``, ``arena.clear()``): the storage may already be
   re-handed to another owner.
@@ -86,11 +91,39 @@ def _names_in(expr: ast.AST) -> Set[str]:
     return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
 
 
+def _class_owns_arena(cls_node: ast.ClassDef) -> bool:
+    """Does this class bind an arena to one of its attributes?
+
+    True when any method assigns ``self.<attr>`` where the attribute
+    name contains ``arena`` — the syntactic signature of an arena-owner
+    class (it manages the arena's lifecycle, so its stored views live
+    exactly as long as the arena does).
+    """
+    for node in ast.walk(cls_node):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and "arena" in target.attr.lower()
+            ):
+                return True
+    return False
+
+
 class _FunctionAliasing:
     """One function's linear taint walk."""
 
-    def __init__(self, fn: FunctionInfo) -> None:
+    def __init__(self, fn: FunctionInfo, arena_owner: bool = False) -> None:
         self.fn = fn
+        #: methods of an arena-owner class hold views for the arena's
+        #: whole lifetime by design — AL002 escapes are exempt there.
+        self.arena_owner = arena_owner
         self.tainted: Dict[str, Tuple[str, int]] = {}  # name -> (origin, line)
         #: names of locals bound to an arena object
         self.arena_locals: Set[str] = set()
@@ -190,6 +223,8 @@ class _FunctionAliasing:
             del self.tainted[name]
 
     def _escape(self, expr: ast.AST, how: str, line: int) -> None:
+        if self.arena_owner:
+            return
         origin = self._taint_of_expr(expr)
         if origin is None and isinstance(expr, ast.Tuple):
             for elt in expr.elts:
@@ -252,7 +287,9 @@ class _FunctionAliasing:
                             self.tainted.pop(t.id, None)
 
     def run(self) -> List[Diagnostic]:
-        exempt_returns = self.fn.name in ("forward", "backward")
+        exempt_returns = (
+            self.fn.name in ("forward", "backward") or self.arena_owner
+        )
         for stmt in _linear_statements(self.fn.node):
             if isinstance(stmt, ast.Assign):
                 self._handle_assign(stmt)
@@ -309,6 +346,13 @@ def analyze_aliasing(
     if index is None:
         index = ProjectIndex.build(sources)
     diags: List[Diagnostic] = []
+    owner_memo: Dict[int, bool] = {}
     for fn in index.all_functions():
-        diags.extend(_FunctionAliasing(fn).run())
+        arena_owner = False
+        if fn.cls is not None:
+            key = id(fn.cls)
+            if key not in owner_memo:
+                owner_memo[key] = _class_owns_arena(fn.cls.node)
+            arena_owner = owner_memo[key]
+        diags.extend(_FunctionAliasing(fn, arena_owner=arena_owner).run())
     return diags

@@ -35,6 +35,7 @@ from repro.testing import randomize_bn_stats
 __all__ = [
     "SCHEMA",
     "BENCH_ARCHS",
+    "BENCH_SECTIONS",
     "GEMM_SHAPES",
     "run_bench",
     "load_doc",
@@ -43,6 +44,7 @@ __all__ = [
     "validate_run",
     "validate_doc",
     "compare_runs",
+    "compare_to_best",
     "render_run",
     "render_comparison",
 ]
@@ -52,6 +54,19 @@ SCHEMA = "repro-bench-throughput/v1"
 
 #: Architectures benchmarked by a full run, in Table I order.
 BENCH_ARCHS: Tuple[str, ...] = ("cnv", "n-cnv", "u-cnv")
+
+#: Selectable benchmark sections (``repro bench --sections``), in the
+#: order a full run records them. ``stages`` and ``e2e`` share the
+#: compiled accelerators, but each can be requested alone.
+BENCH_SECTIONS: Tuple[str, ...] = (
+    "kernels",
+    "stages",
+    "e2e",
+    "plan",
+    "telemetry",
+    "generation",
+    "training",
+)
 
 #: XNOR GEMM operand shapes: (name, vectors, fan_in, neurons). conv2_2
 #: and fc1 of CNV (the bench_xnor_kernels shapes) plus conv1_2 at a
@@ -167,9 +182,16 @@ def _bench_generation(seed: int, samples: int, cache_raw_size: int) -> Dict:
         start = time.perf_counter()
         build_masked_face_dataset(raw_size=cache_raw_size, rng=seed, cache_dir=tmp)
         cold_s = time.perf_counter() - start
-        start = time.perf_counter()
-        build_masked_face_dataset(raw_size=cache_raw_size, rng=seed, cache_dir=tmp)
-        warm_s = time.perf_counter() - start
+        # Warm load is a few ms of filesystem work — single-shot numbers
+        # drift with page-cache state, so take best-of-3 like the other
+        # timed sections.
+        warm_s = _best_seconds(
+            lambda: build_masked_face_dataset(
+                raw_size=cache_raw_size, rng=seed, cache_dir=tmp
+            ),
+            repeats=3,
+            warmup=1,
+        )
 
     return {
         "samples": samples,
@@ -275,21 +297,71 @@ def _bench_telemetry(
     return result
 
 
+def _bench_plan(
+    accelerator: FinnAccelerator, images: np.ndarray, repeats: int
+) -> Dict:
+    """Planned vs interpreted datapath for one compiled design.
+
+    ``steady_state_alloc_blocks`` is the tracemalloc-measured heap
+    allocation count per planned call after warm-up — the tentpole's
+    zero-allocation claim, recorded in the trajectory so it gates.
+    """
+    from repro.hw.plan import measure_steady_state, plan_unsupported_reason
+
+    reason = plan_unsupported_reason(accelerator)
+    if reason is not None:
+        return {"supported": False, "reason": reason}
+    n = images.shape[0]
+    unplanned_s = _best_seconds(
+        lambda: accelerator.execute(images, use_plan=False), repeats
+    )
+    plan, _ = accelerator.plans.get(n)
+    out = np.empty_like(plan.execute(images))
+    planned_s = _best_seconds(lambda: plan.execute(images, out=out), repeats)
+    report = measure_steady_state(lambda: plan.execute(images, out=out))
+    return {
+        "supported": True,
+        "images": n,
+        "unplanned": {"seconds": unplanned_s, "fps": n / unplanned_s},
+        "planned": {"seconds": planned_s, "fps": n / planned_s},
+        "speedup": unplanned_s / planned_s,
+        "steady_state_alloc_blocks": report.per_call_blocks,
+        "arena_kib": round(plan.arena_nbytes / 1024, 3),
+        "fused_stages": plan.fused_stages,
+    }
+
+
 def run_bench(
     archs: Sequence[str] = BENCH_ARCHS,
     images: int = 16,
     repeats: int = 2,
     seed: int = 0,
     smoke: bool = False,
+    sections: Optional[Sequence[str]] = None,
 ) -> Dict:
     """One benchmark run; returns the run record (see :data:`SCHEMA`).
 
     ``smoke`` shrinks every workload to sanity-gate scale (one small
     architecture, two images, single repeat) — fast enough for CI, still
-    exercising every timed code path.
+    exercising every timed code path. ``sections`` restricts the run to a
+    subset of :data:`BENCH_SECTIONS` (default: all); unknown names raise
+    ``ValueError``. Partial runs are for iterating on one section — the
+    CLI refuses to append them to the trajectory.
     """
     if images <= 0:
         raise ValueError(f"images must be positive, got {images}")
+    if sections is None:
+        selected = set(BENCH_SECTIONS)
+    else:
+        selected = set(sections)
+        unknown = selected - set(BENCH_SECTIONS)
+        if unknown:
+            raise ValueError(
+                f"unknown bench section(s) {sorted(unknown)!r}; "
+                f"known: {', '.join(BENCH_SECTIONS)}"
+            )
+        if not selected:
+            raise ValueError("sections must name at least one section")
     if smoke:
         archs = ("u-cnv",)
         images = min(images, 2)
@@ -311,70 +383,122 @@ def run_bench(
     run: Dict = {
         "timestamp": time.time(),
         "label": "smoke" if smoke else "full",
+        "sections": [s for s in BENCH_SECTIONS if s in selected],
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
-        "kernels": {},
-        "stages": {},
-        "e2e": {},
     }
-    run["kernels"].update(_bench_bitpack(rng, bitpack_shape, repeats))
-    run["kernels"]["xnor_gemm"] = _bench_gemm(rng, gemm_shapes, repeats)
+    if "kernels" in selected:
+        run["kernels"] = _bench_bitpack(rng, bitpack_shape, repeats)
+        run["kernels"]["xnor_gemm"] = _bench_gemm(rng, gemm_shapes, repeats)
 
     batch = rng.random((images, 32, 32, 3)).astype(np.float32)
-    for arch in archs:
-        model = build_architecture(arch, rng=seed)
+    datapath = selected & {"stages", "e2e", "plan"}
+    if datapath:
+        if "stages" in selected:
+            run["stages"] = {}
+        if "e2e" in selected:
+            run["e2e"] = {}
+        if "plan" in selected:
+            run["plan"] = {}
+        for arch in archs:
+            model = build_architecture(arch, rng=seed)
+            randomize_bn_stats(model, seed=seed + 1)
+            model.eval()
+            accelerator = compile_model(model, table1_folding(arch), name=arch)
+            if selected & {"stages", "e2e"}:
+                stages, e2e = _bench_accelerator(accelerator, batch, repeats)
+                if "stages" in selected:
+                    run["stages"][arch] = stages
+                if "e2e" in selected:
+                    run["e2e"][arch] = e2e
+            if "plan" in selected:
+                run["plan"][arch] = _bench_plan(accelerator, batch, repeats)
+
+    if "telemetry" in selected:
+        tel_cfg = dict(TELEMETRY_BENCH)
+        tel_arch = tel_cfg.pop("arch")
+        model = build_architecture(tel_arch, rng=seed)
         randomize_bn_stats(model, seed=seed + 1)
         model.eval()
-        accelerator = compile_model(model, table1_folding(arch), name=arch)
-        stages, e2e = _bench_accelerator(accelerator, batch, repeats)
-        run["stages"][arch] = stages
-        run["e2e"][arch] = e2e
+        tel_acc = compile_model(model, table1_folding(tel_arch), name=tel_arch)
+        run["telemetry"] = _bench_telemetry(tel_acc, batch, repeats, **tel_cfg)
 
-    tel_cfg = dict(TELEMETRY_BENCH)
-    tel_arch = tel_cfg.pop("arch")
-    model = build_architecture(tel_arch, rng=seed)
-    randomize_bn_stats(model, seed=seed + 1)
-    model.eval()
-    tel_acc = compile_model(model, table1_folding(tel_arch), name=tel_arch)
-    run["telemetry"] = _bench_telemetry(tel_acc, batch, repeats, **tel_cfg)
-
-    run["generation"] = _bench_generation(seed, **gen_cfg)
-    run["training"] = _bench_training(seed, **train_cfg)
+    if "generation" in selected:
+        run["generation"] = _bench_generation(seed, **gen_cfg)
+    if "training" in selected:
+        run["training"] = _bench_training(seed, **train_cfg)
     validate_run(run)
     return run
 
 
 # -- schema ------------------------------------------------------------------
 def validate_run(run: Dict) -> None:
-    """Raise ``ValueError`` unless ``run`` has the expected shape."""
+    """Raise ``ValueError`` unless ``run`` has the expected shape.
+
+    Runs without a ``sections`` list (trajectory entries predating
+    section selection) must carry the classic kernels/stages/e2e core;
+    sectioned runs must carry exactly what their ``sections`` name, and
+    every present section is validated either way.
+    """
     if not isinstance(run, dict):
         raise ValueError("run must be a mapping")
-    for key in ("timestamp", "label", "kernels", "stages", "e2e"):
+    required = ("timestamp", "label")
+    if "sections" in run:
+        if not isinstance(run["sections"], list) or not run["sections"]:
+            raise ValueError("run.sections must be a non-empty list")
+        unknown = set(run["sections"]) - set(BENCH_SECTIONS)
+        if unknown:
+            raise ValueError(f"run.sections has unknown names {sorted(unknown)!r}")
+        required += tuple(run["sections"])
+    else:
+        required += ("kernels", "stages", "e2e")
+    for key in required:
         if key not in run:
             raise ValueError(f"run is missing {key!r}")
-    for kernel in ("pack_bits", "unpack_bits", "xnor_gemm"):
-        if kernel not in run["kernels"]:
-            raise ValueError(f"run.kernels is missing {kernel!r}")
-    for name in ("pack_bits", "unpack_bits"):
-        if not run["kernels"][name].get("seconds", 0) > 0:
-            raise ValueError(f"kernel {name!r} has no positive 'seconds'")
-    for name, entry in run["kernels"]["xnor_gemm"].items():
-        if not entry.get("seconds", 0) > 0:
-            raise ValueError(f"xnor_gemm {name!r} has no positive 'seconds'")
-    if not run["e2e"]:
-        raise ValueError("run.e2e is empty")
-    for arch, entry in run["e2e"].items():
-        for key in ("images", "seconds", "fps"):
-            if key not in entry:
-                raise ValueError(f"e2e[{arch!r}] is missing {key!r}")
-        if not entry["fps"] > 0:
-            raise ValueError(f"e2e[{arch!r}].fps must be positive")
-        if arch not in run["stages"]:
-            raise ValueError(f"run.stages is missing {arch!r}")
-        for stage in run["stages"][arch]:
-            if "name" not in stage or not stage.get("seconds", -1) >= 0:
-                raise ValueError(f"malformed stage entry in {arch!r}")
+    if "kernels" in run:
+        for kernel in ("pack_bits", "unpack_bits", "xnor_gemm"):
+            if kernel not in run["kernels"]:
+                raise ValueError(f"run.kernels is missing {kernel!r}")
+        for name in ("pack_bits", "unpack_bits"):
+            if not run["kernels"][name].get("seconds", 0) > 0:
+                raise ValueError(f"kernel {name!r} has no positive 'seconds'")
+        for name, entry in run["kernels"]["xnor_gemm"].items():
+            if not entry.get("seconds", 0) > 0:
+                raise ValueError(f"xnor_gemm {name!r} has no positive 'seconds'")
+    if "e2e" in run:
+        if not run["e2e"]:
+            raise ValueError("run.e2e is empty")
+        for arch, entry in run["e2e"].items():
+            for key in ("images", "seconds", "fps"):
+                if key not in entry:
+                    raise ValueError(f"e2e[{arch!r}] is missing {key!r}")
+            if not entry["fps"] > 0:
+                raise ValueError(f"e2e[{arch!r}].fps must be positive")
+            if "stages" in run and arch not in run["stages"]:
+                raise ValueError(f"run.stages is missing {arch!r}")
+    if "stages" in run:
+        for arch, stages in run["stages"].items():
+            for stage in stages:
+                if "name" not in stage or not stage.get("seconds", -1) >= 0:
+                    raise ValueError(f"malformed stage entry in {arch!r}")
+    if "plan" in run:
+        if not run["plan"]:
+            raise ValueError("run.plan is empty")
+        for arch, entry in run["plan"].items():
+            if not entry.get("supported", False):
+                if "reason" not in entry:
+                    raise ValueError(f"plan[{arch!r}] unsupported without reason")
+                continue
+            for section in ("planned", "unplanned"):
+                if not entry.get(section, {}).get("fps", 0) > 0:
+                    raise ValueError(
+                        f"plan[{arch!r}].{section} has no positive 'fps'"
+                    )
+            if "steady_state_alloc_blocks" not in entry:
+                raise ValueError(
+                    f"plan[{arch!r}] is missing 'steady_state_alloc_blocks'"
+                )
     # Generation/training sections are optional (older trajectory entries
     # predate them) but validated whenever present.
     if "generation" in run:
@@ -475,16 +599,18 @@ def compare_runs(prev: Dict, cur: Dict, tolerance: float = 0.25) -> List[Dict]:
             }
         )
 
+    prev_kernels = prev.get("kernels", {})
+    cur_kernels = cur.get("kernels", {})
     for name in ("pack_bits", "unpack_bits"):
-        if name in prev["kernels"] and name in cur["kernels"]:
+        if name in prev_kernels and name in cur_kernels:
             add(
                 f"kernel.{name}.seconds",
-                prev["kernels"][name]["seconds"],
-                cur["kernels"][name]["seconds"],
+                prev_kernels[name]["seconds"],
+                cur_kernels[name]["seconds"],
                 higher_is_better=False,
             )
-    prev_gemm = prev["kernels"].get("xnor_gemm", {})
-    cur_gemm = cur["kernels"].get("xnor_gemm", {})
+    prev_gemm = prev_kernels.get("xnor_gemm", {})
+    cur_gemm = cur_kernels.get("xnor_gemm", {})
     for name in sorted(set(prev_gemm) & set(cur_gemm)):
         add(
             f"kernel.xnor_gemm.{name}.seconds",
@@ -492,13 +618,23 @@ def compare_runs(prev: Dict, cur: Dict, tolerance: float = 0.25) -> List[Dict]:
             cur_gemm[name]["seconds"],
             higher_is_better=False,
         )
-    for arch in sorted(set(prev["e2e"]) & set(cur["e2e"])):
+    for arch in sorted(set(prev.get("e2e", {})) & set(cur.get("e2e", {}))):
         add(
             f"e2e.{arch}.fps",
             prev["e2e"][arch]["fps"],
             cur["e2e"][arch]["fps"],
             higher_is_better=True,
         )
+    prev_plan, cur_plan = prev.get("plan", {}), cur.get("plan", {})
+    for arch in sorted(set(prev_plan) & set(cur_plan)):
+        p, c = prev_plan[arch], cur_plan[arch]
+        if p.get("supported") and c.get("supported"):
+            add(
+                f"plan.{arch}.planned.fps",
+                p["planned"]["fps"],
+                c["planned"]["fps"],
+                higher_is_better=True,
+            )
     prev_gen, cur_gen = prev.get("generation"), cur.get("generation")
     if prev_gen and cur_gen:
         for section in ("serial", "parallel"):
@@ -535,28 +671,72 @@ def compare_runs(prev: Dict, cur: Dict, tolerance: float = 0.25) -> List[Dict]:
     return out
 
 
+def compare_to_best(
+    prior_runs: Sequence[Dict], cur: Dict, tolerance: float = 0.25
+) -> List[Dict]:
+    """Compare ``cur`` against the *best* prior value of each metric.
+
+    Only prior runs with the same ``label`` as ``cur`` are considered —
+    a full run must never be gated against a smoke run's tiny workloads
+    (or vice versa), which is exactly the bug the old last-run comparison
+    had after a smoke run landed in the trajectory. For every metric the
+    record kept is the one with the lowest speedup, i.e. the toughest
+    prior run wins, so a slow outlier run can never mask a regression.
+    """
+    label = cur.get("label")
+    peers = [r for r in prior_runs if r.get("label") == label and r is not cur]
+    best: Dict[str, Dict] = {}
+    order: List[str] = []
+    for prev in peers:
+        for rec in compare_runs(prev, cur, tolerance):
+            key = rec["metric"]
+            if key not in best:
+                order.append(key)
+                best[key] = rec
+            elif rec["speedup"] < best[key]["speedup"]:
+                best[key] = rec
+    return [best[key] for key in order]
+
+
 def render_run(run: Dict) -> str:
     """Human-readable summary of one run."""
     lines = [f"bench run ({run['label']}, numpy {run.get('numpy', '?')})"]
-    kernels = run["kernels"]
-    for name in ("pack_bits", "unpack_bits"):
-        entry = kernels[name]
-        lines.append(
-            f"  {name:<24s} {entry['seconds'] * 1e3:8.2f} ms "
-            f"({entry['gbits_per_s']:.2f} Gbit/s)"
-        )
-    for name, entry in kernels["xnor_gemm"].items():
-        lines.append(
-            f"  xnor_gemm {name:<14s} {entry['seconds'] * 1e3:8.2f} ms "
-            f"({entry['gops_per_s']:.2f} Gop/s)"
-        )
-    for arch, entry in run["e2e"].items():
-        slowest = max(run["stages"][arch], key=lambda s: s["seconds"])
-        lines.append(
+    kernels = run.get("kernels")
+    if kernels:
+        for name in ("pack_bits", "unpack_bits"):
+            entry = kernels[name]
+            lines.append(
+                f"  {name:<24s} {entry['seconds'] * 1e3:8.2f} ms "
+                f"({entry['gbits_per_s']:.2f} Gbit/s)"
+            )
+        for name, entry in kernels["xnor_gemm"].items():
+            lines.append(
+                f"  xnor_gemm {name:<14s} {entry['seconds'] * 1e3:8.2f} ms "
+                f"({entry['gops_per_s']:.2f} Gop/s)"
+            )
+    for arch, entry in run.get("e2e", {}).items():
+        line = (
             f"  e2e {arch:<8s} {entry['fps']:8.1f} FPS "
-            f"({entry['images']} images in {entry['seconds'] * 1e3:.1f} ms; "
-            f"slowest stage {slowest['name']} "
-            f"{slowest['seconds'] * 1e3:.1f} ms)"
+            f"({entry['images']} images in {entry['seconds'] * 1e3:.1f} ms"
+        )
+        if arch in run.get("stages", {}):
+            slowest = max(run["stages"][arch], key=lambda s: s["seconds"])
+            line += (
+                f"; slowest stage {slowest['name']} "
+                f"{slowest['seconds'] * 1e3:.1f} ms"
+            )
+        lines.append(line + ")")
+    for arch, entry in run.get("plan", {}).items():
+        if not entry.get("supported"):
+            lines.append(f"  plan {arch:<7s} unsupported: {entry.get('reason')}")
+            continue
+        lines.append(
+            f"  plan {arch:<7s} {entry['planned']['fps']:8.1f} FPS "
+            f"(x{entry['speedup']:.2f} vs interpreted "
+            f"{entry['unplanned']['fps']:.1f} FPS; "
+            f"{entry['steady_state_alloc_blocks']} allocs/call, "
+            f"arena {entry['arena_kib']:.0f} KiB, "
+            f"{entry['fused_stages']} fused stages)"
         )
     gen = run.get("generation")
     if gen:
@@ -605,10 +785,11 @@ def render_run(run: Dict) -> str:
 
 
 def render_comparison(records: Sequence[Dict]) -> str:
-    """Human-readable comparison table (from :func:`compare_runs`)."""
+    """Human-readable comparison table (from :func:`compare_runs` or
+    :func:`compare_to_best`)."""
     if not records:
         return "no previous run to compare against"
-    lines = ["comparison vs previous run (speedup > 1 is faster):"]
+    lines = ["comparison vs best prior same-label run (speedup > 1 is faster):"]
     for rec in records:
         flag = "  REGRESSED" if rec["regressed"] else ""
         lines.append(

@@ -233,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "recording a trajectory entry")
     p_bench.add_argument("--no-fail", action="store_true",
                          help="report regressions without a non-zero exit")
+    p_bench.add_argument("--sections", nargs="+", metavar="SECTION",
+                         help="run only these sections (e.g. kernels e2e "
+                              "plan); section-limited runs are printed but "
+                              "not recorded in the trajectory")
     p_bench.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -602,8 +606,9 @@ def _cmd_verify_model(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.benchmarking import (
+        BENCH_SECTIONS,
         append_run,
-        compare_runs,
+        compare_to_best,
         load_doc,
         render_comparison,
         render_run,
@@ -611,8 +616,21 @@ def _cmd_bench(args) -> int:
         save_doc,
     )
 
+    sections = None
+    if args.sections:
+        unknown = sorted(set(args.sections) - set(BENCH_SECTIONS))
+        if unknown:
+            print(
+                f"error: unknown bench section(s): {', '.join(unknown)} "
+                f"(known: {', '.join(BENCH_SECTIONS)})",
+                file=sys.stderr,
+            )
+            return 2
+        sections = tuple(args.sections)
+    partial = sections is not None and set(sections) != set(BENCH_SECTIONS)
+
     if args.smoke:
-        run = run_bench(smoke=True, seed=args.seed)
+        run = run_bench(smoke=True, seed=args.seed, sections=sections)
         print(render_run(run))
         if args.out.exists():
             try:
@@ -628,17 +646,26 @@ def _cmd_bench(args) -> int:
         images=args.images,
         repeats=args.repeats,
         seed=args.seed,
+        sections=sections,
     )
     print(render_run(run))
     doc = load_doc(args.out)
     regressed = False
     if doc is not None:
-        records = compare_runs(doc["runs"][-1], run, tolerance=args.tolerance)
+        # Gate against the best prior run of the same label: a smoke run
+        # (or one slow outlier) in the trajectory must not set the bar.
+        records = compare_to_best(doc["runs"], run, tolerance=args.tolerance)
         print(render_comparison(records))
         regressed = any(rec["regressed"] for rec in records)
-    doc = append_run(doc, run)
-    save_doc(doc, args.out)
-    print(f"recorded run {len(doc['runs'])} in {args.out}")
+    if partial:
+        print(
+            "section-limited run: not recorded in the trajectory "
+            f"(sections: {', '.join(run['sections'])})"
+        )
+    else:
+        doc = append_run(doc, run)
+        save_doc(doc, args.out)
+        print(f"recorded run {len(doc['runs'])} in {args.out}")
     if regressed and not args.no_fail:
         print("error: throughput regressed beyond tolerance", file=sys.stderr)
         return 1

@@ -14,7 +14,9 @@ chip. Two kinds of storage make that possible:
 
 This module sizes both from a compiled accelerator and reports the
 storage bill in bits/BRAMs — the part of the on-chip memory budget that
-Table II's weight-centric model leaves implicit.
+Table II's weight-centric model leaves implicit. Its software twin is
+:func:`render_arena_bill`, which itemises the persistent simulator-side
+arena an :class:`~repro.hw.plan.ExecutionPlan` binds per stage.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from typing import List, Optional
 
 from repro.hw.compiler import FinnAccelerator
 
-__all__ = ["BufferPlan", "StageBuffer", "plan_buffers"]
+__all__ = ["BufferPlan", "StageBuffer", "plan_buffers", "render_arena_bill"]
 
 #: One 18 Kb block RAM, the granularity buffers map to.
 BRAM_BLOCK_BITS = 18_432
@@ -83,6 +85,31 @@ class BufferPlan:
             f"{self.total_bram_blocks()} BRAM18 blocks"
         )
         return "\n".join(lines)
+
+
+def render_arena_bill(plan) -> str:
+    """Itemised persistent-arena footprint of one execution plan.
+
+    The hardware bill (:meth:`BufferPlan.report`) sizes on-chip line
+    buffers and FIFOs; this renders the simulator-side equivalent — the
+    :class:`~repro.nn.arena.BufferArena` bytes each planned stage binds
+    once at compile time (``ExecutionPlan.stage_arena_bytes``), i.e. the
+    fixed working set of the allocation-free inference path.
+    """
+    total = sum(plan.stage_arena_bytes.values())
+    lines = [
+        f"inference arena ({plan.accelerator.name}, "
+        f"batch {plan.batch_size}, {plan.lowering} lowering):"
+    ]
+    for stage, nbytes in plan.stage_arena_bytes.items():
+        share = nbytes / total if total else 0.0
+        lines.append(
+            f"  {stage:<12s} {nbytes / 1024:>10.1f} KiB  ({share:6.1%})"
+        )
+    lines.append(
+        f"  total: {total / 1024:,.1f} KiB persistent across calls"
+    )
+    return "\n".join(lines)
 
 
 def plan_buffers(accelerator: FinnAccelerator) -> BufferPlan:

@@ -228,6 +228,21 @@ class FinnAccelerator:
         self.stages = stages
         self.input_shape = tuple(input_shape)
         self.num_classes = int(num_classes)
+        self._plan_cache = None
+
+    @property
+    def plans(self):
+        """The accelerator's :class:`~repro.hw.plan.PlanCache` (lazy).
+
+        Compiled execution plans are keyed by batch geometry, folding and
+        thread, so repeated fixed-shape batches (``predict``, the serving
+        backends) run the precompiled allocation-free datapath.
+        """
+        if self._plan_cache is None:
+            from repro.hw.plan import PlanCache
+
+            self._plan_cache = PlanCache(self)
+        return self._plan_cache
 
     # -- functional ---------------------------------------------------------
     @staticmethod
@@ -256,6 +271,7 @@ class FinnAccelerator:
         num_workers: Optional[int] = None,
         use_packed: Optional[bool] = None,
         stage_seconds: Optional[list] = None,
+        use_plan: Optional[bool] = None,
     ):
         """Run the integer datapath; returns integer logits ``(N, classes)``.
 
@@ -279,6 +295,16 @@ class FinnAccelerator:
         every CNV stage; n-CNV/µ-CNV's narrow stages fall back
         transparently); ``False`` forces the boolean reference path.
         Both paths are bit-exact by construction.
+
+        ``use_plan`` routes the batch through a precompiled
+        :class:`~repro.hw.plan.ExecutionPlan` from :attr:`plans` —
+        cached gather tables, persistent arena buffers (zero steady-state
+        allocations) and fused threshold+pool stages; bit-exact against
+        the interpreted path, including ``return_bits`` traces. ``None``
+        (the default) keeps the interpreted datapath — ``predict`` and
+        the serving layer opt in. Forced off under ``use_packed=False``
+        (plans are packed-domain) and for thread-parallel chunks (pool
+        threads churn the thread-keyed cache).
         """
         images = np.asarray(images)
         if images.ndim == 3:
@@ -295,7 +321,17 @@ class FinnAccelerator:
                     images[start : start + chunk_size]
                     for start in range(0, images.shape[0], chunk_size)
                 ]
-                run = partial(self.execute, use_packed=use_packed)
+                if num_workers is not None and num_workers > 1:
+                    # Pool threads are short-lived, so plans keyed to
+                    # them would be compiled once and never reused —
+                    # thread-parallel chunks keep the interpreted path.
+                    run = partial(
+                        self.execute, use_packed=use_packed, use_plan=False
+                    )
+                else:
+                    run = partial(
+                        self.execute, use_packed=use_packed, use_plan=use_plan
+                    )
                 if num_workers is not None and num_workers > 1:
                     import contextvars
                     from concurrent.futures import ThreadPoolExecutor
@@ -347,6 +383,42 @@ class FinnAccelerator:
                 span_parent = own_span
             trace_stages = span_parent.recording
         packed_enabled = use_packed is None or use_packed
+        if use_plan and packed_enabled:
+            from repro.hw.plan import plan_unsupported_reason
+
+            if plan_unsupported_reason(self) is None:
+                plan, cache_hit = self.plans.get(n)
+                plan_parent = span_parent if trace_stages else None
+                if trace_stages:
+                    stats = self.plans.stats()
+                    plan_parent = tracer.start_span(
+                        "hw.plan",
+                        kind="hw_plan",
+                        parent=span_parent,
+                        attributes={
+                            "accelerator": self.name,
+                            "images": n,
+                            "cache_hit": cache_hit,
+                            "plan_hits": stats["hits"],
+                            "plan_misses": stats["misses"],
+                            "arena_kib": round(plan.arena_nbytes / 1024, 3),
+                            "fused_stages": plan.fused_stages,
+                        },
+                    )
+                try:
+                    result = plan.execute(
+                        images,
+                        return_bits=return_bits,
+                        tracer=tracer if trace_stages else None,
+                        parent=plan_parent,
+                        stage_seconds=stage_seconds,
+                    )
+                finally:
+                    if trace_stages:
+                        plan_parent.finish()
+                    if own_span is not None:
+                        own_span.finish()
+                return result
         current: Optional[np.ndarray] = self.quantize_input(images)
         packed: Optional[PackedBits] = None
         bits_trace = []
@@ -465,12 +537,16 @@ class FinnAccelerator:
         images: np.ndarray,
         chunk_size: Optional[int] = None,
         num_workers: Optional[int] = None,
+        use_plan: bool = True,
     ) -> np.ndarray:
         """Argmax classification over the integer logits.
 
         ``chunk_size`` bounds per-pass memory; ``num_workers`` runs the
         chunks thread-parallel (when given without ``chunk_size``, the
-        batch is split evenly across the workers).
+        batch is split evenly across the workers). ``use_plan`` (default
+        on) runs serial fixed-shape batches through the precompiled
+        allocation-free execution plan; results are bit-identical either
+        way.
         """
         images = np.asarray(images)
         if (
@@ -482,7 +558,10 @@ class FinnAccelerator:
         ):
             chunk_size = -(-images.shape[0] // num_workers)
         return self.execute(
-            images, chunk_size=chunk_size, num_workers=num_workers
+            images,
+            chunk_size=chunk_size,
+            num_workers=num_workers,
+            use_plan=use_plan,
         ).argmax(axis=1)
 
     # -- reporting -----------------------------------------------------------

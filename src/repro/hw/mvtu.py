@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.hw.bitpack import PackedBits, pack_bits
+from repro.hw.bitpack import PackedBits, pack_bits, unpack_bits
 from repro.hw.thresholding import (
     ThresholdSpec,
     apply_thresholds,
@@ -124,21 +124,59 @@ class MVTU:
             raise ValueError(f"{config.name}: weights must be bipolar -1/+1")
         self.config = config
         self.thresholds = thresholds
+        self._weight_f32 = None  # lazy BLAS operand (see blas_weights)
         if config.input_bits == 1:
             self._packed_weights = pack_bits(weights.astype(np.int8))
             self._int_weights = None
+            # Word-transposed weight operand, precomputed once: the GEMM
+            # kernel would otherwise rebuild this contiguous transpose on
+            # every call (a per-call allocation + copy on the hot path).
+            self._weight_cols = np.ascontiguousarray(
+                self._packed_weights.words.T
+            )
+            self._weight_t64 = None
         else:
             self._packed_weights = None
             self._int_weights = weights.astype(np.int32)
+            self._weight_cols = None
+            self._weight_t64 = np.ascontiguousarray(
+                self._int_weights.astype(np.int64).T
+            )
+
+    def blas_weights(self) -> np.ndarray:
+        """Cached ``float32 (cols, rows)`` operand for the BLAS-lowered GEMM.
+
+        Execution plans may lower the MVTU's matrix product to a single
+        ``sgemm`` when every intermediate fits exactly in float32 (all
+        operands and partial sums are integers far below 2**24, so the
+        float product is bit-exact — see
+        :func:`repro.hw.plan.blas_exact_bound`). Binary weights come out
+        bipolar ±1, matching the ``2p - F`` accumulator domain directly.
+        """
+        if self._weight_f32 is None:
+            if self._int_weights is not None:
+                src = self._int_weights.astype(np.float32)
+            else:
+                src = unpack_bits(self._packed_weights, dtype=np.float32)
+            self._weight_f32 = np.ascontiguousarray(src.T)
+        return self._weight_f32
 
     # -- functional ------------------------------------------------------------
-    def compute_accumulators(self, vectors) -> np.ndarray:
+    def compute_accumulators(
+        self, vectors, out: np.ndarray = None, scratch=None
+    ) -> np.ndarray:
         """Raw integer accumulators for a batch of input vectors.
 
         For binary inputs, pass a :class:`PackedBits` of shape
         ``(n, cols)``; the result is the *popcount* accumulator. For 8-bit
         inputs pass an integer array ``(n, cols)``; the result is the raw
         signed MAC.
+
+        ``out`` (``int64 (n, rows)``) and ``scratch`` (the GEMM slab pair,
+        see :func:`~repro.hw.xnor_kernels.xnor_matmul_popcount`) make the
+        binary path allocation-free; the 8-bit path honours ``out`` when
+        the input is already ``int64``. Both weight operands are cached
+        contiguous at construction, so no per-call transpose copies.
         """
         cfg = self.config
         if cfg.input_bits == 1:
@@ -150,7 +188,13 @@ class MVTU:
                 raise ValueError(
                     f"{cfg.name}: input fan-in {vectors.nbits} != {cfg.cols}"
                 )
-            return xnor_matmul_popcount(vectors, self._packed_weights)
+            return xnor_matmul_popcount(
+                vectors,
+                self._packed_weights,
+                out=out,
+                b_cols=self._weight_cols,
+                scratch=scratch,
+            )
         vec = np.asarray(vectors)
         if vec.ndim != 2 or vec.shape[1] != cfg.cols:
             raise ValueError(
@@ -161,7 +205,10 @@ class MVTU:
             raise TypeError(
                 f"{cfg.name}: 8-bit MVTU expects integer input, got {vec.dtype}"
             )
-        return vec.astype(np.int64) @ self._int_weights.astype(np.int64).T
+        if out is not None:
+            np.matmul(vec.astype(np.int64, copy=False), self._weight_t64, out=out)
+            return out
+        return vec.astype(np.int64, copy=False) @ self._weight_t64
 
     def execute(self, vectors, pack_output: bool = False):
         """Full unit: accumulate then threshold.

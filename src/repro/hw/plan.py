@@ -1,0 +1,907 @@
+"""Precompiled allocation-free inference execution plans.
+
+The FINN execution model compiles a network once into a fixed pipeline
+with statically-sized inter-stage buffers; the software datapath in
+:meth:`repro.hw.compiler.FinnAccelerator.execute` re-derives that
+structure every call — im2col geometry, intermediate allocation, pack
+scratch. An :class:`ExecutionPlan` is the software analogue of the
+synthesised bitstream: compiled once per (model, folding config, batch
+geometry), it
+
+* precomputes and caches the SWU gather-index tables and every stage's
+  output shapes,
+* binds every intermediate to a persistent
+  :class:`~repro.nn.arena.BufferArena` view, so steady-state execution
+  performs **zero heap allocations** (``out=``-form kernels end to end;
+  verified by :func:`measure_steady_state` and the ``perf``-marked CI
+  gate), and
+* **fuses** each MVTU→threshold→maxpool chain into one super-stage:
+  OR-pooling thresholded bits commutes with thresholding pooled
+  accumulators (``OR(acc_i >= t) == max(acc_i) >= t`` for normal
+  channels, ``OR(acc_i <= t) == min(acc_i) <= t`` for flipped ones), so
+  the plan thresholds at pool resolution — one quarter of the
+  thresholding work for 2x2 pools — and the boolean pooling stage
+  disappears entirely.
+
+GEMM lowering
+-------------
+
+A plan lowers each stage's matrix product one of two ways:
+
+``"blas"`` (chosen by ``"auto"`` whenever exact)
+    One float32 ``sgemm`` per stage. Every operand is an integer
+    (pixels ≤ 255, weights/activations bipolar ±1) and every partial
+    sum is bounded by :func:`blas_exact_bound` — far below ``2**24``,
+    the largest range where float32 holds consecutive integers — so
+    the float product is **bit-exact**, not approximate. Binary stages
+    run directly in the bipolar accumulator domain (``d = 2p - F``)
+    with thresholds rebased once at compile time (``p >= t  ⇔  d >=
+    2t - F``), and the final logits stage's product *is* the logits.
+
+``"packed"``
+    The bit-level XNOR+popcount datapath: word-domain gathers,
+    :class:`~repro.hw.bitpack.PackedRowWriter` re-packs, and the
+    blocked popcount GEMM — the faithful model of the hardware's
+    bit-serial arithmetic, kept fully supported (and exercised by the
+    equivalence tests) as the reference lowering.
+
+Both lowerings produce identical logits and identical ``return_bits``
+traces; the equivalence is pinned across the zoo by
+``tests/test_hw_plan.py``.
+
+Plans are **not** thread-safe (they own their buffers); the
+:class:`PlanCache` keys plans by thread identity so concurrent serving
+workers each get a private arena. A plan binds the arena's ``epoch`` at
+compile time and refuses to run if the arena was cleared underneath it
+(the runtime form of the AL003 use-after-reset rule); a stale cached
+plan is recompiled on the next lookup, never reused.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+import time
+import tracemalloc
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hw.bitpack import WORD_BITS, PackedBits, PackedRowWriter, unpack_bits
+from repro.hw.xnor_kernels import gemm_block_rows
+from repro.nn.arena import BufferArena
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanCache",
+    "plan_key",
+    "plan_unsupported_reason",
+    "blas_exact_bound",
+    "AllocationReport",
+    "measure_steady_state",
+]
+
+#: Largest magnitude at which float32 still represents every integer.
+_F32_EXACT = 2 ** 24
+
+_F32_ONE = np.float32(1.0)
+_F32_TWO = np.float32(2.0)
+
+
+def plan_key(accelerator, batch_size: int) -> Tuple:
+    """The cache identity of a plan: folding vectors + batch geometry.
+
+    Two accelerators with the same architecture but different PE/SIMD
+    folding produce different keys (folding is part of the compiled
+    identity); so does any change in input shape, class count, or batch
+    size.
+    """
+    folding = accelerator.folding()
+    return (
+        tuple(accelerator.input_shape),
+        int(accelerator.num_classes),
+        int(batch_size),
+        tuple(folding.pe),
+        tuple(folding.simd),
+    )
+
+
+def plan_unsupported_reason(accelerator) -> Optional[str]:
+    """Why ``accelerator`` cannot be planned, or ``None`` if it can."""
+    stages = accelerator.stages
+    if stages[0].kind != "conv" or stages[0].mvtu.config.input_bits != 8:
+        return "plan requires a leading 8-bit conv stage"
+    for stage in stages[:-1]:
+        if stage.mvtu.thresholds is None:
+            return f"non-final stage {stage.name!r} has no thresholds"
+    if stages[-1].kind != "fc" or stages[-1].mvtu.thresholds is not None:
+        return "plan requires a final un-thresholded fc stage"
+    return None
+
+
+def blas_exact_bound(stage) -> int:
+    """Largest integer magnitude ``stage``'s GEMM can produce.
+
+    8-bit input stages accumulate at most ``255 * fan_in``; binary
+    stages run in the bipolar domain, where ``|2p - F| <= F``. The BLAS
+    lowering is exact iff this (and the rebased thresholds) stay below
+    ``2**24``.
+    """
+    cfg = stage.mvtu.config
+    if cfg.input_bits == 8:
+        from repro.hw.compiler import INPUT_SCALE
+
+        return INPUT_SCALE * cfg.cols
+    return cfg.cols
+
+
+def _blas_thresholds(stage) -> Optional[np.ndarray]:
+    """``stage``'s thresholds rebased into its BLAS accumulator domain
+    (int64 — cast to float32 by the binder after the exactness check)."""
+    spec = stage.mvtu.thresholds
+    if spec is None:
+        return None
+    if stage.mvtu.config.input_bits == 8:
+        return spec.thresholds
+    # popcount domain: p >= t  <=>  2p - F >= 2t - F
+    return 2 * spec.thresholds - stage.mvtu.config.cols
+
+
+def _resolve_lowering(accelerator, lowering: str) -> str:
+    if lowering not in ("auto", "blas", "packed"):
+        raise ValueError(
+            f"lowering must be 'auto', 'blas' or 'packed', got {lowering!r}"
+        )
+    if lowering != "auto":
+        return lowering
+    for stage in accelerator.stages:
+        if blas_exact_bound(stage) >= _F32_EXACT:
+            return "packed"
+        tb = _blas_thresholds(stage)
+        if tb is not None and int(np.abs(tb).max()) >= _F32_EXACT:
+            return "packed"
+    return "blas"
+
+
+class _PlannedStage:
+    """One stage's bound buffers and its allocation-free ``run()``.
+
+    All views, index tables, writers, and constants are bound at plan
+    compile time; ``run`` touches only prebuilt objects and ``out=``
+    kernels.
+    """
+
+    __slots__ = (
+        "name", "kind", "mvtu", "cycles", "fused", "arena_bytes",
+        "gather_src", "gather_idx", "gather_out",
+        "row_writer", "rows_i64", "rows_f32", "w_f32", "a_packed",
+        "gemm_scratch", "conv_views", "gemm_tmp",
+        "acc", "acc6", "pmax", "pmin",
+        "thr", "flip", "notflip", "any_flip",
+        "ge", "le", "act", "out_writer", "out_map", "logits_fanin",
+        "trace_ref",
+    )
+
+    def __init__(self, name: str, kind: str, mvtu) -> None:
+        self.name = name
+        self.kind = kind
+        self.mvtu = mvtu
+        self.cycles = 0
+        self.fused = False
+        self.arena_bytes = 0
+        self.gather_src = None
+        self.gather_idx = None
+        self.gather_out = None
+        self.row_writer = None
+        self.rows_i64 = None
+        self.rows_f32 = None
+        self.w_f32 = None
+        self.a_packed = None
+        self.gemm_scratch = None
+        self.conv_views = None
+        self.gemm_tmp = None
+        self.acc = None
+        self.acc6 = None
+        self.pmax = None
+        self.pmin = None
+        self.thr = None
+        self.flip = None
+        self.notflip = None
+        self.any_flip = False
+        self.ge = None
+        self.le = None
+        self.act = None
+        self.out_writer = None
+        self.out_map = None
+        self.logits_fanin = 0
+        self.trace_ref = None
+
+    def run(self) -> None:
+        if self.gather_src is not None:
+            self.gather_src.take(self.gather_idx, axis=1, out=self.gather_out)
+        if self.row_writer is not None:
+            self.row_writer.pack()
+        if self.conv_views is not None:
+            # Shifted-matmul convolution: stride-1 windows over a
+            # channel-fastest map mean each kernel cell contributes one
+            # stacked (out_w, C) @ (C, R) product of a *view* — no
+            # im2col gather ever materialises.
+            view0, w0 = self.conv_views[0]
+            np.matmul(view0, w0, out=self.acc)
+            for view, wk in self.conv_views[1:]:
+                np.matmul(view, wk, out=self.gemm_tmp)
+                np.add(self.acc, self.gemm_tmp, out=self.acc)
+        elif self.w_f32 is not None:
+            np.matmul(self.rows_f32, self.w_f32, out=self.acc)
+        elif self.rows_i64 is not None:
+            self.mvtu.compute_accumulators(self.rows_i64, out=self.acc)
+        else:
+            self.mvtu.compute_accumulators(
+                self.a_packed, out=self.acc, scratch=self.gemm_scratch
+            )
+        if self.thr is None:
+            # Final logits stage.
+            if self.w_f32 is not None:
+                # The bipolar sgemm already computed 2p - F.
+                np.copyto(self.out_map, self.acc, casting="unsafe")
+            else:
+                np.multiply(self.acc, 2, out=self.out_map)
+                np.subtract(self.out_map, self.logits_fanin, out=self.out_map)
+            return
+        # Fused threshold(+pool): pooling accumulators commutes with
+        # thresholding (max for >=-channels, min for flipped
+        # <=-channels), so the boolean OR-pool stage vanishes.
+        if self.acc6 is not None:
+            np.maximum.reduce(self.acc6, axis=(2, 4), out=self.pmax)
+        np.greater_equal(self.pmax, self.thr, out=self.ge)
+        if self.any_flip:
+            if self.acc6 is not None:
+                np.minimum.reduce(self.acc6, axis=(2, 4), out=self.pmin)
+            np.less_equal(self.pmin, self.thr, out=self.le)
+            np.logical_and(self.ge, self.notflip, out=self.ge)
+            np.logical_and(self.le, self.flip, out=self.le)
+            np.logical_or(self.ge, self.le, out=self.ge)
+        if self.act is not None:
+            # Bipolar ±1 activation map for the next BLAS stage.
+            np.multiply(self.ge, _F32_TWO, out=self.act)
+            np.subtract(self.act, _F32_ONE, out=self.act)
+        if self.out_writer is not None:
+            self.out_writer.pack()
+
+    def trace_bits(self) -> np.ndarray:
+        """This stage's boolean activation map (or final logits), as a
+        fresh array safe to keep across executions (debug mode only —
+        this path allocates)."""
+        kind, ref = self.trace_ref
+        if kind == "packed":
+            return unpack_bits(ref, dtype=bool)
+        return ref.copy()
+
+
+class ExecutionPlan:
+    """A compiled, arena-bound, fixed-batch inference program.
+
+    Compile once via ``ExecutionPlan(accelerator, batch_size)`` (or let
+    :class:`PlanCache` do it); run many times via :meth:`execute`. The
+    plan owns (or is bound to) a :class:`~repro.nn.arena.BufferArena`
+    holding every intermediate; with ``out=`` supplied, steady-state
+    :meth:`execute` performs zero heap allocations. ``lowering`` picks
+    the GEMM realisation (see the module docstring); the default
+    ``"auto"`` uses the exact-float32 BLAS lowering whenever its
+    integer-exactness bound holds and the packed XNOR datapath
+    otherwise.
+    """
+
+    def __init__(
+        self,
+        accelerator,
+        batch_size: int,
+        arena: Optional[BufferArena] = None,
+        lowering: str = "auto",
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        reason = plan_unsupported_reason(accelerator)
+        if reason is not None:
+            raise ValueError(f"{accelerator.name}: {reason}")
+        self.accelerator = accelerator
+        self.batch_size = int(batch_size)
+        self.lowering = _resolve_lowering(accelerator, lowering)
+        self.key = plan_key(accelerator, batch_size)
+        self._arena = arena if arena is not None else BufferArena()
+        self._bind()
+
+    # -- arena lifecycle ------------------------------------------------------
+    @property
+    def arena(self) -> BufferArena:
+        return self._arena
+
+    @property
+    def arena_nbytes(self) -> int:
+        """Bytes of persistent arena storage this plan binds."""
+        return sum(self.stage_arena_bytes.values())
+
+    @property
+    def stale(self) -> bool:
+        """True when the bound arena was cleared after compilation —
+        the plan's views then point at orphaned storage and
+        :meth:`execute` refuses to run."""
+        return self._arena.epoch != self._bound_epoch
+
+    def set_arena(self, arena: BufferArena) -> None:
+        """Rebind every buffer into ``arena`` (e.g. a fresh one after the
+        previous arena was cleared)."""
+        if arena is None:
+            raise ValueError(
+                "an execution plan cannot run arena-less; pass a fresh "
+                "BufferArena() instead of None"
+            )
+        self._arena = arena
+        self._bind()
+
+    def _get(self, stage: str, role: str, shape, dtype) -> np.ndarray:
+        buf = self._arena.get(self, f"{stage}.{role}", shape, dtype)
+        self.stage_arena_bytes[stage] = (
+            self.stage_arena_bytes.get(stage, 0) + buf.nbytes
+        )
+        return buf
+
+    # -- compilation ----------------------------------------------------------
+    def _bind(self) -> None:
+        """(Re)bind every step's buffers and index tables to the arena."""
+        from repro.hw.compiler import INPUT_SCALE
+
+        self._bound_epoch = self._arena.epoch
+        self.stage_arena_bytes: Dict[str, int] = {}
+        n = self.batch_size
+        h, w, c = self.accelerator.input_shape
+        self._scale = np.float64(INPUT_SCALE)
+        self._input_scale = int(INPUT_SCALE)
+        self._q_f64 = self._get("input", "quant_f64", (n, h, w, c), np.float64)
+        if self.lowering == "blas":
+            # Pixels ≤ 255 are exact in float32 — gather and multiply
+            # directly in the BLAS operand dtype.
+            self._q_num = self._get("input", "quant_f32", (n, h, w, c), np.float32)
+        else:
+            self._q_num = self._get("input", "quant_i64", (n, h, w, c), np.int64)
+        self._q_flat = self._q_num.reshape(n, h * w * c)
+
+        # Inter-stage value, one of:
+        #   ("f32", ±1 activation map)      — BLAS lowering
+        #   ("packed", words, nbits)        — packed lowering, aligned
+        #   ("bool", bit map)               — packed lowering, narrow
+        domain = ("int", None)
+        steps: List[_PlannedStage] = []
+        fused = 0
+        for stage in self.accelerator.stages:
+            st = _PlannedStage(stage.name, stage.kind, stage.mvtu)
+            st.cycles = stage.initiation_interval()
+            if stage.kind == "conv":
+                if self.lowering == "blas":
+                    domain = self._bind_conv_blas(st, stage, domain, n)
+                else:
+                    domain = self._bind_conv_packed(st, stage, domain, n)
+                if stage.pool is not None:
+                    st.fused = True
+                    fused += 1
+            else:
+                if self.lowering == "blas":
+                    domain = self._bind_fc_blas(st, stage, domain, n)
+                else:
+                    domain = self._bind_fc_packed(st, stage, domain, n)
+            st.arena_bytes = self.stage_arena_bytes.get(stage.name, 0)
+            steps.append(st)
+        self._stages = steps
+        self.fused_stages = fused
+        self._logits = steps[-1].out_map
+
+    # -- BLAS lowering --------------------------------------------------------
+    def _bind_thresholds_blas(self, st: _PlannedStage, stage) -> None:
+        spec = stage.mvtu.thresholds
+        tb = _blas_thresholds(stage)
+        if int(np.abs(tb).max()) >= _F32_EXACT or (
+            blas_exact_bound(stage) >= _F32_EXACT
+        ):
+            raise ValueError(
+                f"{stage.name}: BLAS lowering is not exact for this "
+                "geometry; use lowering='packed'"
+            )
+        st.thr = tb.astype(np.float32)
+        st.flip = spec.flipped
+        st.notflip = ~spec.flipped
+        st.any_flip = bool(spec.flipped.any())
+
+    def _bind_conv_blas(self, st: _PlannedStage, stage, domain, n: int):
+        cfg = stage.mvtu.config
+        swu = stage.swu
+        oh, ow = swu.config.out_hw
+        m = n * oh * ow
+        rows, cols = cfg.rows, cfg.cols
+        name = stage.name
+        weights = stage.mvtu.blas_weights()  # (cols, rows), cells × channels
+        if cfg.input_bits == 8:
+            # im2col via the cached SWU gather table + one big sgemm:
+            # the 8-bit fan-in is tiny (K*K*3), so the gathered rows are
+            # small and one wide BLAS call beats many skinny ones.
+            st.gather_src = self._q_flat
+            st.gather_idx = swu.gather_indices()
+            gat = self._get(name, "gather", (n, oh * ow * cols), np.float32)
+            st.gather_out = gat
+            st.rows_f32 = gat.reshape(m, cols)
+            st.w_f32 = weights
+            st.acc = self._get(name, "acc", (m, rows), np.float32)
+            acc4 = st.acc.reshape(n, oh, ow, rows)
+        else:
+            # Shifted-matmul: one stacked sgemm per kernel cell over a
+            # shifted *view* of the previous ±1 activation map — no
+            # im2col gather. Weight layout is (kh, kw, C) channels
+            # fastest, so cell i's operand is rows [i*C, (i+1)*C).
+            act_in = domain[1]
+            ch = swu.config.channels
+            kh, kw = swu.config.kernel
+            st.acc = self._get(name, "acc", (n, oh, ow, rows), np.float32)
+            acc4 = st.acc
+            st.gemm_tmp = self._get(name, "gemm_tmp", (n, oh, ow, rows), np.float32)
+            views = []
+            for i in range(kh):
+                for j in range(kw):
+                    cell = i * kw + j
+                    views.append((
+                        act_in[:, i : i + oh, j : j + ow, :],
+                        weights[cell * ch : (cell + 1) * ch],
+                    ))
+            st.conv_views = views
+        self._bind_thresholds_blas(st, stage)
+        if stage.pool is not None:
+            ph, pw = stage.pool.config.pool
+            out_h, out_w = stage.pool.config.out_hw
+            st.acc6 = acc4.reshape(n, out_h, ph, out_w, pw, rows)
+            st.pmax = self._get(
+                name, "pool_max", (n, out_h, out_w, rows), np.float32
+            )
+            if st.any_flip:
+                st.pmin = self._get(
+                    name, "pool_min", (n, out_h, out_w, rows), np.float32
+                )
+        else:
+            out_h, out_w = oh, ow
+            st.pmax = acc4
+            st.pmin = acc4
+        st.ge = self._get(name, "bits", (n, out_h, out_w, rows), bool)
+        if st.any_flip:
+            st.le = self._get(name, "bits_flip", (n, out_h, out_w, rows), bool)
+        st.act = self._get(name, "act", (n, out_h, out_w, rows), np.float32)
+        st.trace_ref = ("bool", st.ge)
+        return ("f32", st.act)
+
+    def _bind_fc_blas(self, st: _PlannedStage, stage, domain, n: int):
+        cfg = stage.mvtu.config
+        rows, cols = cfg.rows, cfg.cols
+        name = stage.name
+        act_in = domain[1]
+        d = int(np.prod(act_in.shape[1:]))
+        if d != cols:
+            raise RuntimeError(f"{name}: fan-in mismatch ({d} != {cols})")
+        st.rows_f32 = act_in.reshape(n, cols)
+        st.w_f32 = stage.mvtu.blas_weights()
+        spec = stage.mvtu.thresholds
+        if spec is None:
+            st.acc = self._get(name, "acc", (n, rows), np.float32)
+            st.out_map = self._get(name, "logits", (n, rows), np.int64)
+            st.trace_ref = ("logits", st.out_map)
+            return ("logits", st.out_map)
+        st.acc = self._get(name, "acc", (n, rows), np.float32)
+        self._bind_thresholds_blas(st, stage)
+        st.pmax = st.acc
+        st.pmin = st.acc
+        st.ge = self._get(name, "bits", (n, rows), bool)
+        if st.any_flip:
+            st.le = self._get(name, "bits_flip", (n, rows), bool)
+        st.act = self._get(name, "act", (n, rows), np.float32)
+        st.trace_ref = ("bool", st.ge)
+        return ("f32", st.act)
+
+    # -- packed lowering ------------------------------------------------------
+    def _bind_conv_packed(self, st: _PlannedStage, stage, domain, n: int):
+        cfg = stage.mvtu.config
+        swu = stage.swu
+        oh, ow = swu.config.out_hw
+        m = n * oh * ow
+        rows, cols = cfg.rows, cfg.cols
+        name = stage.name
+        # 1. gather (im2col as a cached index take)
+        if cfg.input_bits == 8:
+            st.gather_src = self._q_flat
+            st.gather_idx = swu.gather_indices()
+            gat = self._get(name, "gather", (n, oh * ow * cols), np.int64)
+            st.gather_out = gat
+            st.rows_i64 = gat.reshape(m, cols)
+        elif domain[0] == "packed":
+            words, nbits = domain[1], domain[2]
+            if nbits != swu.config.channels:
+                raise RuntimeError(f"{name}: packed fan-in mismatch")
+            ww = cols // WORD_BITS
+            st.gather_src = words.reshape(n, -1)
+            st.gather_idx = swu.gather_word_indices()
+            gat = self._get(name, "gather", (n, oh * ow * ww), np.uint64)
+            st.gather_out = gat
+            st.a_packed = PackedBits(words=gat.reshape(m, ww), nbits=cols)
+        else:
+            bits = domain[1]
+            st.gather_src = bits.view(np.uint8).reshape(n, -1)
+            st.gather_idx = swu.gather_indices()
+            gat = self._get(name, "gather", (n, oh * ow * cols), np.uint8)
+            st.gather_out = gat
+            ww = (cols + WORD_BITS - 1) // WORD_BITS
+            row_words = self._get(name, "rows_words", (m, ww), np.uint64)
+            st.row_writer = PackedRowWriter(
+                gat.reshape(m, cols),
+                row_words,
+                scratch=self._get(
+                    name, "pack_scratch", (m, max(cols // 8, 1)), np.uint8
+                ),
+            )
+            st.a_packed = PackedBits(words=row_words, nbits=cols)
+        # 2. accumulate
+        st.acc = self._get(name, "acc", (m, rows), np.int64)
+        if st.a_packed is not None:
+            ww_in = st.a_packed.n_words
+            bs = min(gemm_block_rows(m, rows, ww_in), m)
+            st.gemm_scratch = (
+                self._get(name, "gemm_xor", (bs, rows), np.uint64),
+                self._get(name, "gemm_cnt", (bs, rows), np.uint8),
+            )
+        # 3. fused threshold(+pool) + pack
+        spec = stage.mvtu.thresholds
+        st.thr = spec.thresholds
+        st.flip = spec.flipped
+        st.notflip = ~spec.flipped
+        st.any_flip = bool(spec.flipped.any())
+        acc4 = st.acc.reshape(n, oh, ow, rows)
+        if stage.pool is not None:
+            ph, pw = stage.pool.config.pool
+            out_h, out_w = stage.pool.config.out_hw
+            st.acc6 = acc4.reshape(n, out_h, ph, out_w, pw, rows)
+            st.pmax = self._get(name, "pool_max", (n, out_h, out_w, rows), np.int64)
+            if st.any_flip:
+                st.pmin = self._get(
+                    name, "pool_min", (n, out_h, out_w, rows), np.int64
+                )
+        else:
+            out_h, out_w = oh, ow
+            st.pmax = acc4
+            st.pmin = acc4
+        st.ge = self._get(name, "bits", (n, out_h, out_w, rows), bool)
+        if st.any_flip:
+            st.le = self._get(name, "bits_flip", (n, out_h, out_w, rows), bool)
+        m2 = n * out_h * out_w
+        if rows % WORD_BITS == 0:
+            rw = rows // WORD_BITS
+            out_words = self._get(name, "out_words", (n, out_h, out_w, rw), np.uint64)
+            st.out_writer = PackedRowWriter(
+                st.ge.reshape(m2, rows),
+                out_words.reshape(m2, rw),
+                scratch=self._get(
+                    name, "out_pack_scratch", (m2, rows // 8), np.uint8
+                ),
+            )
+            st.trace_ref = ("packed", PackedBits(words=out_words, nbits=rows))
+            return ("packed", out_words, rows)
+        st.trace_ref = ("bool", st.ge)
+        return ("bool", st.ge)
+
+    def _bind_fc_packed(self, st: _PlannedStage, stage, domain, n: int):
+        cfg = stage.mvtu.config
+        rows, cols = cfg.rows, cfg.cols
+        name = stage.name
+        # 1. input vector: flatten (packed channel-fastest maps ravel to
+        # packed raveled bits) or pack a boolean map.
+        if domain[0] == "packed":
+            words, nbits = domain[1], domain[2]
+            logical = (
+                int(np.prod(words.shape[1:-1])) * nbits
+                if words.ndim > 2
+                else nbits
+            )
+            if logical != cols:
+                raise RuntimeError(f"{name}: packed fan-in mismatch")
+            st.a_packed = PackedBits(words=words.reshape(n, -1), nbits=cols)
+        else:
+            bits = domain[1]
+            d = int(np.prod(bits.shape[1:]))
+            if d != cols:
+                raise RuntimeError(f"{name}: boolean fan-in mismatch")
+            ww = (cols + WORD_BITS - 1) // WORD_BITS
+            vec_words = self._get(name, "vec_words", (n, ww), np.uint64)
+            st.row_writer = PackedRowWriter(
+                bits.view(np.uint8).reshape(n, cols),
+                vec_words,
+                scratch=self._get(
+                    name, "pack_scratch", (n, max(cols // 8, 1)), np.uint8
+                ),
+            )
+            st.a_packed = PackedBits(words=vec_words, nbits=cols)
+        # 2. accumulate
+        st.acc = self._get(name, "acc", (n, rows), np.int64)
+        bs = min(gemm_block_rows(n, rows, st.a_packed.n_words), n)
+        st.gemm_scratch = (
+            self._get(name, "gemm_xor", (bs, rows), np.uint64),
+            self._get(name, "gemm_cnt", (bs, rows), np.uint8),
+        )
+        # 3. threshold / logits
+        spec = stage.mvtu.thresholds
+        if spec is None:
+            st.out_map = self._get(name, "logits", (n, rows), np.int64)
+            st.logits_fanin = cols
+            st.trace_ref = ("logits", st.out_map)
+            return ("logits", st.out_map)
+        st.thr = spec.thresholds
+        st.flip = spec.flipped
+        st.notflip = ~spec.flipped
+        st.any_flip = bool(spec.flipped.any())
+        st.pmax = st.acc
+        st.pmin = st.acc
+        st.ge = self._get(name, "bits", (n, rows), bool)
+        if st.any_flip:
+            st.le = self._get(name, "bits_flip", (n, rows), bool)
+        if rows % WORD_BITS == 0:
+            rw = rows // WORD_BITS
+            out_words = self._get(name, "out_words", (n, rw), np.uint64)
+            st.out_writer = PackedRowWriter(
+                st.ge,
+                out_words,
+                scratch=self._get(name, "out_pack_scratch", (n, rows // 8), np.uint8),
+            )
+            st.trace_ref = ("packed", PackedBits(words=out_words, nbits=rows))
+            return ("packed", out_words, rows)
+        st.trace_ref = ("bool", st.ge)
+        return ("bool", st.ge)
+
+    # -- execution ------------------------------------------------------------
+    def _quantize(self, images: np.ndarray) -> None:
+        """Allocation-free equivalent of ``FinnAccelerator.quantize_input``."""
+        if np.issubdtype(images.dtype, np.integer):
+            if images.min() < 0 or images.max() > self._input_scale:
+                raise ValueError(
+                    f"integer input must be in [0, {self._input_scale}]"
+                )
+            np.copyto(self._q_num, images)
+            return
+        if images.min() < -1e-6 or images.max() > 1.0 + 1e-6:
+            raise ValueError("float input must be in [0, 1]")
+        # Multiply by a float64 *scalar* so the product is computed in
+        # float64 regardless of the input dtype — identical to the
+        # interpreted path's astype(float64) * 255. The rounded result
+        # (an integer ≤ 255) is exact in either target dtype.
+        np.multiply(images, self._scale, out=self._q_f64)
+        np.rint(self._q_f64, out=self._q_f64)
+        np.copyto(self._q_num, self._q_f64, casting="unsafe")
+
+    def execute(
+        self,
+        images: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        return_bits: bool = False,
+        tracer=None,
+        parent=None,
+        stage_seconds: Optional[list] = None,
+    ):
+        """Run the planned datapath on one fixed-geometry batch.
+
+        Returns integer logits ``(batch, classes)``. With ``out`` given
+        (int64, right shape) the logits are written there and the call
+        is allocation-free end to end; without it, a fresh copy of the
+        internal logits buffer is returned (the buffer itself is reused
+        by the next call and must not escape). ``return_bits``
+        additionally returns per-stage boolean traces (debug mode —
+        allocates). ``tracer``/``parent`` record per-stage ``hw_stage``
+        spans exactly like the interpreted path.
+        """
+        if self.stale:
+            raise RuntimeError(
+                f"stale execution plan for {self.accelerator.name!r}: its "
+                "arena was cleared after compilation; rebuild the plan or "
+                "set_arena() a fresh one"
+            )
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        expected = (self.batch_size,) + tuple(self.accelerator.input_shape)
+        if images.shape != expected:
+            raise ValueError(
+                f"plan compiled for batch {expected}, got {images.shape}"
+            )
+        self._quantize(images)
+        bits_trace = [] if return_bits else None
+        for st in self._stages:
+            t0 = tracer.clock.monotonic() if tracer is not None else 0.0
+            wall0 = time.perf_counter() if stage_seconds is not None else 0.0
+            st.run()
+            if stage_seconds is not None:
+                stage_seconds.append((st.name, time.perf_counter() - wall0))
+            if tracer is not None:
+                tracer.record(
+                    f"hw.{st.name}",
+                    kind="hw_stage",
+                    start_s=t0,
+                    end_s=tracer.clock.monotonic(),
+                    parent=parent,
+                    attributes={
+                        "cycles": st.cycles,
+                        "images": self.batch_size,
+                        "fused": st.fused,
+                        "arena_kib": round(st.arena_bytes / 1024, 3),
+                    },
+                )
+            if return_bits:
+                bits_trace.append(st.trace_bits())
+        if out is not None:
+            if out.shape != self._logits.shape or out.dtype != np.int64:
+                raise ValueError(
+                    f"out must be int64 {self._logits.shape}, got "
+                    f"{out.dtype} {out.shape}"
+                )
+            np.copyto(out, self._logits)
+            result = out
+        else:
+            result = self._logits.copy()
+        if return_bits:
+            return result, bits_trace
+        return result
+
+
+class PlanCache:
+    """Shape- and thread-keyed LRU cache of compiled execution plans.
+
+    Owned by a :class:`~repro.hw.compiler.FinnAccelerator`; ``predict``
+    and the serving backends fetch plans per (batch size, thread), so
+    repeated batches reuse a plan across requests while concurrent
+    workers never share buffers. Stale plans (arena cleared) are
+    recompiled on lookup, never reused.
+    """
+
+    def __init__(self, accelerator, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._accelerator = accelerator
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[Tuple, ExecutionPlan]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __deepcopy__(self, memo) -> "PlanCache":
+        # Compiled plans are derived state (and the lock is not copyable):
+        # a cloned accelerator — e.g. the fault-injection sweep's deepcopy —
+        # gets a fresh, empty cache and recompiles lazily on first use.
+        import copy as _copy
+
+        accelerator = _copy.deepcopy(self._accelerator, memo)
+        clone = PlanCache(accelerator, capacity=self._capacity)
+        memo[id(self)] = clone
+        return clone
+
+    def get(self, batch_size: int) -> Tuple[ExecutionPlan, bool]:
+        """(plan, was_cache_hit) for this batch size on this thread."""
+        key = plan_key(self._accelerator, batch_size) + (
+            threading.get_ident(),
+        )
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None and not plan.stale:
+                self._plans.move_to_end(key)
+                self._hits += 1
+                return plan, True
+            self._misses += 1
+        plan = ExecutionPlan(self._accelerator, batch_size)  # outside lock
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self._capacity:
+                self._plans.popitem(last=False)
+        return plan, False
+
+    def stats(self) -> Dict:
+        """Cache counters + resident arena footprint."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "plans": len(self._plans),
+                "capacity": self._capacity,
+                "arena_bytes": sum(
+                    p.arena_nbytes for p in self._plans.values()
+                ),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+# -- steady-state allocation measurement --------------------------------------
+@dataclass(frozen=True)
+class AllocationReport:
+    """Steady-state allocation behaviour of a repeatedly-called function.
+
+    ``net_blocks``/``net_bytes`` are the tracemalloc deltas across the
+    first measured window; ``growth_blocks`` is how much the delta grew
+    when running ``extra_iters`` *more* iterations. A function that
+    allocates per call grows linearly; constant residue (CPython
+    freelist repopulation, tracemalloc's own bookkeeping) does not.
+    """
+
+    iters: int
+    extra_iters: int
+    net_blocks: int
+    net_bytes: int
+    growth_blocks: int
+    growth_bytes: int
+
+    @property
+    def per_call_blocks(self) -> int:
+        """Heap blocks allocated per call in steady state (0 = clean)."""
+        if self.growth_blocks <= 0:
+            return 0
+        return round(self.growth_blocks / self.extra_iters)
+
+
+def measure_steady_state(fn, iters: int = 10, warmup: int = 6) -> AllocationReport:
+    """Measure ``fn``'s steady-state heap behaviour under ``tracemalloc``.
+
+    Protocol (each step matters): warm the function (lazy caches, numpy
+    internals), force a GC, then warm again — ``gc.collect`` empties
+    CPython's object freelists, so the post-GC calls repopulate them and
+    the measured window starts from a true steady state. The report
+    compares two windows of different lengths: per-call leaks grow with
+    the window, constant residue does not.
+    """
+    for _ in range(warmup):
+        fn()
+    gc.collect()
+    for _ in range(warmup):
+        fn()
+    tracemalloc.start()
+    try:
+        fn()
+        fn()
+        base = tracemalloc.take_snapshot()
+        for _ in range(iters):
+            fn()
+        mid = tracemalloc.take_snapshot()
+        extra = iters * 2
+        for _ in range(extra):
+            fn()
+        end = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    filters = [
+        tracemalloc.Filter(False, tracemalloc.__file__),
+        tracemalloc.Filter(False, "<unknown>"),
+    ]
+
+    def _net(snap0, snap1):
+        diff = snap1.filter_traces(filters).compare_to(
+            snap0.filter_traces(filters), "filename"
+        )
+        return (
+            sum(d.count_diff for d in diff),
+            sum(d.size_diff for d in diff),
+        )
+
+    blocks_mid, bytes_mid = _net(base, mid)
+    blocks_end, bytes_end = _net(base, end)
+    return AllocationReport(
+        iters=iters,
+        extra_iters=extra,
+        net_blocks=blocks_mid,
+        net_bytes=bytes_mid,
+        growth_blocks=blocks_end - blocks_mid,
+        growth_bytes=bytes_end - bytes_mid,
+    )

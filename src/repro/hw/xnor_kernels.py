@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.hw.bitpack import PackedBits, popcount
 
-__all__ = ["xnor_matmul_popcount", "xnor_dot_popcount", "bipolar_from_popcount"]
+__all__ = [
+    "xnor_matmul_popcount",
+    "xnor_dot_popcount",
+    "bipolar_from_popcount",
+    "gemm_block_rows",
+]
 
 # Target working-set size (elements) for one blocked GEMM pass: the
 # per-word xor temporary plus the int64 accumulator slab, tuned to stay
@@ -46,6 +51,16 @@ def _choose_block(m: int, n: int, w: int) -> int:
     return max(1, min(m, _BLOCK_ELEMS // max(1, n)))
 
 
+def gemm_block_rows(m: int, n: int, w: int) -> int:
+    """Public row-block size for ``(m, n)`` output over ``w`` packed words.
+
+    Callers that preallocate the kernel's per-slab scratch (see the
+    ``scratch`` parameter of :func:`xnor_matmul_popcount`) size it as
+    ``(min(gemm_block_rows(m, n, w), m), n)``.
+    """
+    return _choose_block(m, n, w)
+
+
 def bipolar_from_popcount(p: np.ndarray, fan_in: int) -> np.ndarray:
     """Convert a match-popcount ``p`` to the bipolar accumulator ``2p - F``."""
     if fan_in <= 0:
@@ -65,13 +80,26 @@ def xnor_dot_popcount(a: PackedBits, b: PackedBits) -> np.ndarray:
     return a.nbits - mismatches
 
 
-def xnor_matmul_popcount(a: PackedBits, b: PackedBits) -> np.ndarray:
+def xnor_matmul_popcount(
+    a: PackedBits,
+    b: PackedBits,
+    out: np.ndarray = None,
+    b_cols: np.ndarray = None,
+    scratch=None,
+) -> np.ndarray:
     """Binary GEMM: returns ``(M, N)`` match counts.
 
     ``a`` packs ``(M, F)`` activations; ``b`` packs ``(N, F)`` weight rows
     (one row per output neuron — note this is the *transpose* of the
     float GEMM convention, matching the hardware's weight layout where
     each PE holds whole rows).
+
+    The allocation-free form (used by the compiled inference plans)
+    passes ``out`` (``int64 (M, N)``), ``b_cols`` (the precomputed
+    ``ascontiguousarray(b.words.T)`` — for a fixed weight operand this
+    transpose-copy is per-call waste) and ``scratch`` (a pair of
+    ``(block, N)`` uint64/uint8 slabs, sized via :func:`gemm_block_rows`).
+    All forms are bit-identical.
     """
     if a.words.ndim != 2 or b.words.ndim != 2:
         raise ValueError(
@@ -82,21 +110,54 @@ def xnor_matmul_popcount(a: PackedBits, b: PackedBits) -> np.ndarray:
     m = a.words.shape[0]
     n = b.words.shape[0]
     w = a.n_words
-    out = np.empty((m, n), dtype=np.int64)
+    if out is None:
+        out = np.empty((m, n), dtype=np.int64)
+    elif out.shape != (m, n) or out.dtype != np.int64:
+        raise ValueError(
+            f"out must be int64 {(m, n)}, got {out.dtype} {out.shape}"
+        )
     block = _choose_block(m, n, w)
     # Per-word accumulation: each pass XORs one packed word column of A
     # against the matching column of B and adds its popcount into the
     # (block, N) mismatch accumulator — the (block, N, W) xor tensor of
     # the naive broadcast never exists.
-    bw_cols = np.ascontiguousarray(b.words.T)  # (w, n): one row per word
+    if b_cols is None:
+        b_cols = np.ascontiguousarray(b.words.T)  # (w, n): one row per word
+    elif b_cols.shape != (w, n) or b_cols.dtype != np.uint64:
+        raise ValueError(
+            f"b_cols must be uint64 {(w, n)}, got {b_cols.dtype} {b_cols.shape}"
+        )
+    if scratch is None:
+        xor_buf = np.empty((min(block, m), n), dtype=np.uint64)
+        cnt_buf = np.empty((min(block, m), n), dtype=np.uint8)
+    else:
+        xor_buf, cnt_buf = scratch
+        if (
+            xor_buf.shape[0] < min(block, m)
+            or xor_buf.shape[1] != n
+            or xor_buf.dtype != np.uint64
+            or cnt_buf.shape != xor_buf.shape
+            or cnt_buf.dtype != np.uint8
+        ):
+            raise ValueError(
+                f"scratch must be uint64/uint8 ({min(block, m)}, {n}) slabs, "
+                f"got {xor_buf.dtype} {xor_buf.shape} / "
+                f"{cnt_buf.dtype} {cnt_buf.shape}"
+            )
     for start in range(0, m, block):
         stop = min(m, start + block)
+        rows = stop - start
         aw = a.words[start:stop]
-        mismatches = np.zeros((stop - start, n), dtype=np.int64)
+        out_slab = out[start:stop]
+        xor = xor_buf[:rows]
+        cnt = cnt_buf[:rows]
         for k in range(w):
-            xor = np.bitwise_xor(aw[:, k, None], bw_cols[k][None, :])
-            mismatches += np.bitwise_count(xor)
-        out[start:stop] = mismatches
+            np.bitwise_xor(aw[:, k, None], b_cols[k][None, :], out=xor)
+            np.bitwise_count(xor, out=cnt)
+            if k == 0:
+                np.copyto(out_slab, cnt)
+            else:
+                np.add(out_slab, cnt, out=out_slab)
     # out currently holds mismatch counts; matches = F - mismatches.
     np.subtract(a.nbits, out, out=out)
     return out

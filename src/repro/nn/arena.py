@@ -40,10 +40,19 @@ __all__ = ["BufferArena"]
 
 
 class BufferArena:
-    """Shape-keyed pool of reusable scratch ndarrays."""
+    """Shape-keyed pool of reusable scratch ndarrays.
+
+    The arena carries an :attr:`epoch` counter that increments on every
+    :meth:`clear`. Long-lived holders of arena views (the inference
+    execution plans in :mod:`repro.hw.plan` bind views at compile time)
+    record the epoch they bound against and refuse to run if the arena
+    was cleared underneath them — the programmatic form of the AL003
+    use-after-reset rule the static analyzer enforces syntactically.
+    """
 
     def __init__(self) -> None:
         self._buffers: Dict[Tuple, np.ndarray] = {}
+        self._epoch = 0
 
     def get(self, owner: object, role: str, shape, dtype=np.float32) -> np.ndarray:
         """The persistent buffer for ``(owner, role, shape, dtype)``.
@@ -66,6 +75,17 @@ class BufferArena:
         """Total bytes currently pooled."""
         return sum(b.nbytes for b in self._buffers.values())
 
+    @property
+    def epoch(self) -> int:
+        """Monotonic reset counter; bumps on every :meth:`clear`."""
+        return self._epoch
+
     def clear(self) -> None:
-        """Drop every pooled buffer (e.g. between differently-shaped runs)."""
+        """Drop every pooled buffer (e.g. between differently-shaped runs).
+
+        Invalidates all outstanding views: the epoch bump lets holders
+        (e.g. a compiled :class:`repro.hw.plan.ExecutionPlan`) detect
+        staleness instead of silently writing into orphaned storage.
+        """
         self._buffers.clear()
+        self._epoch += 1

@@ -131,6 +131,12 @@ class AcceleratorBackend:
     — what the same micro-batch would cost on the board according to the
     calibrated pipeline cycle model — so benchmarks can contrast
     simulator wall time with hardware-equivalent time.
+
+    ``use_plan`` (default on) routes steady-state requests through the
+    accelerator's precompiled :class:`~repro.hw.plan.ExecutionPlan`
+    cache: repeated micro-batches of the same shape reuse one persistent
+    arena per worker thread and allocate nothing. :meth:`plan_stats`
+    surfaces the cache counters for serving dashboards.
     """
 
     def __init__(
@@ -141,6 +147,7 @@ class AcceleratorBackend:
         max_concurrency: Optional[int] = None,
         clock_mhz: float = 100.0,
         num_workers: Optional[int] = None,
+        use_plan: bool = True,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -149,6 +156,7 @@ class AcceleratorBackend:
         self.accelerator = accelerator
         self.chunk_size = int(chunk_size)
         self.num_workers = num_workers
+        self.use_plan = bool(use_plan)
         self.name = name or f"accelerator:{accelerator.name}"
         self.timing = analyze_pipeline(accelerator, clock_mhz)
         if max_concurrency is None:
@@ -165,8 +173,14 @@ class AcceleratorBackend:
                 images,
                 chunk_size=self.chunk_size,
                 num_workers=self.num_workers,
+                use_plan=self.use_plan,
             )
         )
+
+    def plan_stats(self) -> dict:
+        """Plan-cache counters (hits/misses/plans/arena bytes) for this
+        backend's accelerator — zeros until the first planned batch."""
+        return self.accelerator.plans.stats()
 
     def modelled_batch_seconds(self, batch_size: int) -> float:
         """Hardware-modelled (calibrated) time for one micro-batch."""

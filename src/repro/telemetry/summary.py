@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.utils.tables import render_table
 
-__all__ = ["KindStats", "StageRow", "TraceSummary", "summarize_spans"]
+__all__ = [
+    "KindStats",
+    "PlanStats",
+    "StageRow",
+    "TraceSummary",
+    "summarize_spans",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +43,23 @@ class KindStats:
     p95_ms: float
     p99_ms: float
     mean_ms: float
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Execution-plan usage aggregated over all ``hw_plan`` spans.
+
+    ``cache_hits`` / ``cache_misses`` count the *spans in this journal*
+    by their ``cache_hit`` attribute (a miss span compiled its plan
+    inline); ``arena_kib`` and ``fused_stages`` describe the last plan
+    observed — both are per-plan constants for a given geometry.
+    """
+
+    spans: int
+    cache_hits: int
+    cache_misses: int
+    arena_kib: float
+    fused_stages: int
 
 
 @dataclass(frozen=True)
@@ -61,6 +84,7 @@ class TraceSummary:
     bottleneck_modelled: Optional[str]  # argmax II cycles
     bottleneck_measured: Optional[str]  # argmax wall seconds
     critical_path: Tuple[Dict, ...] = field(default=())
+    plan: Optional[PlanStats] = field(default=None)
 
     def render(self, top: int = 10) -> str:
         lines = [
@@ -112,6 +136,16 @@ class TraceSummary:
             )
             lines.append(
                 f"bottleneck (measured wall time):  {self.bottleneck_measured}"
+            )
+        if self.plan is not None:
+            total = self.plan.cache_hits + self.plan.cache_misses
+            rate = self.plan.cache_hits / total if total else 0.0
+            lines.append(
+                f"execution plans: {self.plan.spans} planned batches, "
+                f"cache {self.plan.cache_hits} hit / "
+                f"{self.plan.cache_misses} miss ({rate:.0%}), "
+                f"arena {self.plan.arena_kib:.1f} KiB, "
+                f"{self.plan.fused_stages} fused stages"
             )
         if self.critical_path:
             lines.append("critical path of the slowest trace:")
@@ -186,6 +220,33 @@ def _stage_table(spans: List[Dict]) -> Tuple[StageRow, ...]:
     )
 
 
+def _plan_stats(spans: List[Dict]) -> Optional[PlanStats]:
+    """Aggregate ``hw_plan`` spans; ``None`` when the journal has none."""
+    hits = misses = count = 0
+    arena_kib = 0.0
+    fused = 0
+    for span in spans:
+        if span.get("kind") != "hw_plan":
+            continue
+        count += 1
+        attrs = span.get("attributes", {})
+        if attrs.get("cache_hit"):
+            hits += 1
+        else:
+            misses += 1
+        arena_kib = float(attrs.get("arena_kib", arena_kib))
+        fused = int(attrs.get("fused_stages", fused))
+    if count == 0:
+        return None
+    return PlanStats(
+        spans=count,
+        cache_hits=hits,
+        cache_misses=misses,
+        arena_kib=arena_kib,
+        fused_stages=fused,
+    )
+
+
 def _critical_path(spans: List[Dict]) -> Tuple[Dict, ...]:
     """Longest-child chain of the slowest root span.
 
@@ -237,4 +298,5 @@ def summarize_spans(spans: List[Dict]) -> TraceSummary:
         bottleneck_modelled=bottleneck_modelled,
         bottleneck_measured=bottleneck_measured,
         critical_path=_critical_path(finished),
+        plan=_plan_stats(finished),
     )

@@ -97,6 +97,58 @@ class TestArenaEscape:
             """,
         ) == ["AL002"]
 
+    def test_arena_owner_class_self_store_exempt(self, tmp_path):
+        # A class that binds the arena itself (self._arena = ...) is the
+        # arena's lifecycle owner: its stored views live exactly as long
+        # as the arena, guarded by the epoch check — not an escape.
+        assert al_ids(
+            tmp_path,
+            """
+            class Plan:
+                def __init__(self, arena):
+                    self._arena = arena
+
+                def bind(self):
+                    self.buf = self._arena.get(self, "acc", (4, 4))
+
+                def fetch(self):
+                    buf = self._arena.get(self, "tmp", (4, 4))
+                    return buf
+            """,
+        ) == []
+
+    def test_arena_owner_class_still_gets_al001(self, tmp_path):
+        # The owner exemption covers AL002 only — in/out overlap in an
+        # owner method is still undefined behaviour.
+        assert al_ids(
+            tmp_path,
+            """
+            import numpy as np
+
+
+            class Plan:
+                def __init__(self, arena):
+                    self._arena = arena
+
+                def step(self, w):
+                    a = self._arena.get(self, "a", (8, 8))
+                    np.matmul(a, w, out=a)
+            """,
+        ) == ["AL001"]
+
+    def test_non_owner_class_self_store_still_flagged(self, tmp_path):
+        # Merely *using* an arena (parameter, not stored) keeps the
+        # step-scope contract and the AL002 escape finding.
+        assert al_ids(
+            tmp_path,
+            """
+            class Layer:
+                def pack(self, arena, x):
+                    buf = arena.get(self, "buf", x.shape)
+                    self.stash = buf
+            """,
+        ) == ["AL002"]
+
     def test_copy_breaks_taint(self, tmp_path):
         assert al_ids(
             tmp_path,
