@@ -63,6 +63,7 @@ BENCH_SECTIONS: Tuple[str, ...] = (
     "stages",
     "e2e",
     "plan",
+    "parallel",
     "telemetry",
     "generation",
     "training",
@@ -90,6 +91,11 @@ GEN_BENCH: Dict = {"samples": 48, "cache_raw_size": 200}
 #: Telemetry-overhead benchmark config: the arch whose datapath is timed
 #: under each tracing mode, and the sparse sampling rate measured.
 TELEMETRY_BENCH: Dict = {"arch": "u-cnv", "sample_every": 64}
+
+#: Process-pool benchmark config: worker cap (actual count is
+#: ``min(max_workers, host cores)``) and how many batches are kept in
+#: flight per worker while timing.
+PARALLEL_BENCH: Dict = {"arch": "u-cnv", "max_workers": 4, "inflight_per_worker": 2}
 
 
 def _best_seconds(fn, repeats: int, warmup: int = 1) -> float:
@@ -331,6 +337,67 @@ def _bench_plan(
     }
 
 
+def _bench_parallel(
+    accelerator: FinnAccelerator,
+    images: np.ndarray,
+    repeats: int,
+    max_workers: int,
+    inflight_per_worker: int,
+) -> Dict:
+    """Single-process planned FPS vs. the multi-process pool.
+
+    The pool is timed with ``inflight_per_worker`` batches in flight per
+    worker (an open-loop feed, so slot hand-off overlaps compute — how
+    the serving layer drives it). Logits are checked bit-exact against
+    the single-process plan before any timing is trusted. On a 1-core
+    host the section still records (workers degrade to 1) but
+    ``compare_to_best`` only gates it between runs on identical hosts.
+    """
+    from repro.hw.plan import plan_unsupported_reason
+    from repro.parallel import ProcessPool, logical_cpu_count
+
+    reason = plan_unsupported_reason(accelerator)
+    if reason is not None:
+        return {"supported": False, "reason": reason}
+    n = images.shape[0]
+    workers = max(1, min(max_workers, logical_cpu_count()))
+    inflight = workers * inflight_per_worker
+
+    plan, _ = accelerator.plans.get(n)
+    ref = plan.execute(images)
+    out = np.empty_like(ref)
+    single_s = _best_seconds(lambda: plan.execute(images, out=out), repeats)
+
+    with ProcessPool(
+        accelerator, num_workers=workers, max_batch=n, buckets=(n,),
+        slots=inflight,
+    ) as pool:
+        if not np.array_equal(pool.submit(images).result(timeout=120.0), ref):
+            raise RuntimeError(
+                "process pool logits diverge from the single-process plan"
+            )
+
+        def feed() -> None:
+            tasks = [pool.submit(images) for _ in range(inflight)]
+            for task in tasks:
+                task.result(timeout=120.0)
+
+        pool_s = _best_seconds(feed, repeats)
+    return {
+        "supported": True,
+        "images": n,
+        "workers": workers,
+        "inflight": inflight,
+        "single": {"seconds": single_s, "fps": n / single_s},
+        "pool": {
+            "seconds": pool_s,
+            "fps": n * inflight / pool_s,
+        },
+        "speedup_vs_single": single_s * inflight / pool_s,
+        "bit_exact": True,
+    }
+
+
 def run_bench(
     archs: Sequence[str] = BENCH_ARCHS,
     images: int = 16,
@@ -388,6 +455,9 @@ def run_bench(
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
     }
+    from repro.parallel import host_info
+
+    run["host"] = host_info()
     if "kernels" in selected:
         run["kernels"] = _bench_bitpack(rng, bitpack_shape, repeats)
         run["kernels"]["xnor_gemm"] = _bench_gemm(rng, gemm_shapes, repeats)
@@ -414,6 +484,15 @@ def run_bench(
                     run["e2e"][arch] = e2e
             if "plan" in selected:
                 run["plan"][arch] = _bench_plan(accelerator, batch, repeats)
+
+    if "parallel" in selected:
+        par_cfg = dict(PARALLEL_BENCH)
+        par_arch = par_cfg.pop("arch")
+        model = build_architecture(par_arch, rng=seed)
+        randomize_bn_stats(model, seed=seed + 1)
+        model.eval()
+        par_acc = compile_model(model, table1_folding(par_arch), name=par_arch)
+        run["parallel"] = _bench_parallel(par_acc, batch, repeats, **par_cfg)
 
     if "telemetry" in selected:
         tel_cfg = dict(TELEMETRY_BENCH)
@@ -498,6 +577,24 @@ def validate_run(run: Dict) -> None:
             if "steady_state_alloc_blocks" not in entry:
                 raise ValueError(
                     f"plan[{arch!r}] is missing 'steady_state_alloc_blocks'"
+                )
+    if "parallel" in run:
+        par = run["parallel"]
+        if not par.get("supported", False):
+            if "reason" not in par:
+                raise ValueError("run.parallel unsupported without reason")
+        else:
+            for section in ("single", "pool"):
+                if not par.get(section, {}).get("fps", 0) > 0:
+                    raise ValueError(
+                        f"parallel.{section} has no positive 'fps'"
+                    )
+            if not par.get("workers", 0) > 0:
+                raise ValueError("parallel has no positive 'workers'")
+            if par.get("bit_exact") is not True:
+                raise ValueError(
+                    "parallel.bit_exact must be True — the pool FPS of a "
+                    "diverging datapath is meaningless"
                 )
     # Generation/training sections are optional (older trajectory entries
     # predate them) but validated whenever present.
@@ -635,6 +732,29 @@ def compare_runs(prev: Dict, cur: Dict, tolerance: float = 0.25) -> List[Dict]:
                 c["planned"]["fps"],
                 higher_is_better=True,
             )
+    prev_par, cur_par = prev.get("parallel"), cur.get("parallel")
+    if (
+        prev_par
+        and cur_par
+        and prev_par.get("supported")
+        and cur_par.get("supported")
+        # Pool FPS only compares like-for-like: the same worker count on
+        # the same host class (compare_to_best additionally refuses
+        # cross-core-count gating at the run level).
+        and prev_par.get("workers") == cur_par.get("workers")
+    ):
+        add(
+            "parallel.pool.fps",
+            prev_par["pool"]["fps"],
+            cur_par["pool"]["fps"],
+            higher_is_better=True,
+        )
+        add(
+            "parallel.single.fps",
+            prev_par["single"]["fps"],
+            cur_par["single"]["fps"],
+            higher_is_better=True,
+        )
     prev_gen, cur_gen = prev.get("generation"), cur.get("generation")
     if prev_gen and cur_gen:
         for section in ("serial", "parallel"):
@@ -682,9 +802,23 @@ def compare_to_best(
     had after a smoke run landed in the trajectory. For every metric the
     record kept is the one with the lowest speedup, i.e. the toughest
     prior run wins, so a slow outlier run can never mask a regression.
+
+    Prior runs from a host with a *different CPU count* are likewise
+    refused wholesale: every throughput number in a run (not just the
+    pool section) reflects the host's core budget, so gating a 1-core
+    run against a 4-core best — or vice versa — would manufacture
+    regressions out of hardware differences. A run with no recorded
+    ``cpu_count`` never gates a run that has one.
     """
     label = cur.get("label")
-    peers = [r for r in prior_runs if r.get("label") == label and r is not cur]
+    cores = cur.get("cpu_count")
+    peers = [
+        r
+        for r in prior_runs
+        if r.get("label") == label
+        and r.get("cpu_count") == cores
+        and r is not cur
+    ]
     best: Dict[str, Dict] = {}
     order: List[str] = []
     for prev in peers:
@@ -738,6 +872,23 @@ def render_run(run: Dict) -> str:
             f"arena {entry['arena_kib']:.0f} KiB, "
             f"{entry['fused_stages']} fused stages)"
         )
+    par = run.get("parallel")
+    if par:
+        if not par.get("supported"):
+            lines.append(f"  parallel unsupported: {par.get('reason')}")
+        else:
+            host = run.get("host", {})
+            lines.append(
+                f"  parallel single      {par['single']['fps']:8.1f} FPS "
+                f"(planned, batch {par['images']})"
+            )
+            lines.append(
+                f"  parallel pool        {par['pool']['fps']:8.1f} FPS "
+                f"({par['workers']} workers on "
+                f"{host.get('cpu_count', '?')} CPUs, "
+                f"{par['inflight']} in flight, "
+                f"x{par['speedup_vs_single']:.2f} vs single, bit-exact)"
+            )
     gen = run.get("generation")
     if gen:
         lines.append(

@@ -100,10 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--model", type=Path, required=True,
                        help="trained checkpoint (.npz)")
         p.add_argument("--backend", default="software",
-                       choices=("software", "accelerator", "both"),
+                       choices=("software", "accelerator", "both", "process"),
                        help="primary backend; 'both' adds the accelerator "
-                            "simulator as fallback")
+                            "simulator as fallback; 'process' fans planned "
+                            "batches across a multi-process pool")
         p.add_argument("--max-batch", type=int, default=32)
+        p.add_argument("--buckets", type=int, nargs="+", default=None,
+                       metavar="N",
+                       help="pad micro-batches up to these sizes so "
+                            "shape-keyed backends compile a fixed plan set "
+                            "(largest must cover --max-batch)")
+        p.add_argument("--pool-workers", type=int, default=None,
+                       help="process-pool worker count (default: one per "
+                            "physical core, capped at 4)")
         p.add_argument("--max-wait-ms", type=float, default=5.0)
         p.add_argument("--queue-capacity", type=int, default=256)
         p.add_argument("--workers", type=int, default=2)
@@ -330,16 +339,12 @@ def _build_server(args):
         AcceleratorBackend,
         ClassifierBackend,
         InferenceServer,
+        ProcessPoolBackend,
         ServingConfig,
     )
 
     clf = BinaryCoP.load(args.model)
     print(f"loaded {clf.architecture} from {args.model}")
-    backends = []
-    if args.backend in ("software", "both"):
-        backends.append(ClassifierBackend(clf))
-    if args.backend in ("accelerator", "both"):
-        backends.append(AcceleratorBackend(clf.deploy()))
     config = ServingConfig(
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -348,7 +353,27 @@ def _build_server(args):
         default_timeout_s=(
             None if args.timeout_ms is None else args.timeout_ms / 1e3
         ),
+        bucket_sizes=tuple(args.buckets) if args.buckets else None,
     )
+    backends = []
+    if args.backend in ("software", "both"):
+        backends.append(ClassifierBackend(clf))
+    if args.backend in ("accelerator", "both"):
+        backends.append(AcceleratorBackend(clf.deploy()))
+    if args.backend == "process":
+        backends.append(
+            ProcessPoolBackend(
+                clf.deploy(),
+                num_workers=args.pool_workers,
+                buckets=config.bucket_sizes,
+                max_batch=config.max_batch_size,
+                trace_sample=(
+                    args.trace_sample
+                    if (args.telemetry or args.trace_out is not None)
+                    else None
+                ),
+            )
+        )
     names = " -> ".join(
         f"{b.name} (x{b.max_concurrency})" for b in backends
     )
@@ -392,13 +417,30 @@ def _finish_telemetry(args, journal) -> None:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+
     from repro.serving import StatsReporter, face_tile_pool, run_open_loop
 
     journal = _start_telemetry(args)
     server = _build_server(args)
+    if journal is not None:
+        for backend in server.backends:
+            bind = getattr(backend, "bind_journal", None)
+            if bind is not None:
+                bind(journal)
     print(f"rendering {args.tile_pool} gate-camera tiles ...")
     tiles = face_tile_pool(args.tile_pool, rng=args.seed)
     reporter = None
+    result = None
+    interrupted = False
+
+    # SIGTERM (systemd, docker stop, CI timeouts) gets the same graceful
+    # drain Ctrl-C does: convert it to KeyboardInterrupt so the handler
+    # below runs and the context manager drains the admission queue.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
     try:
         with server:
             print(server.health(smoke=True).render())
@@ -408,17 +450,33 @@ def _cmd_serve(args) -> int:
                 f"offering {args.rate:,.0f} req/s for {args.duration:.1f}s "
                 f"(open loop) ..."
             )
-            result = run_open_loop(
-                server, tiles, rate_hz=args.rate, duration_s=args.duration,
-                rng=args.seed + 1,
-            )
+            try:
+                result = run_open_loop(
+                    server, tiles, rate_hz=args.rate,
+                    duration_s=args.duration, rng=args.seed + 1,
+                )
+            except KeyboardInterrupt:
+                interrupted = True
+                print(
+                    "\nsignal received - draining admission queue and "
+                    "stopping workers ..."
+                )
             if reporter is not None:
                 reporter.stop()
-            print(result.report())
+            if result is not None:
+                print(result.report())
+            if not interrupted:
+                print(server.stats().report())
+                print(server.health().render())
+        if interrupted:
+            # Final snapshot *after* the drain so the counters include
+            # every request the shutdown worked off.
             print(server.stats().report())
-            print(server.health().render())
     finally:
+        signal.signal(signal.SIGTERM, previous_term)
         _finish_telemetry(args, journal)
+    if interrupted:
+        return 0
     return 0 if result.completed else 1
 
 

@@ -105,6 +105,7 @@ class BinaryCoP:
         self.model: Sequential = build_architecture(architecture, rng=rng)
         self._rng_seed = rng
         self.history: Optional[History] = None
+        self._accelerator: Optional[FinnAccelerator] = None
 
     @property
     def is_binary(self) -> bool:
@@ -155,6 +156,11 @@ class BinaryCoP:
             early_stopping=stopper,
             verbose=verbose,
         )
+        # Any accelerator compiled for process-mode predict captured the
+        # pre-training weights; drop it so the next use recompiles.
+        if self._accelerator is not None:
+            self._accelerator.close_pool()
+            self._accelerator = None
         return self.history
 
     # -- inference -----------------------------------------------------------
@@ -163,6 +169,7 @@ class BinaryCoP:
         images: np.ndarray,
         chunk_size: int = 256,
         num_workers: Optional[int] = None,
+        mode: str = "thread",
     ) -> np.ndarray:
         """Argmax class predictions (software float path).
 
@@ -174,7 +181,20 @@ class BinaryCoP:
         next forward reads, so concurrent chunks give identical results
         to serial (note the layers' autograd caches are not meaningful
         afterwards — irrelevant for prediction).
+
+        ``mode="process"`` compiles (and caches) the Table I accelerator
+        and fans the batch across its process pool — the multi-core
+        integer datapath rather than this float path; predictions agree
+        wherever the quantised input does.
         """
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if mode == "process":
+            if self._accelerator is None:
+                self._accelerator = self.deploy()
+            return self._accelerator.predict(
+                images, num_workers=num_workers, mode="process"
+            )
         if images.ndim == 3:
             images = images[None]
         if num_workers is not None and num_workers <= 0:

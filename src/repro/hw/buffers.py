@@ -27,7 +27,13 @@ from typing import List, Optional
 
 from repro.hw.compiler import FinnAccelerator
 
-__all__ = ["BufferPlan", "StageBuffer", "plan_buffers", "render_arena_bill"]
+__all__ = [
+    "BufferPlan",
+    "StageBuffer",
+    "plan_buffers",
+    "render_arena_bill",
+    "render_pool_bill",
+]
 
 #: One 18 Kb block RAM, the granularity buffers map to.
 BRAM_BLOCK_BITS = 18_432
@@ -108,6 +114,42 @@ def render_arena_bill(plan) -> str:
         )
     lines.append(
         f"  total: {total / 1024:,.1f} KiB persistent across calls"
+    )
+    return "\n".join(lines)
+
+
+def render_pool_bill(pool_stats: dict) -> str:
+    """Per-worker shared-arena occupancy of a process pool.
+
+    Takes the dict :meth:`~repro.parallel.ProcessPool.plan_stats`
+    returns and itemises each worker's shared-memory arena: bytes carved
+    for plan buffers vs. segment capacity, plus any heap *overflow* (a
+    non-zero overflow means the arena was undersized and that worker is
+    silently allocating — the number to watch on a dashboard).
+    """
+    workers = pool_stats.get("workers", {})
+    lines = ["process-pool shared arenas (per worker):"]
+    for wid in sorted(workers):
+        w = workers[wid]
+        carved = w.get("arena_carved_bytes", 0)
+        cap = w.get("arena_capacity", 0)
+        overflow = w.get("arena_overflow_bytes", 0)
+        share = carved / cap if cap else 0.0
+        line = (
+            f"  worker {wid} (pid {w.get('worker_pid', '?')}): "
+            f"{carved / 1024:>10.1f} / {cap / 1024:,.1f} KiB carved "
+            f"({share:6.1%}), {w.get('plans', 0)} plans, "
+            f"{w.get('tasks', 0)} tasks"
+        )
+        if overflow:
+            line += f"  [OVERFLOW {overflow / 1024:,.1f} KiB on heap]"
+        lines.append(line)
+    total = pool_stats.get("total", {})
+    pool = pool_stats.get("pool", {})
+    lines.append(
+        f"  total: {total.get('plans', 0)} plans, "
+        f"{total.get('hits', 0)} hits / {total.get('misses', 0)} misses, "
+        f"{pool.get('worker_restarts', 0)} worker restarts"
     )
     return "\n".join(lines)
 

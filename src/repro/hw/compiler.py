@@ -229,6 +229,22 @@ class FinnAccelerator:
         self.input_shape = tuple(input_shape)
         self.num_classes = int(num_classes)
         self._plan_cache = None
+        self._process_pool = None
+
+    def __getstate__(self):
+        # Plan caches hold a lock and arena-bound buffers, process pools
+        # hold live OS resources — both are derived state, rebuilt lazily
+        # wherever the accelerator lands (a spawn-started pool worker, a
+        # deepcopy for fault injection).
+        state = self.__dict__.copy()
+        state["_plan_cache"] = None
+        state["_process_pool"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._plan_cache = None
+        self._process_pool = None
 
     @property
     def plans(self):
@@ -243,6 +259,33 @@ class FinnAccelerator:
 
             self._plan_cache = PlanCache(self)
         return self._plan_cache
+
+    def process_pool(self, num_workers=None, **kwargs):
+        """The accelerator's :class:`~repro.parallel.ProcessPool` (lazy).
+
+        Re-created when ``num_workers`` changes; closed via
+        :meth:`close_pool` (or left to the daemonic workers' exit with
+        the parent). Extra ``kwargs`` are only honoured at creation.
+        """
+        from repro.parallel import ProcessPool
+
+        pool = self._process_pool
+        if pool is not None and (
+            not pool.healthy()
+            or (num_workers is not None and pool.num_workers != num_workers)
+        ):
+            pool.close()
+            pool = self._process_pool = None
+        if pool is None:
+            pool = ProcessPool(self, num_workers=num_workers, **kwargs)
+            self._process_pool = pool
+        return pool
+
+    def close_pool(self) -> None:
+        """Shut down the lazy process pool, if one was created."""
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
 
     # -- functional ---------------------------------------------------------
     @staticmethod
@@ -538,6 +581,7 @@ class FinnAccelerator:
         chunk_size: Optional[int] = None,
         num_workers: Optional[int] = None,
         use_plan: bool = True,
+        mode: str = "thread",
     ) -> np.ndarray:
         """Argmax classification over the integer logits.
 
@@ -546,8 +590,14 @@ class FinnAccelerator:
         batch is split evenly across the workers). ``use_plan`` (default
         on) runs serial fixed-shape batches through the precompiled
         allocation-free execution plan; results are bit-identical either
-        way.
+        way. ``mode="process"`` instead fans chunks across the lazy
+        :meth:`process_pool` — true multi-core planned execution, still
+        bit-identical.
         """
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if mode == "process":
+            return self.process_pool(num_workers=num_workers).predict(images)
         images = np.asarray(images)
         if (
             num_workers is not None

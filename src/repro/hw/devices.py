@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-__all__ = ["Device", "Z7020", "Z7010", "DEVICES", "fit_report"]
+__all__ = ["Device", "Z7020", "Z7010", "DEVICES", "fit_report", "host_report"]
 
 
 @dataclass(frozen=True)
@@ -24,6 +24,7 @@ class Device:
     bram36: float  # BRAM in 36Kb-block units
     dsp48: int
     default_clock_mhz: float = 100.0
+    ps_cores: int = 2  # Zynq-7000 PS: dual-core Cortex-A9
 
     def __post_init__(self) -> None:
         if min(self.luts, self.flip_flops, self.dsp48) <= 0 or self.bram36 <= 0:
@@ -49,6 +50,32 @@ Z7020 = Device(name="XC7Z020", luts=53_200, flip_flops=106_400, bram36=140, dsp4
 Z7010 = Device(name="XC7Z010", luts=17_600, flip_flops=35_200, bram36=60, dsp48=80)
 
 DEVICES: Dict[str, Device] = {d.name: d for d in (Z7020, Z7010)}
+
+
+def host_report(device: Device = Z7020) -> List[str]:
+    """Simulation-host parallelism vs. the target SoC's PS cores.
+
+    The process pool (:mod:`repro.parallel`) scales planned inference
+    across host cores; this report states the host's core budget next to
+    the Zynq processing system's, so multi-worker simulator FPS is read
+    as *host* throughput — not a claim about the board, whose PL
+    pipeline rate the cycle model covers separately.
+    """
+    from repro.parallel.host import host_info, recommended_workers
+
+    info = host_info()
+    physical = info["physical_cores"]
+    return [
+        (
+            f"simulation host: {info['logical_cpus']} logical CPUs"
+            + (f", {physical} physical cores" if physical else "")
+            + f" -> {recommended_workers()} pool workers recommended"
+        ),
+        (
+            f"{device.name} PS: {device.ps_cores}x Cortex-A9 "
+            f"(PL pipeline modelled separately)"
+        ),
+    ]
 
 
 def fit_report(lut: float, bram36: float, dsp: float) -> List[str]:

@@ -762,11 +762,17 @@ class PlanCache:
     recompiled on lookup, never reused.
     """
 
-    def __init__(self, accelerator, capacity: int = 8) -> None:
+    def __init__(
+        self,
+        accelerator,
+        capacity: int = 8,
+        arena: Optional[BufferArena] = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._accelerator = accelerator
         self._capacity = capacity
+        self._arena = arena
         self._lock = threading.Lock()
         self._plans: "OrderedDict[Tuple, ExecutionPlan]" = OrderedDict()
         self._hits = 0
@@ -795,13 +801,31 @@ class PlanCache:
                 self._hits += 1
                 return plan, True
             self._misses += 1
-        plan = ExecutionPlan(self._accelerator, batch_size)  # outside lock
+        plan = ExecutionPlan(  # compiled outside the lock
+            self._accelerator, batch_size, arena=self._arena
+        )
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self._capacity:
                 self._plans.popitem(last=False)
         return plan, False
+
+    def prewarm(self, batch_sizes) -> None:
+        """Compile a plan per batch size now, so requests never pay one.
+
+        The pool workers call this with their bucket set at startup;
+        ``capacity`` must cover the set or the warm plans would evict
+        each other (raises rather than silently thrashing).
+        """
+        sizes = sorted({int(b) for b in batch_sizes})
+        if len(sizes) > self._capacity:
+            raise ValueError(
+                f"cannot prewarm {len(sizes)} batch sizes into a cache of "
+                f"capacity {self._capacity}"
+            )
+        for size in sizes:
+            self.get(size)
 
     def stats(self) -> Dict:
         """Cache counters + resident arena footprint."""

@@ -21,6 +21,7 @@ from repro.serving.backends import (
     AcceleratorBackend,
     ClassifierBackend,
     InferenceBackend,
+    ProcessPoolBackend,
     folding_concurrency,
 )
 from repro.serving.batcher import MicroBatcher
@@ -43,6 +44,7 @@ __all__ = [
     "AcceleratorBackend",
     "ClassifierBackend",
     "InferenceBackend",
+    "ProcessPoolBackend",
     "folding_concurrency",
     "MicroBatcher",
     "OpenLoopReport",

@@ -32,6 +32,7 @@ __all__ = [
     "InferenceBackend",
     "ClassifierBackend",
     "AcceleratorBackend",
+    "ProcessPoolBackend",
     "folding_concurrency",
 ]
 
@@ -185,3 +186,86 @@ class AcceleratorBackend:
     def modelled_batch_seconds(self, batch_size: int) -> float:
         """Hardware-modelled (calibrated) time for one micro-batch."""
         return self.timing.batch_seconds(batch_size)
+
+
+class ProcessPoolBackend:
+    """Planned inference fanned across a multi-process pool.
+
+    Wraps a :class:`~repro.parallel.ProcessPool`: each worker process
+    owns a pre-warmed plan cache over a shared-memory arena, and batches
+    move through shared-memory slots (see :mod:`repro.parallel`). This
+    is the only backend whose ``max_concurrency`` exceeds the GIL —
+    one concurrency slot per worker process, each a genuine core of
+    XNOR compute.
+
+    The server calls :meth:`bind_metrics` at start so pool fault events
+    (worker restarts, requeued slots, task errors) surface as serving
+    counters, and :meth:`close` at stop so the workers and shared
+    segments never outlive the server.
+    """
+
+    def __init__(
+        self,
+        accelerator: FinnAccelerator,
+        name: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        buckets=None,
+        max_batch: int = 32,
+        slots: Optional[int] = None,
+        trace_sample: Optional[int] = None,
+        clock_mhz: float = 100.0,
+        pool=None,
+    ) -> None:
+        from repro.parallel import ProcessPool
+
+        if pool is None:
+            pool = ProcessPool(
+                accelerator,
+                num_workers=num_workers,
+                buckets=buckets,
+                max_batch=max_batch,
+                slots=slots,
+                trace_sample=trace_sample,
+            )
+        self.pool = pool
+        self.accelerator = accelerator
+        self.name = name or f"pool:{accelerator.name}"
+        self.max_concurrency = int(pool.num_workers)
+        self.timing = analyze_pipeline(accelerator, clock_mhz)
+        self._journal = None
+
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        return np.asarray(self.pool.predict(images))
+
+    def plan_stats(self) -> dict:
+        """Aggregated per-worker plan-cache counters plus pool counters."""
+        return self.pool.plan_stats()
+
+    def modelled_batch_seconds(self, batch_size: int) -> float:
+        """Hardware-modelled (calibrated) time for one micro-batch."""
+        return self.timing.batch_seconds(batch_size)
+
+    def bind_metrics(self, metrics) -> None:
+        """Forward pool fault events into a serving metrics registry."""
+        self.pool.on_event(metrics.increment)
+
+    def bind_journal(self, journal) -> None:
+        """Journal to receive the workers' spans when the pool closes.
+
+        Worker spans live in the worker processes until drained; binding
+        a journal here makes :meth:`close` (which the server calls while
+        the workers are still alive) flush them into it first.
+        """
+        self._journal = journal
+
+    def drain_spans(self, journal=None):
+        """Merge worker span journals (tagged by worker id)."""
+        return self.pool.drain_spans(journal)
+
+    def close(self) -> None:
+        if self._journal is not None and self.pool.healthy():
+            try:
+                self.pool.drain_spans(self._journal)
+            except Exception:  # noqa: BLE001 - shutdown must proceed
+                pass
+        self.pool.close()

@@ -67,6 +67,21 @@ class ServerStats:
         return self.counters.get("failed", 0)
 
     @property
+    def worker_restarts(self) -> int:
+        """Pool worker processes respawned after dying mid-service."""
+        return self.counters.get("pool_worker_restarts", 0)
+
+    @property
+    def requeued(self) -> int:
+        """In-flight slots re-sent to a fresh worker after a death."""
+        return self.counters.get("pool_requeued", 0)
+
+    @property
+    def padded_images(self) -> int:
+        """Pad rows added to reach a configured bucket geometry."""
+        return self.counters.get("padded_images", 0)
+
+    @property
     def mean_batch_size(self) -> float:
         total = sum(size * n for size, n in self.batch_histogram.items())
         batches = sum(self.batch_histogram.values())

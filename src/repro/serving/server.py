@@ -64,6 +64,10 @@ class ServingConfig:
     * ``num_workers`` — batcher/backend driver threads.
     * ``default_timeout_s`` — per-request deadline applied when
       ``submit`` does not specify one (``None`` = no deadline).
+    * ``bucket_sizes`` — optional batch-shape buckets: formed batches
+      are padded up to the nearest listed size so shape-keyed backends
+      (plan caches, the process pool) see a small fixed set of batch
+      geometries. The largest bucket must cover ``max_batch_size``.
     """
 
     max_batch_size: int = 32
@@ -74,6 +78,7 @@ class ServingConfig:
     allow_shedding: bool = True
     worker_poll_s: float = 0.02
     metrics_window: int = 4096
+    bucket_sizes: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -101,6 +106,14 @@ class ServingConfig:
         if self.metrics_window <= 0:
             raise ValueError(
                 f"metrics_window must be positive, got {self.metrics_window}"
+            )
+        if self.bucket_sizes is not None:
+            from repro.parallel.bucketing import validate_buckets
+
+            object.__setattr__(
+                self,
+                "bucket_sizes",
+                validate_buckets(self.bucket_sizes, self.max_batch_size),
             )
 
 
@@ -133,6 +146,7 @@ class InferenceServer:
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
             on_timeout=lambda _req: self.metrics.increment("timed_out"),
+            buckets=self.config.bucket_sizes,
         )
         self._workers = WorkerPool(
             self._batcher,
@@ -165,10 +179,32 @@ class InferenceServer:
 
     @classmethod
     def from_accelerator(
-        cls, accelerator, config: Optional[ServingConfig] = None
+        cls,
+        accelerator,
+        config: Optional[ServingConfig] = None,
+        mode: str = "thread",
     ) -> "InferenceServer":
-        """Serve a compiled ``FinnAccelerator`` (bit-packed XNOR path)."""
-        return cls([AcceleratorBackend(accelerator)], config)
+        """Serve a compiled ``FinnAccelerator`` (bit-packed XNOR path).
+
+        ``mode="process"`` serves through a
+        :class:`~repro.serving.backends.ProcessPoolBackend` — one plan
+        cache per worker *process*, multi-core throughput (closed with
+        the server).
+        """
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        config = config or ServingConfig()
+        if mode == "process":
+            from repro.serving.backends import ProcessPoolBackend
+
+            backend: InferenceBackend = ProcessPoolBackend(
+                accelerator,
+                buckets=config.bucket_sizes,
+                max_batch=config.max_batch_size,
+            )
+        else:
+            backend = AcceleratorBackend(accelerator)
+        return cls([backend], config)
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -179,6 +215,10 @@ class InferenceServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
+        for backend in self._workers.backends:
+            bind = getattr(backend, "bind_metrics", None)
+            if bind is not None:
+                bind(self.metrics)
         self._workers.start()
         return self
 
@@ -203,6 +243,10 @@ class InferenceServer:
                 self.metrics.increment("rejected")
         if self._started:
             self._workers.stop(timeout=timeout)
+        for backend in self._workers.backends:
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -318,6 +362,11 @@ class InferenceServer:
         return self.running and self.health(smoke=True).ok
 
     # -- observability -------------------------------------------------------
+    @property
+    def backends(self):
+        """The worker pool's backend list (primary first)."""
+        return list(self._workers.backends)
+
     def stats(self) -> ServerStats:
         """Snapshot of service statistics (see :class:`ServerStats`)."""
         return self.metrics.snapshot(queue_depth=self._queue.depth())

@@ -131,6 +131,16 @@ class WorkerPool:
         if not now_batch:
             return
         images = np.stack([r.image for r in now_batch])
+        bucket = self.batcher.bucket_for(len(now_batch))
+        if bucket is not None and bucket > len(now_batch):
+            # Pad up to the bucket geometry so shape-keyed backends (the
+            # plan caches) see a fixed set of batch shapes; the pad rows'
+            # labels are sliced off below.
+            pad = np.zeros(
+                (bucket - len(now_batch),) + images.shape[1:], images.dtype
+            )
+            images = np.concatenate([images, pad])
+            self.metrics.increment("padded_images", bucket - len(now_batch))
         self.metrics.observe_batch(len(now_batch))
 
         # The batch span parents under the first traced request and
@@ -189,13 +199,14 @@ class WorkerPool:
                     continue
                 finally:
                     slot.release()
-                if labels.shape[0] != len(now_batch):
+                if labels.shape[0] != images.shape[0]:
                     last_error = RuntimeError(
                         f"backend {backend.name!r} returned {labels.shape[0]} "
-                        f"labels for a batch of {len(now_batch)}"
+                        f"labels for a batch of {images.shape[0]}"
                     )
                     self.metrics.increment("backend_errors")
                     continue
+                labels = labels[: len(now_batch)]  # drop pad-row labels
                 batch_span.set_attribute("backend", backend.name)
                 self._complete(now_batch, labels, backend.name)
                 return
