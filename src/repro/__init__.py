@@ -58,6 +58,13 @@ from repro.hw import (
     compile_model,
     estimate_resources,
 )
+from repro.runtime import (
+    ExecutionConfig,
+    create_engine,
+    engine_names,
+    engine_table,
+    resolve_engine_name,
+)
 from repro.serving import InferenceServer, ServingConfig
 
 __version__ = "1.0.0"
@@ -67,6 +74,7 @@ __all__ = [
     "CLASS_NAMES",
     "ConfusionMatrix",
     "CrowdAnalyzer",
+    "ExecutionConfig",
     "FaceSampleGenerator",
     "FinnAccelerator",
     "FoldingConfig",
@@ -82,7 +90,11 @@ __all__ = [
     "build_masked_face_dataset",
     "compile_model",
     "confusion_matrix",
+    "create_engine",
+    "engine_names",
+    "engine_table",
     "estimate_resources",
+    "resolve_engine_name",
     "run_study",
     "table1_folding",
     "__version__",

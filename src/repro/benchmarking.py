@@ -311,25 +311,43 @@ def _bench_plan(
     ``steady_state_alloc_blocks`` is the tracemalloc-measured heap
     allocation count per planned call after warm-up — the tentpole's
     zero-allocation claim, recorded in the trajectory so it gates.
+
+    Both timings dispatch through the :mod:`repro.runtime` registry, so
+    the trajectory comparison (``compare_to_best``) also gates the
+    registry's dispatch overhead: planned FPS through ``run()`` must
+    stay within tolerance of the raw-plan runs recorded before the
+    runtime layer existed. ``raw_plan`` keeps the no-dispatch kernel
+    time so the overhead itself is visible in the record.
     """
     from repro.hw.plan import measure_steady_state, plan_unsupported_reason
+    from repro.runtime import ExecutionConfig
 
     reason = plan_unsupported_reason(accelerator)
     if reason is not None:
         return {"supported": False, "reason": reason}
     n = images.shape[0]
+    interpreted = ExecutionConfig(use_plan=False)
+    planned = ExecutionConfig()
     unplanned_s = _best_seconds(
-        lambda: accelerator.execute(images, use_plan=False), repeats
+        lambda: accelerator.run(images, interpreted), repeats
     )
     plan, _ = accelerator.plans.get(n)
     out = np.empty_like(plan.execute(images))
-    planned_s = _best_seconds(lambda: plan.execute(images, out=out), repeats)
+    raw_s = _best_seconds(lambda: plan.execute(images, out=out), repeats)
+    planned_s = _best_seconds(
+        lambda: accelerator.run(images, planned), repeats
+    )
     report = measure_steady_state(lambda: plan.execute(images, out=out))
     return {
         "supported": True,
         "images": n,
         "unplanned": {"seconds": unplanned_s, "fps": n / unplanned_s},
         "planned": {"seconds": planned_s, "fps": n / planned_s},
+        "raw_plan": {
+            "seconds": raw_s,
+            "fps": n / raw_s,
+            "dispatch_overhead": planned_s / raw_s - 1.0,
+        },
         "speedup": unplanned_s / planned_s,
         "steady_state_alloc_blocks": report.per_call_blocks,
         "arena_kib": round(plan.arena_nbytes / 1024, 3),
@@ -354,7 +372,8 @@ def _bench_parallel(
     ``compare_to_best`` only gates it between runs on identical hosts.
     """
     from repro.hw.plan import plan_unsupported_reason
-    from repro.parallel import ProcessPool, logical_cpu_count
+    from repro.parallel import logical_cpu_count
+    from repro.runtime import ExecutionConfig, create_engine
 
     reason = plan_unsupported_reason(accelerator)
     if reason is not None:
@@ -368,10 +387,15 @@ def _bench_parallel(
     out = np.empty_like(ref)
     single_s = _best_seconds(lambda: plan.execute(images, out=out), repeats)
 
-    with ProcessPool(
-        accelerator, num_workers=workers, max_batch=n, buckets=(n,),
-        slots=inflight,
-    ) as pool:
+    engine = create_engine(
+        accelerator,
+        ExecutionConfig(
+            isolation="process", workers=workers, max_batch=n,
+            bucket_sizes=(n,), slots=inflight,
+        ),
+    )
+    try:
+        pool = engine.pool
         if not np.array_equal(pool.submit(images).result(timeout=120.0), ref):
             raise RuntimeError(
                 "process pool logits diverge from the single-process plan"
@@ -383,6 +407,8 @@ def _bench_parallel(
                 task.result(timeout=120.0)
 
         pool_s = _best_seconds(feed, repeats)
+    finally:
+        engine.close()
     return {
         "supported": True,
         "images": n,

@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pool-workers", type=int, default=None,
                        help="process-pool worker count (default: one per "
                             "physical core, capped at 4)")
+        p.add_argument("--lowering", default="auto",
+                       choices=("auto", "blas", "packed"),
+                       help="plan lowering for the accelerator/process "
+                            "backends (default: auto picks the exact-f32 "
+                            "BLAS lowering where the geometry allows)")
         p.add_argument("--max-wait-ms", type=float, default=5.0)
         p.add_argument("--queue-capacity", type=int, default=256)
         p.add_argument("--workers", type=int, default=2)
@@ -218,6 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=BINARY_ARCHS + ("all",),
                           help="architecture to verify against its Table I "
                                "folding (default: all)")
+
+    p_engines = sub.add_parser(
+        "engines",
+        help="list the registered runtime engines and their capabilities",
+    )
+    p_engines.add_argument("--format", default="table",
+                           choices=("table", "json"),
+                           help="output format (default: table)")
 
     p_bench = sub.add_parser(
         "bench",
@@ -343,6 +356,8 @@ def _build_server(args):
         ServingConfig,
     )
 
+    from repro.runtime import ExecutionConfig
+
     clf = BinaryCoP.load(args.model)
     print(f"loaded {clf.architecture} from {args.model}")
     config = ServingConfig(
@@ -355,22 +370,32 @@ def _build_server(args):
         ),
         bucket_sizes=tuple(args.buckets) if args.buckets else None,
     )
+    lowering = getattr(args, "lowering", "auto")
     backends = []
     if args.backend in ("software", "both"):
         backends.append(ClassifierBackend(clf))
     if args.backend in ("accelerator", "both"):
-        backends.append(AcceleratorBackend(clf.deploy()))
+        backends.append(
+            AcceleratorBackend(
+                clf.deploy(),
+                execution=ExecutionConfig(lowering=lowering),
+            )
+        )
     if args.backend == "process":
         backends.append(
             ProcessPoolBackend(
                 clf.deploy(),
-                num_workers=args.pool_workers,
                 buckets=config.bucket_sizes,
                 max_batch=config.max_batch_size,
-                trace_sample=(
-                    args.trace_sample
-                    if (args.telemetry or args.trace_out is not None)
-                    else None
+                execution=ExecutionConfig(
+                    isolation="process",
+                    workers=args.pool_workers,
+                    lowering=lowering,
+                    trace_sample=(
+                        args.trace_sample
+                        if (args.telemetry or args.trace_out is not None)
+                        else None
+                    ),
                 ),
             )
         )
@@ -662,6 +687,52 @@ def _cmd_verify_model(args) -> int:
     return worst
 
 
+def _cmd_engines(args) -> int:
+    """List the registered runtime engines with their capability flags."""
+    import json
+
+    from repro.runtime import ExecutionConfig, engine_table
+
+    table = engine_table()
+    default = ExecutionConfig()
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "engines": table,
+                "default_config": default.describe(),
+                "resolution": [
+                    "config.engine pins a registered engine by name",
+                    "isolation='process' -> process",
+                    "workers > 1 -> threaded",
+                    "use_plan=False or packed_datapath=False -> interpreted",
+                    "unplannable model + lowering='auto' -> interpreted",
+                    "otherwise planned-blas / planned-packed per the "
+                    "resolved lowering",
+                ],
+            },
+            indent=2,
+        ))
+        return 0
+    flags = ("bit_exact", "zero_alloc", "zero_copy_ipc", "process_isolated")
+    header = ["engine"] + list(flags) + ["summary"]
+    rows = [
+        [row["name"]]
+        + [("yes" if row["capabilities"][f] else "-") for f in flags]
+        + [row["summary"]]
+        for row in table
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    for line in (header, *rows):
+        print("  ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip())
+    print()
+    print("resolution: engine > isolation='process' > workers>1 > "
+          "use_plan=False > lowering (auto picks BLAS when exact in f32)")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.benchmarking import (
         BENCH_SECTIONS,
@@ -743,6 +814,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "lockgraph": _cmd_lockgraph,
     "verify-model": _cmd_verify_model,
+    "engines": _cmd_engines,
     "bench": _cmd_bench,
 }
 

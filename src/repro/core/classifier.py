@@ -169,7 +169,8 @@ class BinaryCoP:
         images: np.ndarray,
         chunk_size: int = 256,
         num_workers: Optional[int] = None,
-        mode: str = "thread",
+        mode: Optional[str] = None,
+        execution=None,
     ) -> np.ndarray:
         """Argmax class predictions (software float path).
 
@@ -182,18 +183,27 @@ class BinaryCoP:
         to serial (note the layers' autograd caches are not meaningful
         afterwards — irrelevant for prediction).
 
-        ``mode="process"`` compiles (and caches) the Table I accelerator
-        and fans the batch across its process pool — the multi-core
-        integer datapath rather than this float path; predictions agree
-        wherever the quantised input does.
+        ``execution`` switches to the compiled integer datapath: the
+        Table I accelerator is compiled (and cached) and the batch
+        dispatched through the :mod:`repro.runtime` engine the config
+        resolves to — predictions agree with the float path wherever the
+        quantised input does. ``mode="process"`` is the **deprecated**
+        spelling of ``execution=ExecutionConfig(isolation="process")``.
         """
-        if mode not in ("thread", "process"):
-            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
-        if mode == "process":
+        if mode is not None:
+            from repro.runtime import deprecated_kwargs_config
+
+            execution = deprecated_kwargs_config(
+                "BinaryCoP.predict", execution, mode=mode,
+            )
+            if execution.isolation != "process":
+                # Legacy mode="thread" named the default float path.
+                execution = None
+        if execution is not None:
             if self._accelerator is None:
                 self._accelerator = self.deploy()
             return self._accelerator.predict(
-                images, num_workers=num_workers, mode="process"
+                images, num_workers=num_workers, execution=execution
             )
         if images.ndim == 3:
             images = images[None]

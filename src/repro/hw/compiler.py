@@ -230,21 +230,24 @@ class FinnAccelerator:
         self.num_classes = int(num_classes)
         self._plan_cache = None
         self._process_pool = None
+        self._engines = {}
 
     def __getstate__(self):
         # Plan caches hold a lock and arena-bound buffers, process pools
-        # hold live OS resources — both are derived state, rebuilt lazily
-        # wherever the accelerator lands (a spawn-started pool worker, a
-        # deepcopy for fault injection).
+        # and engines hold live OS resources — all derived state, rebuilt
+        # lazily wherever the accelerator lands (a spawn-started pool
+        # worker, a deepcopy for fault injection).
         state = self.__dict__.copy()
         state["_plan_cache"] = None
         state["_process_pool"] = None
+        state["_engines"] = {}
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._plan_cache = None
         self._process_pool = None
+        self._engines = {}
 
     @property
     def plans(self):
@@ -282,10 +285,61 @@ class FinnAccelerator:
         return pool
 
     def close_pool(self) -> None:
-        """Shut down the lazy process pool, if one was created."""
+        """Shut down the lazy process pool and any pooled engines."""
         if self._process_pool is not None:
             self._process_pool.close()
             self._process_pool = None
+        for engine in list(self._engines.values()):
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+        self._engines.clear()
+
+    # -- runtime dispatch ----------------------------------------------------
+    def engine_for(self, execution=None):
+        """The cached :class:`~repro.runtime.engines.Engine` for a config.
+
+        One engine instance per distinct :class:`ExecutionConfig`, built
+        through the :mod:`repro.runtime.registry` resolution rules and
+        kept for the accelerator's lifetime so plan caches, arenas and
+        worker pools persist across calls.
+        """
+        from repro.runtime import ExecutionConfig, create_engine
+        from repro.runtime.registry import resolve_engine_name
+
+        if execution is None:
+            execution = ExecutionConfig()
+        engine = self._engines.get(execution)
+        if engine is None:
+            if resolve_engine_name(execution, self) == "process":
+                # One live pool per accelerator: a process engine with a
+                # different topology replaces (and closes) the old one,
+                # mirroring the historical lazy-pool semantics.
+                for key, old in list(self._engines.items()):
+                    if getattr(old, "name", "") == "process":
+                        old.close()
+                        del self._engines[key]
+            engine = self._engines[execution] = create_engine(self, execution)
+        return engine
+
+    def run(
+        self,
+        images: np.ndarray,
+        execution=None,
+        *,
+        return_bits: bool = False,
+        stage_seconds: Optional[list] = None,
+    ):
+        """Integer logits via the engine resolved for ``execution``.
+
+        The first-class entry point of the runtime layer: ``execution``
+        is an :class:`~repro.runtime.ExecutionConfig` (default: planned
+        single-process inference). ``execute``/``predict`` remain as
+        compatibility wrappers over this.
+        """
+        return self.engine_for(execution).run(
+            images, return_bits=return_bits, stage_seconds=stage_seconds
+        )
 
     # -- functional ---------------------------------------------------------
     @staticmethod
@@ -315,88 +369,74 @@ class FinnAccelerator:
         use_packed: Optional[bool] = None,
         stage_seconds: Optional[list] = None,
         use_plan: Optional[bool] = None,
+        execution=None,
     ):
         """Run the integer datapath; returns integer logits ``(N, classes)``.
 
-        With ``return_bits`` additionally returns the per-stage binary
-        activation maps (for equivalence tests and debugging).
+        Compatibility wrapper over :meth:`run` — the kwargs map onto an
+        :class:`~repro.runtime.ExecutionConfig` and dispatch through the
+        :mod:`repro.runtime` registry. Defaults keep the historical
+        semantics: the interpreted reference datapath, optionally
+        chunked (``chunk_size`` bounds the SWU's ~K*K window memory) and
+        thread-parallel (``num_workers``; numpy releases the GIL in the
+        pack/XNOR/popcount kernels). ``use_packed=False`` forces the
+        boolean reference stages. With ``return_bits`` additionally
+        returns the per-stage binary activation maps; chunking is
+        incompatible with it (the traces would need re-stitching).
 
-        ``chunk_size`` bounds how many images flow through the datapath
-        at once: the SWU materialises every sliding window, so an
-        unbounded batch (e.g. one coalesced by the serving layer)
-        multiplies memory by ~K*K per conv stage. ``num_workers`` runs
-        the chunks thread-parallel (numpy releases the GIL in the
-        pack/XNOR/popcount kernels, so real overlap happens on
-        multi-core hosts); results are concatenated in submission order,
-        identical to the serial result for any chunking. Chunking is
-        incompatible with ``return_bits`` (the per-stage traces would
-        need re-stitching across chunks).
+        ``use_plan`` is **deprecated** — pass
+        ``execution=ExecutionConfig(...)`` (or call :meth:`run`) to pick
+        the planned engines instead.
+        """
+        from repro.runtime import ExecutionConfig, deprecated_kwargs_config
 
-        ``use_packed`` controls the pack-once fast path: ``None`` (the
-        default) and ``True`` keep activations bit-packed between stages
-        wherever the geometry is word-aligned (``channels % 64 == 0`` —
-        every CNV stage; n-CNV/µ-CNV's narrow stages fall back
-        transparently); ``False`` forces the boolean reference path.
-        Both paths are bit-exact by construction.
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if use_plan is not None:
+            execution = deprecated_kwargs_config(
+                "FinnAccelerator.execute",
+                execution,
+                use_plan=use_plan,
+                chunk_size=chunk_size,
+                workers=num_workers,
+                packed_datapath=use_packed,
+            )
+        else:
+            execution = (
+                execution if execution is not None
+                else ExecutionConfig(use_plan=False)
+            ).merged(
+                chunk_size=chunk_size,
+                workers=num_workers,
+                packed_datapath=use_packed,
+            )
+        return self.run(
+            images,
+            execution,
+            return_bits=return_bits,
+            stage_seconds=stage_seconds,
+        )
 
-        ``use_plan`` routes the batch through a precompiled
-        :class:`~repro.hw.plan.ExecutionPlan` from :attr:`plans` —
-        cached gather tables, persistent arena buffers (zero steady-state
-        allocations) and fused threshold+pool stages; bit-exact against
-        the interpreted path, including ``return_bits`` traces. ``None``
-        (the default) keeps the interpreted datapath — ``predict`` and
-        the serving layer opt in. Forced off under ``use_packed=False``
-        (plans are packed-domain) and for thread-parallel chunks (pool
-        threads churn the thread-keyed cache).
+    def _run_interpreted(
+        self,
+        images: np.ndarray,
+        return_bits: bool = False,
+        use_packed: Optional[bool] = None,
+        stage_seconds: Optional[list] = None,
+    ):
+        """The stage-by-stage reference datapath, one unchunked batch.
+
+        This is the golden semantics every engine is held to; only the
+        runtime engines call it. ``use_packed=False`` forces the boolean
+        reference stages; the default keeps activations bit-packed
+        wherever the geometry is word-aligned (``channels % 64 == 0``),
+        bit-exact either way.
         """
         images = np.asarray(images)
         if images.ndim == 3:
             images = images[None]
-        if num_workers is not None and num_workers <= 0:
-            raise ValueError(f"num_workers must be positive, got {num_workers}")
-        if chunk_size is not None:
-            if chunk_size <= 0:
-                raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-            if return_bits:
-                raise ValueError("chunk_size cannot be combined with return_bits")
-            if images.shape[0] > chunk_size:
-                chunks = [
-                    images[start : start + chunk_size]
-                    for start in range(0, images.shape[0], chunk_size)
-                ]
-                if num_workers is not None and num_workers > 1:
-                    # Pool threads are short-lived, so plans keyed to
-                    # them would be compiled once and never reused —
-                    # thread-parallel chunks keep the interpreted path.
-                    run = partial(
-                        self.execute, use_packed=use_packed, use_plan=False
-                    )
-                else:
-                    run = partial(
-                        self.execute, use_packed=use_packed, use_plan=use_plan
-                    )
-                if num_workers is not None and num_workers > 1:
-                    import contextvars
-                    from concurrent.futures import ThreadPoolExecutor
-
-                    # Pool threads do not inherit the caller's context,
-                    # which carries the current trace span — copy it per
-                    # chunk so stage spans stay parented under the
-                    # caller's tree. One Context per chunk: a Context
-                    # can only be entered by one thread at a time.
-                    contexts = [contextvars.copy_context() for _ in chunks]
-                    with ThreadPoolExecutor(
-                        max_workers=min(num_workers, len(chunks))
-                    ) as pool:
-                        parts = list(
-                            pool.map(
-                                lambda job: job[0].run(run, job[1]),
-                                zip(contexts, chunks),
-                            )
-                        )
-                else:
-                    parts = [run(chunk) for chunk in chunks]
-                return np.concatenate(parts)
         if images.shape[1:] != self.input_shape:
             raise ValueError(
                 f"input {images.shape[1:]} does not match accelerator "
@@ -415,7 +455,7 @@ class FinnAccelerator:
         if trace_stages:
             span_parent = tracer.current_span()
             if span_parent is None:
-                # Standalone use (no serving span active): open one root
+                # Standalone use (no runtime span active): open one root
                 # so the stage spans still form a connected tree.
                 own_span = tracer.start_span(
                     "hw.execute",
@@ -426,42 +466,6 @@ class FinnAccelerator:
                 span_parent = own_span
             trace_stages = span_parent.recording
         packed_enabled = use_packed is None or use_packed
-        if use_plan and packed_enabled:
-            from repro.hw.plan import plan_unsupported_reason
-
-            if plan_unsupported_reason(self) is None:
-                plan, cache_hit = self.plans.get(n)
-                plan_parent = span_parent if trace_stages else None
-                if trace_stages:
-                    stats = self.plans.stats()
-                    plan_parent = tracer.start_span(
-                        "hw.plan",
-                        kind="hw_plan",
-                        parent=span_parent,
-                        attributes={
-                            "accelerator": self.name,
-                            "images": n,
-                            "cache_hit": cache_hit,
-                            "plan_hits": stats["hits"],
-                            "plan_misses": stats["misses"],
-                            "arena_kib": round(plan.arena_nbytes / 1024, 3),
-                            "fused_stages": plan.fused_stages,
-                        },
-                    )
-                try:
-                    result = plan.execute(
-                        images,
-                        return_bits=return_bits,
-                        tracer=tracer if trace_stages else None,
-                        parent=plan_parent,
-                        stage_seconds=stage_seconds,
-                    )
-                finally:
-                    if trace_stages:
-                        plan_parent.finish()
-                    if own_span is not None:
-                        own_span.finish()
-                return result
         current: Optional[np.ndarray] = self.quantize_input(images)
         packed: Optional[PackedBits] = None
         bits_trace = []
@@ -580,39 +584,40 @@ class FinnAccelerator:
         images: np.ndarray,
         chunk_size: Optional[int] = None,
         num_workers: Optional[int] = None,
-        use_plan: bool = True,
-        mode: str = "thread",
+        use_plan: Optional[bool] = None,
+        mode: Optional[str] = None,
+        execution=None,
     ) -> np.ndarray:
         """Argmax classification over the integer logits.
 
-        ``chunk_size`` bounds per-pass memory; ``num_workers`` runs the
-        chunks thread-parallel (when given without ``chunk_size``, the
-        batch is split evenly across the workers). ``use_plan`` (default
-        on) runs serial fixed-shape batches through the precompiled
-        allocation-free execution plan; results are bit-identical either
-        way. ``mode="process"`` instead fans chunks across the lazy
-        :meth:`process_pool` — true multi-core planned execution, still
-        bit-identical.
+        ``execution`` picks the engine (default: planned single-process
+        inference); ``chunk_size`` bounds per-pass memory and
+        ``num_workers`` fans chunks thread-parallel — both are merged
+        into the config. Every engine is bit-identical by contract.
+
+        ``use_plan``/``mode`` are **deprecated** shims: they emit one
+        :class:`DeprecationWarning` and forward to the equivalent
+        :class:`~repro.runtime.ExecutionConfig` (``mode="process"`` maps
+        to ``isolation="process"`` — the shared-memory pool engine).
         """
-        if mode not in ("thread", "process"):
-            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
-        if mode == "process":
-            return self.process_pool(num_workers=num_workers).predict(images)
-        images = np.asarray(images)
-        if (
-            num_workers is not None
-            and num_workers > 1
-            and chunk_size is None
-            and images.ndim == 4
-            and images.shape[0] > 1
-        ):
-            chunk_size = -(-images.shape[0] // num_workers)
-        return self.execute(
-            images,
-            chunk_size=chunk_size,
-            num_workers=num_workers,
-            use_plan=use_plan,
-        ).argmax(axis=1)
+        from repro.runtime import ExecutionConfig, deprecated_kwargs_config
+
+        if num_workers is not None and num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if use_plan is not None or mode is not None:
+            execution = deprecated_kwargs_config(
+                "FinnAccelerator.predict",
+                execution,
+                use_plan=use_plan,
+                mode=mode,
+                chunk_size=chunk_size,
+                workers=num_workers,
+            )
+        else:
+            execution = (
+                execution if execution is not None else ExecutionConfig()
+            ).merged(chunk_size=chunk_size, workers=num_workers)
+        return self.run(images, execution).argmax(axis=1)
 
     # -- reporting -----------------------------------------------------------
     def stage_intervals(self) -> List[Tuple[str, int]]:

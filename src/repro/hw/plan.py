@@ -767,12 +767,14 @@ class PlanCache:
         accelerator,
         capacity: int = 8,
         arena: Optional[BufferArena] = None,
+        lowering: str = "auto",
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._accelerator = accelerator
         self._capacity = capacity
         self._arena = arena
+        self._lowering = lowering
         self._lock = threading.Lock()
         self._plans: "OrderedDict[Tuple, ExecutionPlan]" = OrderedDict()
         self._hits = 0
@@ -785,13 +787,28 @@ class PlanCache:
         import copy as _copy
 
         accelerator = _copy.deepcopy(self._accelerator, memo)
-        clone = PlanCache(accelerator, capacity=self._capacity)
+        clone = PlanCache(
+            accelerator, capacity=self._capacity, lowering=self._lowering
+        )
         memo[id(self)] = clone
         return clone
 
-    def get(self, batch_size: int) -> Tuple[ExecutionPlan, bool]:
-        """(plan, was_cache_hit) for this batch size on this thread."""
+    def get(
+        self, batch_size: int, lowering: Optional[str] = None
+    ) -> Tuple[ExecutionPlan, bool]:
+        """(plan, was_cache_hit) for this batch size on this thread.
+
+        ``lowering`` overrides the cache default per lookup; plans with
+        different lowerings coexist under distinct keys (``"auto"`` is
+        resolved first, so it shares the entry of whichever concrete
+        lowering it picks).
+        """
+        resolved = _resolve_lowering(
+            self._accelerator, lowering if lowering is not None
+            else self._lowering,
+        )
         key = plan_key(self._accelerator, batch_size) + (
+            resolved,
             threading.get_ident(),
         )
         with self._lock:
@@ -802,7 +819,8 @@ class PlanCache:
                 return plan, True
             self._misses += 1
         plan = ExecutionPlan(  # compiled outside the lock
-            self._accelerator, batch_size, arena=self._arena
+            self._accelerator, batch_size, arena=self._arena,
+            lowering=resolved,
         )
         with self._lock:
             self._plans[key] = plan
@@ -811,7 +829,7 @@ class PlanCache:
                 self._plans.popitem(last=False)
         return plan, False
 
-    def prewarm(self, batch_sizes) -> None:
+    def prewarm(self, batch_sizes, lowering: Optional[str] = None) -> None:
         """Compile a plan per batch size now, so requests never pay one.
 
         The pool workers call this with their bucket set at startup;
@@ -825,7 +843,7 @@ class PlanCache:
                 f"capacity {self._capacity}"
             )
         for size in sizes:
-            self.get(size)
+            self.get(size, lowering=lowering)
 
     def stats(self) -> Dict:
         """Cache counters + resident arena footprint."""

@@ -9,8 +9,9 @@ through shared-memory ring slots, so the hot path pickles nothing
 bigger than a task tuple.
 
 Entry points: :class:`~repro.parallel.pool.ProcessPool` directly,
-``FinnAccelerator.predict(..., mode="process")``, or the serving
-layer's ``ProcessPoolBackend``.
+``predict(..., execution=ExecutionConfig(isolation="process"))``
+through the :mod:`repro.runtime` registry, or the serving layer's
+``ProcessPoolBackend``.
 """
 
 from repro.parallel.bucketing import (

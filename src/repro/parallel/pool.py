@@ -116,12 +116,16 @@ class ProcessPool:
         trace_sample: Optional[int] = None,
         start_method: Optional[str] = None,
         on_event: Optional[Callable[[str, int], None]] = None,
+        lowering: str = "auto",
     ) -> None:
-        from repro.hw.plan import plan_unsupported_reason
+        from repro.hw.plan import _resolve_lowering, plan_unsupported_reason
 
         reason = plan_unsupported_reason(accelerator)
         if reason is not None:
             raise ValueError(f"{accelerator.name}: {reason}")
+        # Validate eagerly: a bad lowering should fail here, not as a
+        # "fatal" handshake from every spawned worker.
+        self.lowering = _resolve_lowering(accelerator, lowering)
         if num_workers is None:
             num_workers = recommended_workers()
         if num_workers <= 0:
@@ -192,6 +196,7 @@ class ProcessPool:
                 q,
                 self._result_q,
                 self.trace_sample,
+                self.lowering,
             ),
             daemon=True,
         )

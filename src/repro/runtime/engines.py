@@ -1,0 +1,429 @@
+"""The built-in engines: five datapaths, one protocol.
+
+Each engine wraps one of the repo's inference paths behind the
+:class:`Engine` protocol — ``prepare`` binds (or compiles) the
+accelerator, ``run`` executes a batch, ``capabilities`` declares the
+guarantees, ``stats`` surfaces the engine's counters. Every ``run``
+opens a ``runtime.<engine>`` telemetry span so traces name the engine
+uniformly regardless of which path served the batch.
+
+=================  =========================================================
+engine             datapath
+=================  =========================================================
+``interpreted``    stage-by-stage reference loop (boolean or bit-packed)
+``planned-blas``   precompiled plan, exact-float32 GEMM lowering
+``planned-packed`` precompiled plan, packed XNOR/popcount lowering
+``threaded``       interpreted chunks fanned over a thread pool
+``process``        planned buckets over the shared-memory process pool
+=================  =========================================================
+
+All five are bit-exact against the interpreted reference — the
+cross-engine contract test in ``tests/test_runtime_contract.py`` holds
+every registered engine to that, ``return_bits`` traces included.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.runtime.config import ExecutionConfig
+from repro.runtime.registry import (
+    EngineCapabilities,
+    EngineSpec,
+    register_engine,
+)
+from repro.telemetry import get_tracer
+
+__all__ = [
+    "Engine",
+    "InterpretedEngine",
+    "PlannedEngine",
+    "ThreadedEngine",
+    "ProcessEngine",
+]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What the registry requires of an engine."""
+
+    name: str
+
+    def prepare(self, model=None, folding=None, geometry=None) -> "Engine":
+        """Bind the engine: compile ``model`` under ``folding`` when no
+        accelerator is bound yet, validate, and return self."""
+        ...
+
+    def run(self, batch, *, return_bits: bool = False,
+            stage_seconds=None) -> np.ndarray:
+        """Integer logits ``(N, classes)`` (plus per-stage bit traces
+        with ``return_bits``) for a stacked image batch."""
+        ...
+
+    def capabilities(self) -> EngineCapabilities:
+        ...
+
+    def stats(self) -> dict:
+        ...
+
+
+def _normalize(batch) -> np.ndarray:
+    batch = np.asarray(batch)
+    if batch.ndim == 3:
+        batch = batch[None]
+    return batch
+
+
+class _BaseEngine:
+    """Shared prepare/telemetry plumbing for the built-in engines."""
+
+    name = "base"
+
+    def __init__(self, accelerator, config: ExecutionConfig) -> None:
+        self.config = config
+        self._accelerator = accelerator
+
+    @property
+    def accelerator(self):
+        if self._accelerator is None:
+            raise RuntimeError(
+                f"engine {self.name!r} is unbound; call prepare(model, "
+                "folding) or construct it with an accelerator"
+            )
+        return self._accelerator
+
+    def prepare(self, model=None, folding=None, geometry=None):
+        if model is not None:
+            from repro.core.architectures import table1_folding
+            from repro.hw.compiler import compile_model, mvtu_geometry
+
+            if folding is None:
+                arch = getattr(model, "architecture", None)
+                if arch is None:
+                    raise ValueError(
+                        "prepare(model) needs a folding (or a model with "
+                        "an .architecture for the Table I default)"
+                    )
+                folding = table1_folding(arch)
+            if geometry is not None:
+                want = mvtu_geometry(model)
+                if list(geometry) != list(want):
+                    raise ValueError(
+                        "geometry does not match the model's MVTU "
+                        f"geometry ({len(geometry)} vs {len(want)} units)"
+                    )
+            self._accelerator = compile_model(model, folding)
+        self.accelerator  # raises when still unbound
+        self._bind()
+        return self
+
+    def _bind(self) -> None:
+        """Engine-specific validation/warm-up hook."""
+
+    def capabilities(self) -> EngineCapabilities:
+        from repro.runtime.registry import engine_spec
+
+        return engine_spec(self.name).capabilities
+
+    def stats(self) -> dict:
+        return {"engine": self.name}
+
+    def _span(self, tracer, n: int):
+        """The uniform ``runtime.<engine>`` span around one run."""
+        return tracer.span(
+            f"runtime.{self.name}",
+            kind="hw",
+            attributes={
+                "accelerator": self.accelerator.name,
+                "images": n,
+                "engine": self.name,
+            },
+        )
+
+
+class InterpretedEngine(_BaseEngine):
+    """The stage-by-stage reference datapath (optionally chunked)."""
+
+    name = "interpreted"
+
+    def run(self, batch, *, return_bits: bool = False, stage_seconds=None):
+        batch = _normalize(batch)
+        cfg = self.config
+        use_packed = cfg.packed_datapath
+        chunk = cfg.chunk_size
+        if chunk is not None and return_bits:
+            raise ValueError("chunk_size cannot be combined with return_bits")
+        tracer = get_tracer()
+        with self._span(tracer, batch.shape[0]):
+            if chunk is not None and batch.shape[0] > chunk:
+                parts = [
+                    self.accelerator._run_interpreted(
+                        batch[start : start + chunk],
+                        use_packed=use_packed,
+                        stage_seconds=stage_seconds,
+                    )
+                    for start in range(0, batch.shape[0], chunk)
+                ]
+                return np.concatenate(parts)
+            return self.accelerator._run_interpreted(
+                batch,
+                return_bits=return_bits,
+                use_packed=use_packed,
+                stage_seconds=stage_seconds,
+            )
+
+
+class PlannedEngine(_BaseEngine):
+    """Precompiled allocation-free plans from the accelerator's cache.
+
+    ``lowering`` is fixed per engine (``blas``/``packed``); plans come
+    from the accelerator's shared :class:`~repro.hw.plan.PlanCache`, so
+    cache counters aggregate across engines and serving dashboards.
+    """
+
+    name = "planned"
+
+    def __init__(self, accelerator, config: ExecutionConfig,
+                 lowering: str) -> None:
+        super().__init__(accelerator, config)
+        self.lowering = lowering
+        self.name = f"planned-{lowering}"
+
+    def _bind(self) -> None:
+        from repro.hw.plan import plan_unsupported_reason
+
+        reason = plan_unsupported_reason(self.accelerator)
+        if reason is not None:
+            raise ValueError(
+                f"engine {self.name!r} cannot plan this accelerator: "
+                f"{reason}"
+            )
+
+    def stats(self) -> dict:
+        return {
+            "engine": self.name,
+            "lowering": self.lowering,
+            **self.accelerator.plans.stats(),
+        }
+
+    def run(self, batch, *, return_bits: bool = False, stage_seconds=None):
+        batch = _normalize(batch)
+        n = batch.shape[0]
+        chunk = self.config.chunk_size
+        if chunk is not None and return_bits:
+            raise ValueError("chunk_size cannot be combined with return_bits")
+        tracer = get_tracer()
+        with self._span(tracer, n):
+            if chunk is not None and n > chunk:
+                parts = [
+                    self._run_one(batch[start : start + chunk], False, None)
+                    for start in range(0, n, chunk)
+                ]
+                return np.concatenate(parts)
+            return self._run_one(batch, return_bits, stage_seconds)
+
+    def _run_one(self, batch, return_bits, stage_seconds):
+        acc = self.accelerator
+        n = batch.shape[0]
+        if batch.shape[1:] != acc.input_shape:
+            raise ValueError(
+                f"input {batch.shape[1:]} does not match accelerator "
+                f"input {acc.input_shape}"
+            )
+        if n == 0:
+            logits = np.zeros((0, acc.num_classes), dtype=np.int64)
+            return (logits, []) if return_bits else logits
+        plan, cache_hit = acc.plans.get(n, lowering=self.lowering)
+        tracer = get_tracer()
+        parent = tracer.current_span() if tracer.enabled else None
+        recording = parent is not None and parent.recording
+        plan_span = None
+        if recording:
+            stats = acc.plans.stats()
+            plan_span = tracer.start_span(
+                "hw.plan",
+                kind="hw_plan",
+                parent=parent,
+                attributes={
+                    "accelerator": acc.name,
+                    "images": n,
+                    "cache_hit": cache_hit,
+                    "plan_hits": stats["hits"],
+                    "plan_misses": stats["misses"],
+                    "arena_kib": round(plan.arena_nbytes / 1024, 3),
+                    "fused_stages": plan.fused_stages,
+                },
+            )
+        try:
+            return plan.execute(
+                batch,
+                return_bits=return_bits,
+                tracer=tracer if recording else None,
+                parent=plan_span,
+                stage_seconds=stage_seconds,
+            )
+        finally:
+            if plan_span is not None:
+                plan_span.finish()
+
+
+class ThreadedEngine(_BaseEngine):
+    """Interpreted chunks fanned over a thread pool.
+
+    numpy releases the GIL in the pack/XNOR/popcount kernels, so chunks
+    genuinely overlap on multi-core hosts. Plans stay off here: pool
+    threads are short-lived, and plans are keyed per thread — each would
+    be compiled once and never reused.
+    """
+
+    name = "threaded"
+
+    def _bind(self) -> None:
+        if self.config.workers is None or self.config.workers < 2:
+            raise ValueError(
+                f"engine {self.name!r} needs workers >= 2, "
+                f"got {self.config.workers}"
+            )
+
+    def stats(self) -> dict:
+        return {"engine": self.name, "workers": self.config.workers}
+
+    def run(self, batch, *, return_bits: bool = False, stage_seconds=None):
+        if return_bits:
+            raise ValueError(
+                "thread-parallel chunks cannot re-stitch return_bits "
+                "traces; use the interpreted or planned engine"
+            )
+        batch = _normalize(batch)
+        n = batch.shape[0]
+        cfg = self.config
+        chunk = cfg.chunk_size
+        if chunk is None:
+            chunk = max(1, -(-n // cfg.workers))
+        tracer = get_tracer()
+        with self._span(tracer, n):
+            chunks = [batch[s : s + chunk] for s in range(0, max(n, 1), chunk)]
+            if len(chunks) == 1:
+                return self.accelerator._run_interpreted(
+                    batch,
+                    use_packed=cfg.packed_datapath,
+                    stage_seconds=stage_seconds,
+                )
+            import contextvars
+            from concurrent.futures import ThreadPoolExecutor
+
+            run = lambda part: self.accelerator._run_interpreted(  # noqa: E731
+                part, use_packed=cfg.packed_datapath
+            )
+            # Pool threads do not inherit the caller's context, which
+            # carries the current trace span — copy it per chunk so
+            # stage spans stay parented under the runtime span. One
+            # Context per chunk: a Context can only be entered by one
+            # thread at a time.
+            contexts = [contextvars.copy_context() for _ in chunks]
+            with ThreadPoolExecutor(
+                max_workers=min(cfg.workers, len(chunks))
+            ) as pool:
+                parts = list(
+                    pool.map(
+                        lambda job: job[0].run(run, job[1]),
+                        zip(contexts, chunks),
+                    )
+                )
+            return np.concatenate(parts)
+
+
+class ProcessEngine(_BaseEngine):
+    """Planned buckets over the shared-memory process pool.
+
+    The pool is created lazily on first run (so resolving or listing
+    engines never spawns workers) unless one is injected — the serving
+    layer's :class:`~repro.serving.backends.ProcessPoolBackend` passes
+    its own so the server owns the worker lifecycle.
+    """
+
+    name = "process"
+
+    def __init__(self, accelerator, config: ExecutionConfig,
+                 pool=None) -> None:
+        super().__init__(accelerator, config)
+        self._pool = pool
+
+    @property
+    def pool(self):
+        if self._pool is None or not self._pool.healthy():
+            from repro.parallel import ProcessPool
+
+            cfg = self.config
+            self._pool = ProcessPool(
+                self.accelerator,
+                num_workers=cfg.workers,
+                buckets=cfg.bucket_sizes,
+                max_batch=cfg.max_batch,
+                slots=cfg.slots,
+                trace_sample=cfg.trace_sample,
+                lowering=cfg.lowering,
+            )
+        return self._pool
+
+    def stats(self) -> dict:
+        if self._pool is None:
+            return {"engine": self.name, "pool": None}
+        return {"engine": self.name, **self._pool.plan_stats()}
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def run(self, batch, *, return_bits: bool = False, stage_seconds=None):
+        if stage_seconds is not None:
+            raise ValueError(
+                "per-stage timing is not collected across process "
+                "boundaries; use a single-process engine"
+            )
+        batch = _normalize(batch)
+        tracer = get_tracer()
+        with self._span(tracer, batch.shape[0]):
+            if return_bits:
+                task = self.pool.submit(batch, return_bits=True)
+                logits = task.result(timeout=300.0)
+                return logits, task.bits()
+            return self.pool.execute(batch)
+
+
+register_engine(EngineSpec(
+    name="interpreted",
+    factory=InterpretedEngine,
+    capabilities=EngineCapabilities(bit_exact=True),
+    summary="stage-by-stage reference datapath (the golden semantics)",
+))
+register_engine(EngineSpec(
+    name="planned-blas",
+    factory=lambda acc, cfg: PlannedEngine(acc, cfg, "blas"),
+    capabilities=EngineCapabilities(bit_exact=True, zero_alloc=True),
+    summary="precompiled plans, exact-float32 GEMM lowering",
+))
+register_engine(EngineSpec(
+    name="planned-packed",
+    factory=lambda acc, cfg: PlannedEngine(acc, cfg, "packed"),
+    capabilities=EngineCapabilities(bit_exact=True, zero_alloc=True),
+    summary="precompiled plans, packed XNOR/popcount lowering",
+))
+register_engine(EngineSpec(
+    name="threaded",
+    factory=ThreadedEngine,
+    capabilities=EngineCapabilities(bit_exact=True),
+    summary="interpreted chunks fanned over a thread pool",
+))
+register_engine(EngineSpec(
+    name="process",
+    factory=ProcessEngine,
+    capabilities=EngineCapabilities(
+        bit_exact=True, zero_alloc=True, zero_copy_ipc=True,
+        process_isolated=True,
+    ),
+    summary="planned buckets over the shared-memory process pool",
+))

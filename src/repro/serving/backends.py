@@ -133,11 +133,13 @@ class AcceleratorBackend:
     calibrated pipeline cycle model — so benchmarks can contrast
     simulator wall time with hardware-equivalent time.
 
-    ``use_plan`` (default on) routes steady-state requests through the
-    accelerator's precompiled :class:`~repro.hw.plan.ExecutionPlan`
-    cache: repeated micro-batches of the same shape reuse one persistent
-    arena per worker thread and allocate nothing. :meth:`plan_stats`
-    surfaces the cache counters for serving dashboards.
+    ``execution`` (an :class:`~repro.runtime.ExecutionConfig`, default:
+    planned single-process inference) picks the runtime engine requests
+    dispatch through; repeated micro-batches of the same shape reuse one
+    persistent arena per worker thread and allocate nothing.
+    :meth:`plan_stats` surfaces the plan-cache counters for serving
+    dashboards. ``use_plan=`` is the **deprecated** spelling of
+    ``execution=ExecutionConfig(use_plan=...)``.
     """
 
     def __init__(
@@ -148,16 +150,27 @@ class AcceleratorBackend:
         max_concurrency: Optional[int] = None,
         clock_mhz: float = 100.0,
         num_workers: Optional[int] = None,
-        use_plan: bool = True,
+        use_plan: Optional[bool] = None,
+        execution=None,
     ) -> None:
+        from repro.runtime import ExecutionConfig, deprecated_kwargs_config
+
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if num_workers is not None and num_workers <= 0:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if use_plan is not None:
+            execution = deprecated_kwargs_config(
+                "AcceleratorBackend", execution, use_plan=use_plan,
+            )
+        elif execution is None:
+            execution = ExecutionConfig()
         self.accelerator = accelerator
         self.chunk_size = int(chunk_size)
         self.num_workers = num_workers
-        self.use_plan = bool(use_plan)
+        self.execution = execution.merged(
+            chunk_size=self.chunk_size, workers=num_workers
+        )
         self.name = name or f"accelerator:{accelerator.name}"
         self.timing = analyze_pipeline(accelerator, clock_mhz)
         if max_concurrency is None:
@@ -170,12 +183,7 @@ class AcceleratorBackend:
 
     def infer(self, images: np.ndarray) -> np.ndarray:
         return np.asarray(
-            self.accelerator.predict(
-                images,
-                chunk_size=self.chunk_size,
-                num_workers=self.num_workers,
-                use_plan=self.use_plan,
-            )
+            self.accelerator.predict(images, execution=self.execution)
         )
 
     def plan_stats(self) -> dict:
@@ -215,27 +223,42 @@ class ProcessPoolBackend:
         trace_sample: Optional[int] = None,
         clock_mhz: float = 100.0,
         pool=None,
+        execution=None,
     ) -> None:
-        from repro.parallel import ProcessPool
+        from repro.runtime import ExecutionConfig, create_engine
 
-        if pool is None:
-            pool = ProcessPool(
-                accelerator,
-                num_workers=num_workers,
-                buckets=buckets,
-                max_batch=max_batch,
-                slots=slots,
-                trace_sample=trace_sample,
+        if execution is None:
+            execution = ExecutionConfig(isolation="process")
+        elif execution.isolation != "process":
+            raise ValueError(
+                "ProcessPoolBackend needs isolation='process', got "
+                f"{execution.isolation!r}"
             )
-        self.pool = pool
+        execution = execution.merged(
+            workers=num_workers,
+            bucket_sizes=tuple(buckets) if buckets is not None else None,
+            max_batch=max_batch,
+            slots=slots,
+            trace_sample=trace_sample,
+        )
+        # The registry resolves this config to the process engine; the
+        # server owns the worker lifecycle, so the engine is built
+        # standalone (not cached on the accelerator) and an existing
+        # pool can be injected through the ``pool=`` seam.
+        self.engine = create_engine(accelerator, execution, pool=pool)
+        self.execution = execution
         self.accelerator = accelerator
         self.name = name or f"pool:{accelerator.name}"
-        self.max_concurrency = int(pool.num_workers)
+        self.max_concurrency = int(self.engine.pool.num_workers)
         self.timing = analyze_pipeline(accelerator, clock_mhz)
         self._journal = None
 
+    @property
+    def pool(self):
+        return self.engine.pool
+
     def infer(self, images: np.ndarray) -> np.ndarray:
-        return np.asarray(self.pool.predict(images))
+        return np.asarray(self.engine.run(images).argmax(axis=1))
 
     def plan_stats(self) -> dict:
         """Aggregated per-worker plan-cache counters plus pool counters."""

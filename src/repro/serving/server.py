@@ -67,7 +67,9 @@ class ServingConfig:
     * ``bucket_sizes`` — optional batch-shape buckets: formed batches
       are padded up to the nearest listed size so shape-keyed backends
       (plan caches, the process pool) see a small fixed set of batch
-      geometries. The largest bucket must cover ``max_batch_size``.
+      geometries. The list must be strictly increasing positive sizes
+      and the largest bucket must cover ``max_batch_size`` — rejected
+      here rather than surfacing as padding errors deep in the batcher.
     """
 
     max_batch_size: int = 32
@@ -110,10 +112,21 @@ class ServingConfig:
         if self.bucket_sizes is not None:
             from repro.parallel.bucketing import validate_buckets
 
+            buckets = tuple(int(b) for b in self.bucket_sizes)
+            for b in buckets:
+                if b <= 0:
+                    raise ValueError(
+                        f"bucket_sizes must be positive, got {b} in {buckets}"
+                    )
+            if any(a >= b for a, b in zip(buckets, buckets[1:])):
+                raise ValueError(
+                    "bucket_sizes must be strictly increasing (sorted, no "
+                    f"duplicates), got {buckets}"
+                )
             object.__setattr__(
                 self,
                 "bucket_sizes",
-                validate_buckets(self.bucket_sizes, self.max_batch_size),
+                validate_buckets(buckets, self.max_batch_size),
             )
 
 
@@ -182,28 +195,40 @@ class InferenceServer:
         cls,
         accelerator,
         config: Optional[ServingConfig] = None,
-        mode: str = "thread",
+        mode: Optional[str] = None,
+        execution=None,
     ) -> "InferenceServer":
         """Serve a compiled ``FinnAccelerator`` (bit-packed XNOR path).
 
-        ``mode="process"`` serves through a
+        ``execution`` (an :class:`~repro.runtime.ExecutionConfig`) picks
+        the runtime engine: process isolation serves through a
         :class:`~repro.serving.backends.ProcessPoolBackend` — one plan
         cache per worker *process*, multi-core throughput (closed with
-        the server).
+        the server) — anything else through an
+        :class:`~repro.serving.backends.AcceleratorBackend`. ``mode`` is
+        the **deprecated** spelling (``"process"`` maps to
+        ``isolation="process"``).
         """
-        if mode not in ("thread", "process"):
-            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        from repro.runtime import ExecutionConfig, deprecated_kwargs_config
+
+        if mode is not None:
+            execution = deprecated_kwargs_config(
+                "InferenceServer.from_accelerator", execution, mode=mode,
+            )
+        elif execution is None:
+            execution = ExecutionConfig()
         config = config or ServingConfig()
-        if mode == "process":
+        if execution.isolation == "process":
             from repro.serving.backends import ProcessPoolBackend
 
             backend: InferenceBackend = ProcessPoolBackend(
                 accelerator,
                 buckets=config.bucket_sizes,
                 max_batch=config.max_batch_size,
+                execution=execution,
             )
         else:
-            backend = AcceleratorBackend(accelerator)
+            backend = AcceleratorBackend(accelerator, execution=execution)
         return cls([backend], config)
 
     # -- lifecycle -----------------------------------------------------------
@@ -380,7 +405,3 @@ class InferenceServer:
     @property
     def queue_depth(self) -> int:
         return self._queue.depth()
-
-    @property
-    def backends(self) -> List[InferenceBackend]:
-        return list(self._workers.backends)

@@ -1,0 +1,320 @@
+"""The runtime engine registry (PR 10): one config, five engines.
+
+Locks the tentpole's contract:
+
+1. :class:`ExecutionConfig` is the single validated value naming an
+   inference target — bad enums, non-positive sizes and contradictory
+   combinations are rejected at construction;
+2. the registry's resolution rules map every config to exactly one
+   registered engine, and ``engine_table`` declares each engine's
+   capability flags;
+3. the legacy ``use_plan=`` / ``mode=`` kwargs survive as deprecation
+   shims: exactly one :class:`DeprecationWarning` per call, identical
+   results to the equivalent ``execution=ExecutionConfig(...)``;
+4. ``ServingConfig.bucket_sizes`` rejects unsorted, duplicate and
+   non-positive bucket lists eagerly;
+5. ``repro engines`` lists every engine with its flags, in table and
+   JSON form.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.hw.compiler import FoldingConfig, compile_model
+from repro.runtime import (
+    EngineCapabilities,
+    EngineSpec,
+    ExecutionConfig,
+    create_engine,
+    deprecated_kwargs_config,
+    engine_names,
+    engine_spec,
+    engine_table,
+    register_engine,
+    resolve_engine_name,
+)
+from repro.runtime.engines import Engine
+from repro.serving import AcceleratorBackend, ServingConfig
+from repro.testing import make_tiny_bnn, randomize_bn_stats
+
+ENGINES = ("interpreted", "planned-blas", "planned-packed", "threaded", "process")
+
+
+def build_tiny_accelerator():
+    model = make_tiny_bnn(seed=3)
+    randomize_bn_stats(model, seed=4)
+    model.eval()
+    folding = FoldingConfig(pe=(1, 1, 1, 1), simd=(1, 1, 1, 1))
+    return compile_model(model, folding, name="tiny")
+
+
+@pytest.fixture(scope="module")
+def tiny_acc():
+    return build_tiny_accelerator()
+
+
+@pytest.fixture(scope="module")
+def images():
+    rng = np.random.default_rng(42)
+    return rng.random((6, 8, 8, 3)).astype(np.float32)
+
+
+# -- ExecutionConfig validation --------------------------------------------
+
+
+class TestExecutionConfig:
+    def test_defaults_are_valid_and_frozen(self):
+        cfg = ExecutionConfig()
+        assert cfg.use_plan and cfg.isolation == "none"
+        with pytest.raises(AttributeError):
+            cfg.use_plan = False
+        assert hash(cfg) == hash(ExecutionConfig())
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lowering": "simd"},
+        {"isolation": "fiber"},
+        {"workers": 0},
+        {"workers": -2},
+        {"chunk_size": 0},
+        {"max_batch": -1},
+        {"slots": 0},
+        {"trace_sample": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionConfig(**kwargs)
+
+    def test_rejects_contradictory_process_configs(self):
+        with pytest.raises(ValueError, match="use_plan=False"):
+            ExecutionConfig(isolation="process", use_plan=False)
+        with pytest.raises(ValueError, match="packed_datapath=False"):
+            ExecutionConfig(isolation="process", packed_datapath=False)
+
+    def test_bucket_sizes_coerced_to_int_tuple(self):
+        cfg = ExecutionConfig(bucket_sizes=[2, 4, 8])
+        assert cfg.bucket_sizes == (2, 4, 8)
+        assert all(isinstance(b, int) for b in cfg.bucket_sizes)
+
+    def test_merged_applies_only_non_none(self):
+        cfg = ExecutionConfig(chunk_size=16)
+        merged = cfg.merged(workers=4, chunk_size=None)
+        assert merged.workers == 4 and merged.chunk_size == 16
+        assert cfg.merged() is cfg
+
+    def test_describe_is_json_ready(self):
+        desc = ExecutionConfig(bucket_sizes=(2, 4)).describe()
+        assert desc["bucket_sizes"] == [2, 4]
+        json.dumps(desc)  # must not raise
+
+
+# -- registry + resolution rules -------------------------------------------
+
+
+class TestRegistry:
+    def test_all_five_engines_registered_in_order(self):
+        assert engine_names() == ENGINES
+
+    def test_capability_flags(self):
+        table = {row["name"]: row["capabilities"] for row in engine_table()}
+        assert all(table[name]["bit_exact"] for name in ENGINES)
+        assert table["planned-blas"]["zero_alloc"]
+        assert table["planned-packed"]["zero_alloc"]
+        assert not table["interpreted"]["zero_alloc"]
+        assert table["process"] == {
+            "bit_exact": True,
+            "zero_alloc": True,
+            "zero_copy_ipc": True,
+            "process_isolated": True,
+        }
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_spec("warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine_name(ExecutionConfig(engine="warp"))
+
+    def test_duplicate_registration_rejected(self):
+        spec = engine_spec("interpreted")
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(spec)
+        assert register_engine(spec, replace=True) is spec
+
+    def test_resolution_rules(self, tiny_acc):
+        resolve = resolve_engine_name
+        # 1. explicit pin wins over everything else
+        assert resolve(
+            ExecutionConfig(engine="interpreted", isolation="process")
+        ) == "interpreted"
+        # 2. process isolation
+        assert resolve(ExecutionConfig(isolation="process")) == "process"
+        # 3. thread-parallel chunks
+        assert resolve(ExecutionConfig(workers=4)) == "threaded"
+        assert resolve(ExecutionConfig(workers=1), tiny_acc) != "threaded"
+        # 4. the interpreted reference path
+        assert resolve(ExecutionConfig(use_plan=False)) == "interpreted"
+        assert resolve(ExecutionConfig(packed_datapath=False)) == "interpreted"
+        # 6. planned lowering, resolved against the accelerator
+        assert resolve(ExecutionConfig(), tiny_acc).startswith("planned-")
+        assert resolve(ExecutionConfig(lowering="packed")) == "planned-packed"
+        assert resolve(ExecutionConfig(lowering="blas")) == "planned-blas"
+
+    def test_auto_lowering_needs_an_accelerator(self):
+        with pytest.raises(ValueError, match="auto"):
+            resolve_engine_name(ExecutionConfig())
+
+    def test_create_engine_returns_prepared_protocol_instance(self, tiny_acc):
+        engine = create_engine(tiny_acc, ExecutionConfig(use_plan=False))
+        assert isinstance(engine, Engine)
+        assert engine.name == "interpreted"
+        assert engine.capabilities().bit_exact
+        assert engine.stats()["engine"] == "interpreted"
+
+    def test_threaded_engine_requires_workers(self, tiny_acc):
+        with pytest.raises(ValueError, match="workers"):
+            create_engine(tiny_acc, ExecutionConfig(engine="threaded"))
+
+    def test_engine_for_caches_per_config(self, tiny_acc):
+        a = tiny_acc.engine_for(ExecutionConfig(use_plan=False))
+        b = tiny_acc.engine_for(ExecutionConfig(use_plan=False))
+        c = tiny_acc.engine_for(ExecutionConfig(lowering="packed"))
+        assert a is b and a is not c
+        tiny_acc.close_pool()
+        assert tiny_acc.engine_for(ExecutionConfig(use_plan=False)) is not a
+
+
+# -- deprecation shims ------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_mapping_helper_emits_one_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cfg = deprecated_kwargs_config(
+                "caller", None, use_plan=False, mode="thread"
+            )
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "caller" in str(deprecations[0].message)
+        assert cfg == ExecutionConfig(use_plan=False, isolation="none")
+
+    def test_mapping_helper_validates_mode_before_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(ValueError, match="mode"):
+                deprecated_kwargs_config("caller", None, mode="quantum")
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+    def test_predict_use_plan_shim(self, tiny_acc, images):
+        reference = tiny_acc.predict(
+            images, execution=ExecutionConfig(use_plan=False)
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = tiny_acc.predict(images, use_plan=False)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "use_plan" in str(deprecations[0].message)
+        np.testing.assert_array_equal(legacy, reference)
+
+    def test_execute_use_plan_shim(self, tiny_acc, images):
+        reference = tiny_acc.run(images, ExecutionConfig())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = tiny_acc.execute(images, use_plan=True)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        np.testing.assert_array_equal(legacy, reference)
+
+    @pytest.mark.parallel
+    def test_predict_mode_process_shim(self, images):
+        acc = build_tiny_accelerator()
+        try:
+            reference = acc.predict(
+                images,
+                execution=ExecutionConfig(isolation="process", workers=1),
+            )
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                legacy = acc.predict(images, mode="process", num_workers=1)
+            deprecations = [
+                w for w in caught if w.category is DeprecationWarning
+            ]
+            assert len(deprecations) == 1
+            assert "mode='process'" in str(deprecations[0].message)
+            np.testing.assert_array_equal(legacy, reference)
+        finally:
+            acc.close_pool()
+
+    def test_accelerator_backend_use_plan_shim(self, tiny_acc, images):
+        reference = AcceleratorBackend(
+            tiny_acc, execution=ExecutionConfig(use_plan=False)
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = AcceleratorBackend(tiny_acc, use_plan=False)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "AcceleratorBackend" in str(deprecations[0].message)
+        np.testing.assert_array_equal(
+            legacy.infer(images), reference.infer(images)
+        )
+
+    def test_legacy_validation_messages_survive(self, tiny_acc, images):
+        with pytest.raises(ValueError, match="num_workers"):
+            tiny_acc.predict(images, num_workers=0)
+        with pytest.raises(ValueError, match="mode"):
+            tiny_acc.predict(images, mode="warp")
+
+
+# -- ServingConfig bucket validation ---------------------------------------
+
+
+@pytest.mark.serving
+class TestServingBuckets:
+    def test_accepts_strictly_increasing_buckets(self):
+        cfg = ServingConfig(max_batch_size=8, bucket_sizes=[2, 4, 8])
+        assert cfg.bucket_sizes == (2, 4, 8)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ServingConfig(max_batch_size=8, bucket_sizes=(4, 2, 8))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ServingConfig(max_batch_size=8, bucket_sizes=(2, 2, 8))
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            ServingConfig(max_batch_size=8, bucket_sizes=(bad, 8))
+
+    def test_coverage_check_still_applies(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            ServingConfig(max_batch_size=16, bucket_sizes=(2, 4))
+
+
+# -- the `repro engines` CLI verb ------------------------------------------
+
+
+class TestEnginesCli:
+    def test_table_lists_every_engine(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ENGINES:
+            assert name in out
+
+    def test_json_schema(self, capsys):
+        assert main(["engines", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in payload["engines"]] == list(ENGINES)
+        for row in payload["engines"]:
+            assert set(row) == {"name", "capabilities", "summary"}
+            assert set(row["capabilities"]) == {
+                "bit_exact", "zero_alloc", "zero_copy_ipc", "process_isolated",
+            }
+        assert payload["default_config"]["use_plan"] is True
+        assert len(payload["resolution"]) == 6

@@ -1,0 +1,122 @@
+"""Cross-engine bit-exactness contract (PR 10, satellite 2).
+
+Every registered engine must reproduce the interpreted reference
+datapath exactly — logits for every Table I prototype under both input
+dtypes, and ``return_bits`` traces where the engine supports them.
+This is the contract the capability flag ``bit_exact`` declares; a new
+engine registered without passing this file is a registry bug.
+
+The process engine rides in the ``parallel`` marker (CI runs it in the
+dedicated multi-core job); the in-process engines run in tier 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import build_architecture, table1_folding
+from repro.hw.compiler import compile_model
+from repro.runtime import ExecutionConfig, create_engine, engine_names
+from repro.testing import randomize_bn_stats
+
+PROTOTYPES = ("cnv", "n-cnv", "u-cnv")
+
+#: Configs that resolve each registered engine, with enough workers /
+#: buckets for the toy batches below. Kept in sync with the registry by
+#: ``test_every_registered_engine_is_covered``.
+ENGINE_CONFIGS = {
+    "interpreted": ExecutionConfig(use_plan=False),
+    "planned-blas": ExecutionConfig(lowering="blas"),
+    "planned-packed": ExecutionConfig(lowering="packed"),
+    "threaded": ExecutionConfig(workers=2, chunk_size=2),
+    "process": ExecutionConfig(
+        isolation="process", workers=1, bucket_sizes=(4,), max_batch=4
+    ),
+}
+IN_PROCESS = tuple(n for n in ENGINE_CONFIGS if n != "process")
+
+
+def build_accelerator(name: str):
+    model = build_architecture(name, rng=0)
+    randomize_bn_stats(model)
+    model.eval()
+    return compile_model(model, table1_folding(name), name=name)
+
+
+@pytest.fixture(scope="module")
+def accelerators():
+    return {name: build_accelerator(name) for name in PROTOTYPES}
+
+
+def seed_batch(dtype):
+    rng = np.random.default_rng(1234)
+    images = rng.random((4, 32, 32, 3)).astype(np.float32)
+    if dtype == "uint8":
+        return (images * 255).astype(np.uint8)
+    return images
+
+
+def reference_logits(accelerator, images, return_bits=False):
+    engine = create_engine(accelerator, ENGINE_CONFIGS["interpreted"])
+    return engine.run(images, return_bits=return_bits)
+
+
+def test_every_registered_engine_is_covered():
+    assert set(engine_names()) == set(ENGINE_CONFIGS)
+
+
+@pytest.mark.parametrize("dtype", ["f32", "uint8"])
+@pytest.mark.parametrize("engine_name", IN_PROCESS)
+@pytest.mark.parametrize("arch", PROTOTYPES)
+def test_engine_matches_interpreted_logits(accelerators, arch, engine_name, dtype):
+    acc = accelerators[arch]
+    images = seed_batch(dtype)
+    golden = reference_logits(acc, images)
+    engine = create_engine(acc, ENGINE_CONFIGS[engine_name])
+    assert engine.name == engine_name
+    np.testing.assert_array_equal(engine.run(images), golden)
+
+
+@pytest.mark.parametrize("engine_name", ["planned-blas", "planned-packed"])
+@pytest.mark.parametrize("arch", PROTOTYPES)
+def test_planned_return_bits_match_interpreted(accelerators, arch, engine_name):
+    acc = accelerators[arch]
+    images = seed_batch("f32")
+    golden_logits, golden_bits = reference_logits(acc, images, return_bits=True)
+    engine = create_engine(acc, ENGINE_CONFIGS[engine_name])
+    logits, bits = engine.run(images, return_bits=True)
+    np.testing.assert_array_equal(logits, golden_logits)
+    assert len(bits) == len(golden_bits)
+    for got, ref in zip(bits, golden_bits):
+        np.testing.assert_array_equal(got, ref)
+
+
+def test_threaded_engine_refuses_return_bits(accelerators):
+    engine = create_engine(
+        accelerators["n-cnv"], ENGINE_CONFIGS["threaded"]
+    )
+    with pytest.raises(ValueError, match="return_bits"):
+        engine.run(seed_batch("f32"), return_bits=True)
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("arch", PROTOTYPES)
+def test_process_engine_matches_interpreted(arch):
+    acc = build_accelerator(arch)
+    engine = create_engine(acc, ENGINE_CONFIGS["process"])
+    try:
+        for dtype in ("f32", "uint8"):
+            images = seed_batch(dtype)
+            golden = reference_logits(acc, images)
+            np.testing.assert_array_equal(engine.run(images), golden)
+        images = seed_batch("f32")
+        golden_logits, golden_bits = reference_logits(
+            acc, images, return_bits=True
+        )
+        logits, bits = engine.run(images, return_bits=True)
+        np.testing.assert_array_equal(logits, golden_logits)
+        assert len(bits) == len(golden_bits)
+        for got, ref in zip(bits, golden_bits):
+            np.testing.assert_array_equal(got, ref)
+    finally:
+        engine.close()
+        acc.close_pool()
